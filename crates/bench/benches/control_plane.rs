@@ -1,0 +1,49 @@
+//! Cost of DRILL's control plane (§3.4.1): routing, Quiver construction
+//! and symmetric decomposition, as a function of fabric size — the paper
+//! argues these are polynomial-time and easily parallelizable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drill_core::{install_symmetric_groups, Quiver};
+use drill_net::{leaf_spine, LeafSpineSpec, RouteTable, SwitchId, DEFAULT_PROP};
+
+fn spec(n: usize) -> LeafSpineSpec {
+    LeafSpineSpec {
+        spines: n,
+        leaves: n,
+        hosts_per_leaf: 1,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    }
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_plane");
+    for &n in &[8usize, 16, 32] {
+        let topo = leaf_spine(&spec(n));
+        g.bench_with_input(BenchmarkId::new("route_compute", n), &n, |b, _| {
+            b.iter(|| RouteTable::compute(&topo))
+        });
+        let routes = RouteTable::compute(&topo);
+        g.bench_with_input(BenchmarkId::new("quiver_build", n), &n, |b, _| {
+            b.iter(|| Quiver::build(&topo, &routes))
+        });
+        // Post-failure full reconvergence: routes + groups.
+        let mut failed = topo.clone();
+        failed.fail_switch_link(failed.leaves()[0], SwitchId(n as u32), 0);
+        g.bench_with_input(BenchmarkId::new("reconverge_with_groups", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = RouteTable::compute(&failed);
+                install_symmetric_groups(&failed, &mut r)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_control_plane
+}
+criterion_main!(benches);

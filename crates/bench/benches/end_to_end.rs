@@ -1,0 +1,39 @@
+//! Whole-simulation throughput: events per second for a short end-to-end
+//! run, per scheme (the cost of the policies in situ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drill_net::{LeafSpineSpec, DEFAULT_PROP};
+use drill_runtime::{run, ExperimentConfig, Scheme, TopoSpec};
+use drill_sim::Time;
+
+fn cfg(scheme: Scheme) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(
+        TopoSpec::LeafSpine(LeafSpineSpec {
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 8,
+            host_rate: 10_000_000_000,
+            core_rate: 40_000_000_000,
+            prop: DEFAULT_PROP,
+        }),
+        scheme,
+        0.5,
+    );
+    cfg.duration = Time::from_millis(2);
+    cfg.drain = Time::from_millis(50);
+    cfg
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for scheme in [Scheme::Ecmp, Scheme::drill_default(), Scheme::Conga, Scheme::presto()] {
+        g.bench_with_input(BenchmarkId::new("run_2ms", scheme.name()), &scheme, |b, &s| {
+            b.iter(|| run(&cfg(s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Throughput of the DES kernel's event queue — the simulator's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drill_sim::{EventQueue, SimRng, Time};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &backlog in &[64usize, 4096, 65536] {
+        g.bench_with_input(BenchmarkId::new("push_pop", backlog), &backlog, |b, &n| {
+            let mut rng = SimRng::seed_from(1);
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut t = 0u64;
+            for _ in 0..n {
+                t += rng.below(1000) as u64;
+                q.push(Time::from_nanos(t), t);
+            }
+            b.iter(|| {
+                // Steady state: one pop, one push at a future time.
+                let (now, v) = q.pop().expect("backlog maintained");
+                q.push(now + Time::from_nanos(500 + (v % 997)), v);
+            })
+        });
+    }
+    g.bench_function("cancellable_lifecycle", |b| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            let tok = q.push_cancellable(Time::from_nanos(t), 1);
+            q.cancel(tok);
+            q.push(Time::from_nanos(t + 1), 2);
+            q.pop()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Per-decision cost of the forwarding policies — the ablation backing
+//! §3.2.2's O(d + m) complexity claim and the paper's hardware-feasibility
+//! argument: DRILL's decision is a handful of queue reads and compares.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drill_core::DrillPolicy;
+use drill_lb::{EcmpPolicy, RandomPolicy, RoundRobinPolicy};
+use drill_net::{FlowId, QueueView, SelectCtx, SwitchPolicy};
+use drill_sim::{SimRng, Time};
+
+struct FakeQueues(Vec<u64>);
+impl QueueView for FakeQueues {
+    fn visible_bytes(&self, p: u16) -> u64 {
+        self.0[p as usize]
+    }
+    fn visible_pkts(&self, p: u16) -> u32 {
+        (self.0[p as usize] / 1500) as u32
+    }
+    fn num_ports(&self) -> usize {
+        self.0.len()
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let ports: Vec<u16> = (0..48).collect();
+    let queues = FakeQueues((0..48).map(|i| (i as u64 * 3711) % 90_000).collect());
+    let mut rng = SimRng::seed_from(7);
+    let ctx = SelectCtx {
+        now: Time::from_micros(5),
+        engine: 0,
+        flow_hash: 0x1234_5678_9abc_def0,
+        flow: FlowId(3),
+        dst_leaf: 1,
+        candidates: &ports,
+    };
+
+    let mut g = c.benchmark_group("select");
+    g.bench_function("ecmp", |b| {
+        let mut p = EcmpPolicy;
+        b.iter(|| p.select(&ctx, &queues, &mut rng))
+    });
+    g.bench_function("random", |b| {
+        let mut p = RandomPolicy;
+        b.iter(|| p.select(&ctx, &queues, &mut rng))
+    });
+    g.bench_function("rr", |b| {
+        let mut p = RoundRobinPolicy::new(1);
+        b.iter(|| p.select(&ctx, &queues, &mut rng))
+    });
+    for (d, m) in [(1, 0), (2, 1), (4, 2), (12, 1), (2, 11), (20, 20)] {
+        g.bench_with_input(BenchmarkId::new("drill", format!("d{d}_m{m}")), &(d, m), |b, &(d, m)| {
+            let mut p = DrillPolicy::new(d, m, 1);
+            b.iter(|| p.select(&ctx, &queues, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_policies
+}
+criterion_main!(benches);

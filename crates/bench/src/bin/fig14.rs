@@ -1,0 +1,91 @@
+//! Figure 14: incast — (a, b) FCT CDFs under 20% and 30% background load
+//! with the many-to-one incast application running, (c) where queueing and
+//! loss happen per hop at 20% load.
+//!
+//! Incast model (following the paper / Vasudevan et al.): every epoch, 10%
+//! of hosts each simultaneously fetch 10 KB from 10% of the other hosts.
+
+use drill_bench::{banner, base_config, fct_schemes, Scale};
+use drill_net::{HopClass, LeafSpineSpec};
+use drill_runtime::{run_many, ExperimentConfig, RunStats, TopoSpec};
+use drill_sim::Time;
+use drill_stats::{f3, Table};
+use drill_workload::IncastSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14: incast", scale);
+
+    let leaves = scale.dim(4, 8, 16);
+    let hosts = scale.dim(8, 16, 20);
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves,
+        hosts_per_leaf: hosts,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: drill_net::DEFAULT_PROP,
+    });
+    println!("topology: 4 spines x {leaves} leaves x {hosts} hosts, 40G/10G (paper: 4x16x20)");
+    println!("incast: each epoch, 10% of hosts fetch 10KB from 10% of hosts\n");
+
+    let schemes = fct_schemes();
+    let incast = IncastSpec { epoch_gap: Time::from_millis(2), ..Default::default() };
+
+    let mut keep_for_c: Vec<RunStats> = Vec::new();
+    for &load in &[0.2, 0.3] {
+        let cfgs: Vec<ExperimentConfig> = schemes
+            .iter()
+            .map(|&s| {
+                let mut cfg = base_config(topo.clone(), s, load, scale);
+                cfg.workload.incast = Some(incast.clone());
+                cfg
+            })
+            .collect();
+        let mut res = run_many(&cfgs);
+
+        let mut header = vec!["metric".to_string()];
+        header.extend(schemes.iter().map(|s| s.name()));
+        let mut t = Table::new(header);
+        for (label, p) in [("median", 50.0), ("p99", 99.0), ("p99.9", 99.9), ("p99.99", 99.99)] {
+            let mut row = vec![format!("incast FCT {label} [ms]")];
+            for s in res.iter_mut() {
+                row.push(f3(s.fct_incast_ms.percentile(p)));
+            }
+            t.row(row);
+        }
+        let mut row = vec!["all-flow FCT mean [ms]".to_string()];
+        for s in res.iter_mut() {
+            row.push(f3(s.fct_ms.mean()));
+        }
+        t.row(row);
+        println!(
+            "({}) {}% background load — incast flow completion times",
+            if load < 0.25 { "a" } else { "b" },
+            (load * 100.0) as u32
+        );
+        println!("{}", t.render());
+        if load < 0.25 {
+            keep_for_c = res;
+        }
+    }
+
+    // (c) queueing and loss per hop at 20% load.
+    let mut t = Table::new(["scheme", "q hop1 [us]", "q hop2 [us]", "q hop3 [us]", "loss hop1 %", "loss hop2 %", "loss hop3 %"]);
+    for (s, st) in schemes.iter().zip(&keep_for_c) {
+        t.row([
+            s.name(),
+            f3(st.hops.mean_wait_us(HopClass::LeafUp)),
+            f3(st.hops.mean_wait_us(HopClass::SpineDown)),
+            f3(st.hops.mean_wait_us(HopClass::ToHost)),
+            f3(st.hops.loss_rate(HopClass::LeafUp) * 100.0),
+            f3(st.hops.loss_rate(HopClass::SpineDown) * 100.0),
+            f3(st.hops.loss_rate(HopClass::ToHost) * 100.0),
+        ]);
+    }
+    println!("(c) where queueing and loss happen at 20% load");
+    println!("{}", t.render());
+    println!("expected shape (paper): DRILL cuts the incast tail (2.1x/2.6x lower");
+    println!("99.99p than CONGA/Presto at 20% load) by instantly diverting microbursts;");
+    println!("it nearly eliminates hop-1 queueing and drops, and reduces hop-2's.");
+}

@@ -1,0 +1,57 @@
+//! §4 "Hardware and deployability considerations": DRILL's chip-area
+//! overhead. The paper synthesizes <400 lines of Verilog and estimates
+//! 0.04 mm², under 1% of a 200 mm² reference switch chip; this harness
+//! reproduces the accounting with the analytical model in `drill-hw`.
+
+use drill_hw::{estimate, HwSpec, TechNode};
+use drill_stats::Table;
+
+fn main() {
+    println!("== Hardware area estimate (Verilog-substitute model) ==\n");
+    let tech = TechNode::default();
+    println!(
+        "technology: {} um^2 per NAND2-equivalent gate, {} mm^2 reference die\n",
+        tech.nand2_um2, tech.chip_mm2
+    );
+
+    let spec = HwSpec::paper_default();
+    let est = estimate(&spec, &tech);
+    println!(
+        "DRILL({}, {}) on a {}-port, {}-engine switch with {}-bit queue counters:\n",
+        spec.d, spec.m, spec.ports, spec.engines, spec.counter_bits
+    );
+    let mut t = Table::new(["component", "instances", "gates each", "gates total"]);
+    for line in &est.inventory {
+        t.row([
+            line.component.to_string(),
+            line.instances.to_string(),
+            line.gates_each.to_string(),
+            (line.instances * line.gates_each).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("total gates:        {}", est.total_gates);
+    println!("estimated area:     {:.4} mm^2   (paper: 0.04 mm^2)", est.area_mm2);
+    println!("fraction of chip:   {:.4}%      (paper: < 1%)\n", est.fraction_of_chip * 100.0);
+
+    // Sensitivity: engines and (d, m).
+    let mut t = Table::new(["configuration", "gates", "area mm^2", "% of chip"]);
+    for (label, spec) in [
+        ("DRILL(2,1), 1 engine", HwSpec::paper_default()),
+        ("DRILL(2,1), 48 engines", HwSpec { engines: 48, ..HwSpec::paper_default() }),
+        ("DRILL(12,1), 1 engine", HwSpec { d: 12, ..HwSpec::paper_default() }),
+        ("DRILL(2,11), 1 engine", HwSpec { m: 11, ..HwSpec::paper_default() }),
+        ("DRILL(2,1), 256 ports", HwSpec { ports: 256, ..HwSpec::paper_default() }),
+    ] {
+        let e = estimate(&spec, &tech);
+        t.row([
+            label.to_string(),
+            e.total_gates.to_string(),
+            format!("{:.4}", e.area_mm2),
+            format!("{:.4}", e.fraction_of_chip * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("conclusion (matches paper): DRILL's data-plane logic is a vanishing");
+    println!("fraction of a switch chip and scales linearly in d + m and engines.");
+}

@@ -1,0 +1,98 @@
+//! Table 1: synthetic workloads — Stride, Bijection (the paper's
+//! "Random"), and Shuffle. Mean elephant throughput plus mean and 99.99th
+//! percentile mice FCT, normalized to ECMP.
+//!
+//! Paper setup: 4 leaves x 4 spines, 8 hosts per leaf, all 1G links;
+//! elephants (1 GB in the paper, size-scaled here) per pattern plus 50 KB
+//! mice every 100 ms.
+
+use drill_bench::{banner, base_config, Scale};
+use drill_net::LeafSpineSpec;
+use drill_runtime::{run_many, ExperimentConfig, Scheme, SyntheticMode, TopoSpec};
+use drill_sim::Time;
+use drill_stats::Table;
+use drill_workload::TrafficPattern;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 1: synthetic workloads (normalized to ECMP)", scale);
+
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves: 4,
+        hosts_per_leaf: 8,
+        host_rate: 1_000_000_000,
+        core_rate: 1_000_000_000,
+        prop: drill_net::DEFAULT_PROP,
+    });
+    println!("topology: 4 spines x 4 leaves x 8 hosts, all 1G (paper-exact)\n");
+
+    let synth = SyntheticMode {
+        elephant_bytes: match scale {
+            Scale::Quick => 2_000_000,
+            Scale::Default => 10_000_000,
+            Scale::Full => 50_000_000,
+        },
+        mice_bytes: 50_000,
+        mice_period: Time::from_millis(match scale {
+            Scale::Quick => 4,
+            _ => 10,
+        }),
+    };
+    let duration = match scale {
+        Scale::Quick => Time::from_millis(30),
+        Scale::Default => Time::from_millis(150),
+        Scale::Full => Time::from_millis(600),
+    };
+
+    let schemes = [Scheme::Ecmp, Scheme::Conga, Scheme::presto(), Scheme::drill_default()];
+    let patterns: [(&str, TrafficPattern); 3] = [
+        ("Stride(8)", TrafficPattern::Stride(8)),
+        ("Bijection", TrafficPattern::Bijection),
+        ("Shuffle", TrafficPattern::Shuffle),
+    ];
+
+    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
+    for (_, pattern) in &patterns {
+        for &scheme in &schemes {
+            let mut cfg = base_config(topo.clone(), scheme, 0.0, scale);
+            cfg.synthetic = Some(synth.clone());
+            cfg.workload.pattern = pattern.clone();
+            cfg.duration = duration;
+            cfg.drain = Time::from_millis(1500);
+            cfgs.push(cfg);
+        }
+    }
+    let res = run_many(&cfgs);
+
+    let mut t = Table::new(["metric (normalized to ECMP)", "CONGA", "Presto", "DRILL"]);
+    for (pi, (name, _)) in patterns.iter().enumerate() {
+        let base = &res[pi * schemes.len()];
+        let base_tput = base.elephant_gbps.mean().max(1e-9);
+        let base_mean = base.fct_mice_ms.mean().max(1e-9);
+        let mut base_tail = base.fct_mice_ms.clone();
+        let base_tail = base_tail.percentile(99.99).max(1e-9);
+
+        let norm = |f: &dyn Fn(&drill_runtime::RunStats) -> f64| -> Vec<String> {
+            (1..schemes.len())
+                .map(|si| format!("{:.2}", f(&res[pi * schemes.len() + si])))
+                .collect()
+        };
+        let tput = norm(&|s: &drill_runtime::RunStats| s.elephant_gbps.mean() / base_tput);
+        let mean = norm(&|s: &drill_runtime::RunStats| s.fct_mice_ms.mean() / base_mean);
+        let tail = norm(&|s: &drill_runtime::RunStats| {
+            let mut d = s.fct_mice_ms.clone();
+            d.percentile(99.99) / base_tail
+        });
+        t.row([format!("{name}: elephant throughput"), tput[0].clone(), tput[1].clone(), tput[2].clone()]);
+        t.row([format!("{name}: mice mean FCT"), mean[0].clone(), mean[1].clone(), mean[2].clone()]);
+        t.row([format!("{name}: mice 99.99p FCT"), tail[0].clone(), tail[1].clone(), tail[2].clone()]);
+    }
+    println!("{}", t.render());
+    println!("paper values (throughput higher=better, FCT lower=better):");
+    println!("  Stride    tput 1.55/1.71/1.80  meanFCT 0.51/0.41/0.21  tail 0.20/0.15/0.04");
+    println!("  Bijection tput 1.46/1.62/1.78  meanFCT 0.71/0.63/0.45  tail 0.22/0.18/0.08");
+    println!("  Shuffle   tput 1.00/1.10/1.10  meanFCT 0.95/0.91/0.86  tail 0.86/0.79/0.68");
+    println!("expected shape: DRILL best on Stride/Bijection (tput up, mice FCT down);");
+    println!("Shuffle is last-hop-bottlenecked, so no scheme helps much.");
+}

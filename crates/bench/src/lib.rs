@@ -1,0 +1,143 @@
+//! Shared support for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (§4). Output is plain aligned text: one row per
+//! x-axis point, one column per scheme/series, so results can be diffed
+//! across runs and compared against the paper's plots.
+//!
+//! Scale control: the `DRILL_SCALE` environment variable selects
+//!
+//! * `quick` — smoke-test scale (seconds);
+//! * unset / `default` — reduced scale with the paper's topology *shapes*
+//!   (minutes);
+//! * `full` — the paper's topology sizes and longer runs (hours).
+//!
+//! `DRILL_SEED` overrides the RNG seed (default 1).
+
+#![warn(missing_docs)]
+
+use drill_runtime::{ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill_sim::Time;
+use drill_stats::{f3, Table};
+
+/// Harness scale selected by `DRILL_SCALE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Smoke-test scale.
+    Quick,
+    /// Reduced default scale.
+    Default,
+    /// Paper scale.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("DRILL_SCALE").unwrap_or_default().as_str() {
+            "full" => Scale::Full,
+            "quick" => Scale::Quick,
+            _ => Scale::Default,
+        }
+    }
+
+    /// The experiment duration (flow-arrival window) for this scale.
+    pub fn duration(self) -> Time {
+        match self {
+            Scale::Quick => Time::from_millis(4),
+            Scale::Default => Time::from_millis(15),
+            Scale::Full => Time::from_millis(60),
+        }
+    }
+
+    /// Scale a topology dimension: full keeps `full`, default uses `def`,
+    /// quick uses `quick`.
+    pub fn dim(self, quick: usize, def: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Default => def,
+            Scale::Full => full,
+        }
+    }
+
+    /// The offered-load sweep for FCT-vs-load figures.
+    pub fn loads(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.3, 0.8],
+            Scale::Default => vec![0.1, 0.3, 0.5, 0.7, 0.8],
+            Scale::Full => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        }
+    }
+}
+
+/// The RNG seed from `DRILL_SEED` (default 1).
+pub fn seed_from_env() -> u64 {
+    std::env::var("DRILL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// A base experiment config with harness scale and seed applied.
+pub fn base_config(topo: TopoSpec, scheme: Scheme, load: f64, scale: Scale) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(topo, scheme, load);
+    cfg.seed = seed_from_env();
+    cfg.duration = scale.duration();
+    cfg
+}
+
+/// The five schemes of the FCT figures (6-12, 14).
+pub fn fct_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Ecmp,
+        Scheme::Conga,
+        Scheme::presto(),
+        Scheme::drill_no_shim(),
+        Scheme::drill_default(),
+    ]
+}
+
+/// Render a mean-FCT and tail-FCT table for a (scheme x load) result grid
+/// (results indexed `[load][scheme]`).
+pub fn fct_tables(loads: &[f64], schemes: &[Scheme], mut grid: Vec<Vec<RunStats>>) -> (String, String) {
+    let mut header = vec!["load %".to_string()];
+    header.extend(schemes.iter().map(|s| s.name()));
+    let mut mean = Table::new(header.clone());
+    let mut tail = Table::new(header);
+    for (li, &load) in loads.iter().enumerate() {
+        let mut mrow = vec![format!("{:.0}", load * 100.0)];
+        let mut trow = vec![format!("{:.0}", load * 100.0)];
+        for stats in &mut grid[li] {
+            mrow.push(f3(stats.mean_fct_ms()));
+            trow.push(f3(stats.fct_percentile_ms(99.99)));
+        }
+        mean.row(mrow);
+        tail.row(trow);
+    }
+    (mean.render(), tail.render())
+}
+
+/// Print a CDF table: one column of FCT values per scheme at the sampled
+/// cumulative fractions.
+pub fn cdf_table(schemes: &[Scheme], stats: &mut [RunStats], points: usize) -> String {
+    let mut header = vec!["CDF".to_string()];
+    header.extend(schemes.iter().map(|s| s.name()));
+    let mut t = Table::new(header);
+    let fracs: Vec<f64> = (1..=points).map(|i| i as f64 / points as f64).collect();
+    for q in fracs {
+        let mut row = vec![format!("{q:.2}")];
+        for s in stats.iter_mut() {
+            row.push(f3(s.fct_ms.quantile(q)));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Standard banner for a figure binary.
+pub fn banner(what: &str, scale: Scale) {
+    println!("== {what} ==");
+    println!(
+        "scale: {:?} (set DRILL_SCALE=quick|default|full), seed {}",
+        scale,
+        seed_from_env()
+    );
+    println!();
+}

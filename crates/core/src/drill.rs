@@ -1,0 +1,314 @@
+//! The DRILL(d, m) scheduling policy (§3.2.2).
+
+use std::collections::HashMap;
+
+use drill_net::{FlowId, QueueView, SelectCtx, SwitchPolicy};
+use drill_sim::SimRng;
+
+/// DRILL(d, m): per-packet, per-engine "power of two choices with memory".
+///
+/// On each packet, the handling engine
+///
+/// 1. samples `d` distinct candidate ports uniformly at random,
+/// 2. adds its `m` remembered ports (those that are still candidates for
+///    this destination),
+/// 3. sends the packet to the member of that set with the minimum *visible*
+///    queue occupancy (bytes), and
+/// 4. re-fills its memory with the `m` least-loaded ports it just observed.
+///
+/// Each engine has its own memory (the paper's engines decide independently
+/// and in parallel); the policy object is per-switch, so engines of the
+/// same switch share nothing but the queues themselves.
+///
+/// The paper's recommended operating point is `DRILL(2, 1)`; larger `d`/`m`
+/// can trigger the synchronization effect on many-engine switches (§3.2.3).
+pub struct DrillPolicy {
+    d: usize,
+    m: usize,
+    /// Per-engine remembered ports.
+    mem: Vec<Vec<u16>>,
+    /// Scratch: candidate ports considered this decision.
+    scratch: Vec<u16>,
+}
+
+impl DrillPolicy {
+    /// DRILL(d, m) for a switch with `engines` forwarding engines.
+    pub fn new(d: usize, m: usize, engines: usize) -> DrillPolicy {
+        assert!(d >= 1, "DRILL needs at least one sample");
+        assert!(engines >= 1);
+        DrillPolicy { d, m, mem: vec![Vec::with_capacity(m); engines], scratch: Vec::new() }
+    }
+
+    /// The configured number of random samples `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The configured number of memory units `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Remembered ports of an engine (test/diagnostic access).
+    pub fn memory(&self, engine: usize) -> &[u16] {
+        &self.mem[engine]
+    }
+}
+
+impl SwitchPolicy for DrillPolicy {
+    fn select(&mut self, ctx: &SelectCtx<'_>, queues: &dyn QueueView, rng: &mut SimRng) -> u16 {
+        let cand = ctx.candidates;
+        debug_assert!(!cand.is_empty());
+        let mem = &mut self.mem[ctx.engine];
+        self.scratch.clear();
+
+        // 1-2. Random samples first (so equal-length ties resolve to a
+        // random fresh sample rather than herding onto remembered ports),
+        // then still-valid memory entries. When d covers the whole
+        // candidate set the ports are still visited in random order:
+        // a deterministic scan would tie-break every empty-queue decision
+        // onto the lowest port index, herding all engines there.
+        let k = self.d.min(cand.len());
+        for i in rng.sample_indices(cand.len(), k) {
+            self.scratch.push(cand[i]);
+        }
+        for &p in mem.iter() {
+            if cand.contains(&p) && !self.scratch.contains(&p) {
+                self.scratch.push(p);
+            }
+        }
+
+        // 3. Minimum visible occupancy wins (strict `<`: first seen wins
+        // ties). The engine sees committed state plus its own in-flight
+        // writes (`visible_bytes_for`).
+        let mut best = self.scratch[0];
+        let mut best_len = queues.visible_bytes_for(ctx.engine, best);
+        for &p in &self.scratch[1..] {
+            let len = queues.visible_bytes_for(ctx.engine, p);
+            if len < best_len {
+                best = p;
+                best_len = len;
+            }
+        }
+
+        // 4. Remember the m least-loaded ports observed this decision.
+        if self.m > 0 {
+            self.scratch.sort_by_key(|&p| queues.visible_bytes_for(ctx.engine, p));
+            mem.clear();
+            mem.extend(self.scratch.iter().take(self.m));
+        }
+
+        best
+    }
+}
+
+/// The paper's "per-flow DRILL" strawman: the first packet of a flow makes
+/// a DRILL(d, m) decision, then the flow is pinned to that port (like ECMP,
+/// but load-aware at flow start).
+pub struct PerFlowDrill {
+    inner: DrillPolicy,
+    pins: HashMap<FlowId, u16>,
+}
+
+impl PerFlowDrill {
+    /// Per-flow DRILL using a DRILL(d, m) first-packet decision.
+    pub fn new(d: usize, m: usize, engines: usize) -> PerFlowDrill {
+        PerFlowDrill { inner: DrillPolicy::new(d, m, engines), pins: HashMap::new() }
+    }
+
+    /// Number of pinned flows (diagnostics).
+    pub fn pinned(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+impl SwitchPolicy for PerFlowDrill {
+    fn select(&mut self, ctx: &SelectCtx<'_>, queues: &dyn QueueView, rng: &mut SimRng) -> u16 {
+        if let Some(&p) = self.pins.get(&ctx.flow) {
+            // Pinned port may have vanished after a failure; re-decide then.
+            if ctx.candidates.contains(&p) {
+                return p;
+            }
+        }
+        let p = self.inner.select(ctx, queues, rng);
+        self.pins.insert(ctx.flow, p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drill_sim::Time;
+
+    /// Fixed queue lengths for testing.
+    struct FixedQueues(Vec<u64>);
+    impl QueueView for FixedQueues {
+        fn visible_bytes(&self, port: u16) -> u64 {
+            self.0[port as usize]
+        }
+        fn visible_pkts(&self, port: u16) -> u32 {
+            (self.0[port as usize] / 1500) as u32
+        }
+        fn num_ports(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn ctx<'a>(candidates: &'a [u16], engine: usize) -> SelectCtx<'a> {
+        SelectCtx { now: Time::ZERO, engine, flow_hash: 42, flow: FlowId(7), dst_leaf: 1, candidates }
+    }
+
+    #[test]
+    fn full_sampling_picks_global_min() {
+        // d >= #candidates: DRILL degenerates to exact min.
+        let mut p = DrillPolicy::new(8, 1, 1);
+        let q = FixedQueues(vec![500, 100, 900, 400]);
+        let cand = [0u16, 1, 2, 3];
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(p.select(&ctx(&cand, 0), &q, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn selection_is_among_candidates_only() {
+        let mut p = DrillPolicy::new(2, 1, 1);
+        let q = FixedQueues(vec![0, 0, 0, 0, 0, 0]);
+        let cand = [2u16, 4, 5];
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..100 {
+            let sel = p.select(&ctx(&cand, 0), &q, &mut rng);
+            assert!(cand.contains(&sel));
+        }
+    }
+
+    #[test]
+    fn memory_remembers_least_loaded() {
+        let mut p = DrillPolicy::new(4, 2, 1);
+        let q = FixedQueues(vec![500, 100, 900, 50]);
+        let cand = [0u16, 1, 2, 3];
+        let mut rng = SimRng::seed_from(3);
+        p.select(&ctx(&cand, 0), &q, &mut rng);
+        // d=4 sees all ports; memory = two least loaded = {3, 1}.
+        assert_eq!(p.memory(0), &[3, 1]);
+    }
+
+    #[test]
+    fn memory_beats_bad_samples() {
+        // d=1: a lone random sample would often pick a long queue, but the
+        // remembered short port must win whenever sampled port is longer.
+        let mut p = DrillPolicy::new(1, 1, 1);
+        let q = FixedQueues(vec![1000, 1000, 0, 1000]);
+        let cand = [0u16, 1, 2, 3];
+        let mut rng = SimRng::seed_from(4);
+        // Warm memory: run until port 2 gets sampled once.
+        let mut hits = 0;
+        for _ in 0..50 {
+            let sel = p.select(&ctx(&cand, 0), &q, &mut rng);
+            if sel == 2 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+        // Once remembered, port 2 is chosen every time.
+        for _ in 0..20 {
+            assert_eq!(p.select(&ctx(&cand, 0), &q, &mut rng), 2);
+            assert_eq!(p.memory(0), &[2]);
+        }
+    }
+
+    #[test]
+    fn zero_memory_forgets() {
+        let mut p = DrillPolicy::new(1, 0, 1);
+        let q = FixedQueues(vec![1000, 0]);
+        let cand = [0u16, 1];
+        let mut rng = SimRng::seed_from(5);
+        // With d=1, m=0, selection is uniform random regardless of load.
+        let mut zeros = 0;
+        for _ in 0..2000 {
+            if p.select(&ctx(&cand, 0), &q, &mut rng) == 0 {
+                zeros += 1;
+            }
+        }
+        let frac = zeros as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "uniform without memory: {frac}");
+        assert!(p.memory(0).is_empty());
+    }
+
+    #[test]
+    fn engines_have_independent_memory() {
+        let mut p = DrillPolicy::new(4, 1, 2);
+        let q = FixedQueues(vec![10, 20, 30, 40]);
+        let cand = [0u16, 1, 2, 3];
+        let mut rng = SimRng::seed_from(6);
+        p.select(&ctx(&cand, 0), &q, &mut rng);
+        assert_eq!(p.memory(0), &[0]);
+        assert!(p.memory(1).is_empty(), "engine 1 untouched");
+        p.select(&ctx(&cand, 1), &q, &mut rng);
+        assert_eq!(p.memory(1), &[0]);
+    }
+
+    #[test]
+    fn memory_invalid_for_other_destination_is_ignored() {
+        let mut p = DrillPolicy::new(1, 1, 1);
+        let q = FixedQueues(vec![0, 1000, 1000, 0]);
+        let mut rng = SimRng::seed_from(7);
+        // Warm memory on candidates {0,1}: remembers port 0.
+        for _ in 0..20 {
+            p.select(&ctx(&[0, 1], 0), &q, &mut rng);
+        }
+        assert_eq!(p.memory(0), &[0]);
+        // Different destination with candidates {2,3}: the remembered port 0
+        // must not be selected.
+        for _ in 0..20 {
+            let sel = p.select(&ctx(&[2, 3], 0), &q, &mut rng);
+            assert!(sel == 2 || sel == 3);
+        }
+    }
+
+    #[test]
+    fn two_choices_beat_random_in_distribution() {
+        // Statistical sanity: DRILL(2,1) lands on the shorter of two queues
+        // far more often than 50%.
+        let mut p = DrillPolicy::new(2, 1, 1);
+        let q = FixedQueues(vec![3000, 0, 3000, 3000]);
+        let cand = [0u16, 1, 2, 3];
+        let mut rng = SimRng::seed_from(8);
+        let mut best = 0;
+        for _ in 0..1000 {
+            if p.select(&ctx(&cand, 0), &q, &mut rng) == 1 {
+                best += 1;
+            }
+        }
+        // With d=2 + memory of the best port, port 1 should dominate.
+        assert!(best > 900, "short queue chosen {best}/1000");
+    }
+
+    #[test]
+    fn per_flow_drill_pins() {
+        let mut p = PerFlowDrill::new(2, 1, 1);
+        let q = FixedQueues(vec![100, 200, 300, 400]);
+        let cand = [0u16, 1, 2, 3];
+        let mut rng = SimRng::seed_from(9);
+        let first = p.select(&ctx(&cand, 0), &q, &mut rng);
+        for _ in 0..50 {
+            assert_eq!(p.select(&ctx(&cand, 0), &q, &mut rng), first);
+        }
+        assert_eq!(p.pinned(), 1);
+    }
+
+    #[test]
+    fn per_flow_drill_repins_after_failure() {
+        let mut p = PerFlowDrill::new(4, 1, 1);
+        let q = FixedQueues(vec![0, 100, 200, 300]);
+        let mut rng = SimRng::seed_from(10);
+        let first = p.select(&ctx(&[0, 1, 2, 3], 0), &q, &mut rng);
+        assert_eq!(first, 0);
+        // Port 0 disappears from the candidate set (failure).
+        let sel = p.select(&ctx(&[1, 2, 3], 0), &q, &mut rng);
+        assert_eq!(sel, 1, "re-decides on remaining candidates");
+        // And stays pinned to the new port.
+        assert_eq!(p.select(&ctx(&[1, 2, 3], 0), &q, &mut rng), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's contribution: **DRILL** (Distributed Randomized In-network
+//! Localized Load-balancing).
+//!
+//! * [`DrillPolicy`] — the DRILL(d, m) per-packet scheduling algorithm
+//!   (§3.2.2): every forwarding engine samples `d` random candidate output
+//!   ports, compares them with its `m` remembered least-loaded ports, and
+//!   enqueues the packet at the shortest of those queues.
+//! * [`PerFlowDrill`] — the paper's "per-flow DRILL" strawman (§4): a
+//!   load-aware decision for the first packet of each flow, after which the
+//!   flow is pinned.
+//! * [`Quiver`] — the labeled multidigraph of §3.4.1, with the §3.4.3
+//!   capacity-factor extension for heterogeneous links.
+//! * [`decompose_groups`] / [`install_symmetric_groups`] — the symmetric
+//!   path decomposition that lets DRILL degrade gracefully to weighted
+//!   ECMP-of-DRILL under asymmetry.
+//! * [`stability`] — a discrete-time M×N queueing model reproducing the
+//!   §3.2.4 stability results (DRILL(d,0) is unstable for admissible
+//!   heterogeneous service rates; DRILL(d,m≥1) is stable).
+
+#![warn(missing_docs)]
+
+mod decompose;
+mod drill;
+mod quiver;
+pub mod stability;
+
+pub use decompose::{decompose_groups, install_symmetric_groups, GroupingReport};
+pub use drill::{DrillPolicy, PerFlowDrill};
+pub use quiver::{enumerate_shortest_paths, CapFactor, Label, PathInfo, Quiver};

@@ -1,0 +1,30 @@
+//! Baseline load balancers the paper compares DRILL against.
+//!
+//! Switch-side policies (implement [`drill_net::SwitchPolicy`]):
+//!
+//! * [`EcmpPolicy`] — hash the flow onto one candidate; per-flow pinning,
+//!   load-oblivious (the deployed default the paper starts from).
+//! * [`RandomPolicy`] — "Per-packet Random": uniform random candidate per
+//!   packet, load-oblivious.
+//! * [`RoundRobinPolicy`] — "Per-packet RR": per-engine round robin over
+//!   the candidates, load-oblivious.
+//! * [`WcmpPolicy`] — weighted ECMP with static capacity-derived weights.
+//! * [`CongaPolicy`] — flowlet switching using in-network congestion
+//!   feedback (DREs + leaf-to-leaf congestion tables).
+//!
+//! Host-side policy:
+//!
+//! * [`PrestoHostPolicy`] — 64 KB flowcells source-routed round-robin
+//!   (weighted after failures) across all shortest paths.
+
+#![warn(missing_docs)]
+
+mod conga;
+mod presto;
+mod simple;
+mod wcmp;
+
+pub use conga::{CongaConfig, CongaPolicy};
+pub use presto::{PrestoHostPolicy, FLOWCELL_BYTES};
+pub use simple::{EcmpPolicy, RandomPolicy, RoundRobinPolicy};
+pub use wcmp::WcmpPolicy;

@@ -1,0 +1,126 @@
+//! Load-oblivious baselines: ECMP, per-packet Random, per-packet RR.
+
+use drill_net::{QueueView, SelectCtx, SwitchPolicy};
+use drill_sim::SimRng;
+
+/// Classic ECMP: the flow's 5-tuple hash picks one candidate; every packet
+/// of the flow follows it. Stateless and load-oblivious.
+pub struct EcmpPolicy;
+
+impl SwitchPolicy for EcmpPolicy {
+    fn select(&mut self, ctx: &SelectCtx<'_>, _q: &dyn QueueView, _rng: &mut SimRng) -> u16 {
+        ctx.candidates[(ctx.flow_hash % ctx.candidates.len() as u64) as usize]
+    }
+}
+
+/// "Per-packet Random" (§3.1): every packet takes a uniform-random
+/// candidate, independent of load. Equivalent to DRILL(1, 0).
+pub struct RandomPolicy;
+
+impl SwitchPolicy for RandomPolicy {
+    fn select(&mut self, ctx: &SelectCtx<'_>, _q: &dyn QueueView, rng: &mut SimRng) -> u16 {
+        ctx.candidates[rng.below(ctx.candidates.len())]
+    }
+}
+
+/// "Per-packet Round Robin" (§4): each engine cycles through the
+/// candidates. Load-oblivious, but less bursty than Random per engine;
+/// many engines cycling independently still collide (Figure 2).
+pub struct RoundRobinPolicy {
+    counters: Vec<u64>,
+}
+
+impl RoundRobinPolicy {
+    /// Round-robin state for `engines` forwarding engines.
+    pub fn new(engines: usize) -> RoundRobinPolicy {
+        assert!(engines >= 1);
+        RoundRobinPolicy { counters: vec![0; engines] }
+    }
+}
+
+impl SwitchPolicy for RoundRobinPolicy {
+    fn select(&mut self, ctx: &SelectCtx<'_>, _q: &dyn QueueView, _rng: &mut SimRng) -> u16 {
+        let c = &mut self.counters[ctx.engine];
+        let pick = ctx.candidates[(*c % ctx.candidates.len() as u64) as usize];
+        *c += 1;
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drill_net::FlowId;
+    use drill_sim::Time;
+
+    struct NoQueues;
+    impl QueueView for NoQueues {
+        fn visible_bytes(&self, _p: u16) -> u64 {
+            0
+        }
+        fn visible_pkts(&self, _p: u16) -> u32 {
+            0
+        }
+        fn num_ports(&self) -> usize {
+            8
+        }
+    }
+
+    fn ctx(candidates: &[u16], flow_hash: u64, engine: usize) -> SelectCtx<'_> {
+        SelectCtx { now: Time::ZERO, engine, flow_hash, flow: FlowId(0), dst_leaf: 0, candidates }
+    }
+
+    #[test]
+    fn ecmp_pins_flows() {
+        let mut p = EcmpPolicy;
+        let mut rng = SimRng::seed_from(1);
+        let cand = [3u16, 5, 7];
+        let first = p.select(&ctx(&cand, 0xabcd, 0), &NoQueues, &mut rng);
+        for _ in 0..20 {
+            assert_eq!(p.select(&ctx(&cand, 0xabcd, 0), &NoQueues, &mut rng), first);
+        }
+        // Different flows spread over candidates.
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..64u64 {
+            seen.insert(p.select(&ctx(&cand, h.wrapping_mul(0x9e3779b97f4a7c15), 0), &NoQueues, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn random_spreads_per_packet() {
+        let mut p = RandomPolicy;
+        let mut rng = SimRng::seed_from(2);
+        let cand = [0u16, 1];
+        let mut counts = [0u32; 2];
+        for _ in 0..2000 {
+            counts[p.select(&ctx(&cand, 42, 0), &NoQueues, &mut rng) as usize] += 1;
+        }
+        let frac = counts[0] as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "{frac}");
+    }
+
+    #[test]
+    fn rr_cycles_per_engine() {
+        let mut p = RoundRobinPolicy::new(2);
+        let mut rng = SimRng::seed_from(3);
+        let cand = [10u16, 11, 12];
+        let seq0: Vec<u16> = (0..6).map(|_| p.select(&ctx(&cand, 1, 0), &NoQueues, &mut rng)).collect();
+        assert_eq!(seq0, vec![10, 11, 12, 10, 11, 12]);
+        // Engine 1 has its own counter, starting fresh.
+        let one = p.select(&ctx(&cand, 1, 1), &NoQueues, &mut rng);
+        assert_eq!(one, 10);
+    }
+
+    #[test]
+    fn rr_handles_changing_candidate_sets() {
+        let mut p = RoundRobinPolicy::new(1);
+        let mut rng = SimRng::seed_from(4);
+        p.select(&ctx(&[0, 1, 2], 1, 0), &NoQueues, &mut rng);
+        // Candidate set shrinks (failure): selection must stay in range.
+        for _ in 0..10 {
+            let s = p.select(&ctx(&[5, 6], 1, 0), &NoQueues, &mut rng);
+            assert!(s == 5 || s == 6);
+        }
+    }
+}

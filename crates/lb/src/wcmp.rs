@@ -1,0 +1,184 @@
+//! WCMP (Zhou et al., EuroSys 2014): ECMP with static per-port weights
+//! proportional to the capacity of the paths behind each port.
+
+use std::collections::HashMap;
+
+use drill_core::enumerate_shortest_paths;
+use drill_net::{QueueView, RouteTable, SelectCtx, SwitchId, SwitchPolicy, Topology};
+use drill_sim::SimRng;
+
+/// Weighted-cost multipath: per (destination leaf, port) weights derived
+/// from aggregate shortest-path capacity, flows hashed proportionally.
+/// Load-oblivious but asymmetry-aware — the paper's comparison point in
+/// the heterogeneous topology experiment (Figure 13).
+pub struct WcmpPolicy {
+    /// `[dst_leaf] -> (ports, cumulative weights)` (parallel vectors).
+    weights: Vec<HashMap<u16, u64>>,
+}
+
+impl WcmpPolicy {
+    /// Compute weights for `switch` from the current topology and routes.
+    /// Rebuild after failures (WCMP's controller does the same).
+    pub fn build(topo: &Topology, routes: &RouteTable, switch: SwitchId) -> WcmpPolicy {
+        let n_leaves = topo.num_leaves();
+        let mut weights = vec![HashMap::new(); n_leaves];
+        for dst_leaf in 0..n_leaves as u32 {
+            if routes.candidates(switch, dst_leaf).len() < 2 {
+                continue;
+            }
+            let per_port: &mut HashMap<u16, u64> = &mut weights[dst_leaf as usize];
+            for path in enumerate_shortest_paths(topo, routes, switch, dst_leaf, 1 << 16) {
+                let cap = path.iter().map(|&l| topo.link(l).rate_bps).min().unwrap_or(0);
+                let port = topo.link(path[0]).src_port;
+                // Weigh in Gbps units to keep numbers small.
+                *per_port.entry(port).or_insert(0) += cap / 1_000_000_000;
+            }
+        }
+        WcmpPolicy { weights }
+    }
+
+    /// The weight of `port` toward `dst_leaf` (test access).
+    pub fn weight(&self, dst_leaf: u32, port: u16) -> u64 {
+        self.weights[dst_leaf as usize].get(&port).copied().unwrap_or(0)
+    }
+}
+
+impl SwitchPolicy for WcmpPolicy {
+    fn select(&mut self, ctx: &SelectCtx<'_>, _q: &dyn QueueView, _rng: &mut SimRng) -> u16 {
+        let table = &self.weights[ctx.dst_leaf as usize];
+        let total: u64 = ctx.candidates.iter().map(|p| table.get(p).copied().unwrap_or(1)).sum();
+        if total == 0 {
+            return ctx.candidates[(ctx.flow_hash % ctx.candidates.len() as u64) as usize];
+        }
+        // Mix the hash so WCMP's pick decorrelates from other hash users.
+        let mut x = ctx.flow_hash ^ 0x2545_f491_4f6c_dd1d;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        let mut r = x % total;
+        for &p in ctx.candidates {
+            let w = table.get(&p).copied().unwrap_or(1);
+            if r < w {
+                return p;
+            }
+            r -= w;
+        }
+        *ctx.candidates.last().expect("non-empty candidates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drill_net::{leaf_spine_custom, FlowId, LeafSpineSpec, DEFAULT_PROP};
+    use drill_sim::Time;
+
+    struct NoQueues;
+    impl QueueView for NoQueues {
+        fn visible_bytes(&self, _p: u16) -> u64 {
+            0
+        }
+        fn visible_pkts(&self, _p: u16) -> u32 {
+            0
+        }
+        fn num_ports(&self) -> usize {
+            16
+        }
+    }
+
+    fn hetero() -> (Topology, RouteTable) {
+        // Leaf 0 reaches spine 0 at 40G and spines 1, 2 at 10G each.
+        let spec = LeafSpineSpec {
+            spines: 3,
+            leaves: 3,
+            hosts_per_leaf: 1,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: DEFAULT_PROP,
+        };
+        let topo = leaf_spine_custom(&spec, |l, s| {
+            vec![if l == 0 && s == 0 { 40_000_000_000 } else { 10_000_000_000 }]
+        });
+        let routes = RouteTable::compute(&topo);
+        (topo, routes)
+    }
+
+    #[test]
+    fn weights_follow_capacity() {
+        let (topo, routes) = hetero();
+        let l0 = topo.leaves()[0];
+        let w = WcmpPolicy::build(&topo, &routes, l0);
+        // Path via spine 0 bottlenecked by the 10G down-link: cap 10.
+        // All three paths end up 10 Gbps.
+        assert_eq!(w.weight(1, 0), 10);
+        assert_eq!(w.weight(1, 1), 10);
+        // But from leaf 1, the path to leaf 0 via spine 0 has a 40G tail
+        // yet a 10G head: still 10.
+        let l1 = topo.leaves()[1];
+        let w1 = WcmpPolicy::build(&topo, &routes, l1);
+        assert_eq!(w1.weight(0, 0), 10);
+    }
+
+    #[test]
+    fn selection_tracks_weights_statistically() {
+        // Give leaf 0 a fat 40G link to spine 0 *and* fat down-links so the
+        // path capacity really differs: use a custom topo where l0-s0 and
+        // s0-l1 are 40G.
+        let spec = LeafSpineSpec {
+            spines: 2,
+            leaves: 2,
+            hosts_per_leaf: 1,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: DEFAULT_PROP,
+        };
+        let topo = leaf_spine_custom(&spec, |_l, s| {
+            vec![if s == 0 { 40_000_000_000 } else { 10_000_000_000 }]
+        });
+        let routes = RouteTable::compute(&topo);
+        let l0 = topo.leaves()[0];
+        let mut w = WcmpPolicy::build(&topo, &routes, l0);
+        assert_eq!(w.weight(1, 0), 40);
+        assert_eq!(w.weight(1, 1), 10);
+        let cand = routes.candidates(l0, 1).to_vec();
+        let mut rng = SimRng::seed_from(5);
+        let mut fat = 0;
+        let n = 20_000;
+        for h in 0..n as u64 {
+            let ctx = SelectCtx {
+                now: Time::ZERO,
+                engine: 0,
+                flow_hash: h.wrapping_mul(0x9e3779b97f4a7c15),
+                flow: FlowId(h as u32),
+                dst_leaf: 1,
+                candidates: &cand,
+            };
+            if w.select(&ctx, &NoQueues, &mut rng) == 0 {
+                fat += 1;
+            }
+        }
+        let frac = fat as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "fat path gets 80%: {frac}");
+    }
+
+    #[test]
+    fn per_flow_deterministic() {
+        let (topo, routes) = hetero();
+        let l0 = topo.leaves()[0];
+        let mut w = WcmpPolicy::build(&topo, &routes, l0);
+        let cand = routes.candidates(l0, 1).to_vec();
+        let mut rng = SimRng::seed_from(6);
+        let ctx = SelectCtx {
+            now: Time::ZERO,
+            engine: 0,
+            flow_hash: 0xfeed,
+            flow: FlowId(1),
+            dst_leaf: 1,
+            candidates: &cand,
+        };
+        let first = w.select(&ctx, &NoQueues, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(w.select(&ctx, &NoQueues, &mut rng), first);
+        }
+    }
+}

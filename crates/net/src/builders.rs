@@ -1,0 +1,313 @@
+//! Topology constructors for every network evaluated in the paper.
+
+use drill_sim::Time;
+
+use crate::ids::SwitchId;
+use crate::topology::{SwitchKind, Topology};
+
+/// Default propagation delay per hop (intra-datacenter fiber, ~100 m).
+pub const DEFAULT_PROP: Time = Time::from_nanos(500);
+
+/// Parameters for a two-stage (leaf-spine) folded Clos.
+#[derive(Clone, Debug)]
+pub struct LeafSpineSpec {
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Number of leaf switches.
+    pub leaves: usize,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Host-to-leaf link rate (bps).
+    pub host_rate: u64,
+    /// Leaf-to-spine link rate (bps).
+    pub core_rate: u64,
+    /// Per-hop propagation delay.
+    pub prop: Time,
+}
+
+impl LeafSpineSpec {
+    /// The paper's first evaluation topology (Figure 6): 4 spines, 16
+    /// leaves, 20 hosts per leaf, 40 Gbps core, 10 Gbps edge.
+    pub fn paper_baseline() -> LeafSpineSpec {
+        LeafSpineSpec {
+            spines: 4,
+            leaves: 16,
+            hosts_per_leaf: 20,
+            host_rate: 10_000_000_000,
+            core_rate: 40_000_000_000,
+            prop: DEFAULT_PROP,
+        }
+    }
+
+    /// The paper's scale-out topology (Figure 7): 16 spines, 16 leaves, 20
+    /// hosts per leaf, all links 10 Gbps (same aggregate core capacity as
+    /// the baseline).
+    pub fn paper_scale_out() -> LeafSpineSpec {
+        LeafSpineSpec {
+            spines: 16,
+            leaves: 16,
+            hosts_per_leaf: 20,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: DEFAULT_PROP,
+        }
+    }
+
+    /// Total core capacity: sum of all leaf-uplink rates, one direction.
+    pub fn core_capacity_bps(&self) -> u64 {
+        (self.spines * self.leaves) as u64 * self.core_rate
+    }
+}
+
+/// Build a symmetric two-stage leaf-spine Clos: every leaf connects to every
+/// spine with one link.
+pub fn leaf_spine(spec: &LeafSpineSpec) -> Topology {
+    leaf_spine_custom(spec, |_leaf, _spine| vec![spec.core_rate])
+}
+
+/// Build a leaf-spine Clos with per-pair custom striping: `links(leaf,
+/// spine)` returns the rate of each parallel link between that pair (empty
+/// for none). Used for the paper's heterogeneous topology (Figure 13) and
+/// the §3.4.3 examples.
+pub fn leaf_spine_custom(
+    spec: &LeafSpineSpec,
+    links: impl Fn(usize, usize) -> Vec<u64>,
+) -> Topology {
+    let mut t = Topology::new();
+    let leaves: Vec<SwitchId> = (0..spec.leaves).map(|_| t.add_switch(SwitchKind::Leaf)).collect();
+    let spines: Vec<SwitchId> = (0..spec.spines).map(|_| t.add_switch(SwitchKind::Spine)).collect();
+    for (li, &l) in leaves.iter().enumerate() {
+        for (si, &s) in spines.iter().enumerate() {
+            for rate in links(li, si) {
+                t.connect_switches(l, s, rate, rate, spec.prop);
+            }
+        }
+    }
+    for &l in &leaves {
+        for _ in 0..spec.hosts_per_leaf {
+            t.add_host(l, spec.host_rate, spec.prop);
+        }
+    }
+    t.validate();
+    t
+}
+
+/// Parameters for a VL2-style three-stage Clos (ToR - Aggregation -
+/// Intermediate).
+#[derive(Clone, Debug)]
+pub struct Vl2Spec {
+    /// Number of ToR switches.
+    pub tors: usize,
+    /// Number of aggregation switches.
+    pub aggs: usize,
+    /// Number of intermediate switches.
+    pub ints: usize,
+    /// Hosts per ToR.
+    pub hosts_per_tor: usize,
+    /// Host link rate (bps).
+    pub host_rate: u64,
+    /// Core (ToR-Agg and Agg-Int) link rate (bps).
+    pub core_rate: u64,
+    /// ToR uplinks: how many aggregation switches each ToR attaches to.
+    pub tor_uplinks: usize,
+    /// Per-hop propagation delay.
+    pub prop: Time,
+}
+
+impl Vl2Spec {
+    /// The paper's VL2 experiment (Figure 10): 16 ToRs x 20 hosts at
+    /// 1 Gbps, 8 aggregation and 4 intermediate switches, 10 Gbps core,
+    /// each ToR dual-homed to 2 aggregation switches.
+    pub fn paper() -> Vl2Spec {
+        Vl2Spec {
+            tors: 16,
+            aggs: 8,
+            ints: 4,
+            hosts_per_tor: 20,
+            host_rate: 1_000_000_000,
+            core_rate: 10_000_000_000,
+            tor_uplinks: 2,
+            prop: DEFAULT_PROP,
+        }
+    }
+}
+
+/// Build a VL2 three-stage Clos: ToR `i` connects to `tor_uplinks`
+/// consecutive aggregation switches starting at `(i * tor_uplinks) % aggs`;
+/// every aggregation switch connects to every intermediate switch.
+pub fn vl2(spec: &Vl2Spec) -> Topology {
+    let mut t = Topology::new();
+    let tors: Vec<SwitchId> = (0..spec.tors).map(|_| t.add_switch(SwitchKind::Leaf)).collect();
+    let aggs: Vec<SwitchId> = (0..spec.aggs).map(|_| t.add_switch(SwitchKind::Agg)).collect();
+    let ints: Vec<SwitchId> = (0..spec.ints).map(|_| t.add_switch(SwitchKind::Spine)).collect();
+    for (ti, &tor) in tors.iter().enumerate() {
+        for u in 0..spec.tor_uplinks {
+            let agg = aggs[(ti * spec.tor_uplinks + u) % spec.aggs];
+            t.connect_switches(tor, agg, spec.core_rate, spec.core_rate, spec.prop);
+        }
+    }
+    for &agg in &aggs {
+        for &int in &ints {
+            t.connect_switches(agg, int, spec.core_rate, spec.core_rate, spec.prop);
+        }
+    }
+    for &tor in &tors {
+        for _ in 0..spec.hosts_per_tor {
+            t.add_host(tor, spec.host_rate, spec.prop);
+        }
+    }
+    t.validate();
+    t
+}
+
+/// Build a k-ary fat-tree: `k` pods of `k/2` edge and `k/2` aggregation
+/// switches, `(k/2)^2` cores, `k/2` hosts per edge switch, all links equal
+/// rate. `k` must be even.
+pub fn fat_tree(k: usize, link_rate: u64, prop: Time) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let mut t = Topology::new();
+    let mut edges = Vec::new();
+    let mut aggs = Vec::new();
+    for _pod in 0..k {
+        edges.push((0..half).map(|_| t.add_switch(SwitchKind::Leaf)).collect::<Vec<_>>());
+        aggs.push((0..half).map(|_| t.add_switch(SwitchKind::Agg)).collect::<Vec<_>>());
+    }
+    let cores: Vec<SwitchId> = (0..half * half).map(|_| t.add_switch(SwitchKind::Spine)).collect();
+    for pod in 0..k {
+        for &e in &edges[pod] {
+            for &a in &aggs[pod] {
+                t.connect_switches(e, a, link_rate, link_rate, prop);
+            }
+        }
+        for (j, &a) in aggs[pod].iter().enumerate() {
+            for c in 0..half {
+                t.connect_switches(a, cores[j * half + c], link_rate, link_rate, prop);
+            }
+        }
+    }
+    for pod_edges in &edges {
+        for &e in pod_edges {
+            for _ in 0..half {
+                t.add_host(e, link_rate, prop);
+            }
+        }
+    }
+    t.validate();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeRef;
+    use crate::topology::HopClass;
+
+    #[test]
+    fn leaf_spine_counts() {
+        let spec = LeafSpineSpec {
+            spines: 4,
+            leaves: 6,
+            hosts_per_leaf: 5,
+            host_rate: 10_000_000_000,
+            core_rate: 40_000_000_000,
+            prop: DEFAULT_PROP,
+        };
+        let t = leaf_spine(&spec);
+        assert_eq!(t.num_switches(), 10);
+        assert_eq!(t.num_hosts(), 30);
+        assert_eq!(t.num_leaves(), 6);
+        // Each leaf: 4 spine ports + 5 host ports.
+        for &l in t.leaves() {
+            assert_eq!(t.num_ports(l), 9);
+        }
+        // Link count: (4*6 core + 30 host) * 2 directions.
+        assert_eq!(t.links().len(), (24 + 30) * 2);
+    }
+
+    #[test]
+    fn paper_specs() {
+        let base = LeafSpineSpec::paper_baseline();
+        assert_eq!(base.core_capacity_bps(), 64 * 40_000_000_000);
+        let so = LeafSpineSpec::paper_scale_out();
+        // Identical aggregate core capacity.
+        assert_eq!(so.core_capacity_bps(), 256 * 10_000_000_000);
+        assert_eq!(base.core_capacity_bps(), so.core_capacity_bps());
+    }
+
+    #[test]
+    fn custom_striping_adds_parallel_links() {
+        // Figure 13 style: leaf i gets two links to spines i and i+1.
+        let spec = LeafSpineSpec {
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 1,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: DEFAULT_PROP,
+        };
+        let t = leaf_spine_custom(&spec, |l, s| {
+            if s == l || s == (l + 1) % 4 {
+                vec![spec.core_rate; 2]
+            } else {
+                vec![spec.core_rate]
+            }
+        });
+        let l0 = t.leaves()[0];
+        // Spines are created after leaves: ids 4..8.
+        assert_eq!(t.ports_to_switch(l0, SwitchId(4)).len(), 2);
+        assert_eq!(t.ports_to_switch(l0, SwitchId(5)).len(), 2);
+        assert_eq!(t.ports_to_switch(l0, SwitchId(6)).len(), 1);
+    }
+
+    #[test]
+    fn vl2_structure() {
+        let t = vl2(&Vl2Spec::paper());
+        assert_eq!(t.num_leaves(), 16);
+        assert_eq!(t.num_hosts(), 320);
+        // 16 ToRs with 2 uplinks + 8*4 agg-int links + 320 host links, x2.
+        assert_eq!(t.links().len(), (32 + 32 + 320) * 2);
+        // ToR uplinks are LeafUp.
+        let tor = t.leaves()[0];
+        assert_eq!(t.egress(tor, 0).hop, HopClass::LeafUp);
+    }
+
+    #[test]
+    fn vl2_tor_uplink_spread() {
+        let t = vl2(&Vl2Spec::paper());
+        // ToR 0 -> aggs {0,1}; ToR 1 -> aggs {2,3}; ... ToR 4 -> aggs {0,1}.
+        let tor0_up: Vec<_> = (0..2)
+            .map(|p| t.egress(t.leaves()[0], p).dst)
+            .collect();
+        let tor4_up: Vec<_> = (0..2)
+            .map(|p| t.egress(t.leaves()[4], p).dst)
+            .collect();
+        assert_eq!(tor0_up, tor4_up, "striping wraps around");
+    }
+
+    #[test]
+    fn fat_tree_structure() {
+        let k = 4;
+        let t = fat_tree(k, 10_000_000_000, DEFAULT_PROP);
+        // k^2/2 edges? For k=4: 8 edge, 8 agg, 4 core, 16 hosts.
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.num_switches(), 8 + 8 + 4);
+        assert_eq!(t.num_hosts(), 16);
+        // Every edge switch has k/2 agg ports + k/2 host ports.
+        for &e in t.leaves() {
+            assert_eq!(t.num_ports(e), 4);
+        }
+        // Each core sees k pods.
+        let core = SwitchId((t.num_switches() - 1) as u32);
+        assert_eq!(t.num_ports(core), k);
+        for p in 0..k as u16 {
+            assert!(matches!(t.egress(core, p).dst, NodeRef::Switch(_)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_odd_arity_panics() {
+        fat_tree(3, 1_000_000_000, DEFAULT_PROP);
+    }
+}

@@ -1,0 +1,168 @@
+//! Host NIC model: a rate-limited FIFO from the host's transport stack onto
+//! its access link.
+
+use std::collections::VecDeque;
+
+use drill_sim::Time;
+
+use crate::ids::{HostId, NodeRef};
+use crate::packet::Packet;
+use crate::topology::Topology;
+use crate::{EventSink, NetEvent};
+
+/// Default NIC transmit-buffer limit. Generous (hosts do not drop in the
+/// paper's experiments — congestion happens in the fabric).
+pub const HOST_NIC_BUF_BYTES: u64 = 4 * 1024 * 1024;
+
+/// A host's transmit NIC.
+///
+/// Receiving needs no modeling (packets are delivered straight to the
+/// transport layer by the runtime); transmit serializes packets at the
+/// access-link rate.
+pub struct HostNic {
+    host: HostId,
+    q: VecDeque<Packet>,
+    q_bytes: u64,
+    in_flight: bool,
+    limit_bytes: u64,
+    /// Packets dropped at the NIC (buffer overflow) — should stay 0 in
+    /// well-configured experiments.
+    pub drops: u64,
+    /// Packets transmitted.
+    pub tx_pkts: u64,
+}
+
+impl HostNic {
+    /// NIC for `host` with the default buffer.
+    pub fn new(host: HostId) -> HostNic {
+        HostNic {
+            host,
+            q: VecDeque::new(),
+            q_bytes: 0,
+            in_flight: false,
+            limit_bytes: HOST_NIC_BUF_BYTES,
+            drops: 0,
+            tx_pkts: 0,
+        }
+    }
+
+    /// Current transmit backlog in bytes.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.q_bytes
+    }
+
+    /// Queue a packet for transmission.
+    pub fn send(&mut self, topo: &Topology, pkt: Packet, now: Time, out: &mut EventSink) {
+        let link = topo.host_uplink(self.host);
+        if !self.in_flight {
+            debug_assert!(self.q.is_empty());
+            self.in_flight = true;
+            self.q.push_back(pkt);
+            let size = self.q[0].size as u64;
+            out.push((now + Time::tx_time(size, link.rate_bps), NetEvent::HostTxDone { host: self.host }));
+        } else {
+            if self.q_bytes + pkt.size as u64 > self.limit_bytes {
+                self.drops += 1;
+                return;
+            }
+            self.q_bytes += pkt.size as u64;
+            self.q.push_back(pkt);
+        }
+    }
+
+    /// The head packet finished serializing: put it on the wire and start
+    /// the next.
+    pub fn on_tx_done(&mut self, topo: &Topology, now: Time, out: &mut EventSink) {
+        let link = topo.host_uplink(self.host);
+        let pkt = self.q.pop_front().expect("tx-done with empty NIC queue");
+        self.tx_pkts += 1;
+        let arrive = now + link.prop;
+        match link.dst {
+            NodeRef::Switch(s) => {
+                out.push((arrive, NetEvent::ArriveSwitch { switch: s, ingress: link.dst_port, pkt }))
+            }
+            NodeRef::Host(h) => out.push((arrive, NetEvent::ArriveHost { host: h, pkt })),
+        }
+        if let Some(next) = self.q.front() {
+            self.q_bytes -= next.size as u64;
+            let size = next.size as u64;
+            out.push((now + Time::tx_time(size, link.rate_bps), NetEvent::HostTxDone { host: self.host }));
+        } else {
+            self.in_flight = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{leaf_spine, LeafSpineSpec, DEFAULT_PROP};
+    use crate::ids::FlowId;
+
+    fn topo() -> Topology {
+        leaf_spine(&LeafSpineSpec {
+            spines: 1,
+            leaves: 2,
+            hosts_per_leaf: 1,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: DEFAULT_PROP,
+        })
+    }
+
+    fn pkt(payload: u32) -> Packet {
+        Packet::data(0, FlowId(0), HostId(0), HostId(1), 0, 0, payload, Time::ZERO)
+    }
+
+    #[test]
+    fn serializes_at_link_rate() {
+        let t = topo();
+        let mut nic = HostNic::new(HostId(0));
+        let mut out = Vec::new();
+        nic.send(&t, pkt(1442), Time::ZERO, &mut out); // 1500B wire
+        let (tx_at, _) = &out[0];
+        assert_eq!(*tx_at, Time::from_nanos(1200));
+        out.clear();
+        nic.on_tx_done(&t, Time::from_nanos(1200), &mut out);
+        match &out[0] {
+            (t_arrive, NetEvent::ArriveSwitch { switch, ingress, pkt }) => {
+                assert_eq!(*t_arrive, Time::from_nanos(1700));
+                assert_eq!(*switch, t.host_leaf(HostId(0)));
+                assert_eq!(*ingress, t.host_uplink(HostId(0)).dst_port);
+                assert_eq!(pkt.size, 1500);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(nic.tx_pkts, 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let t = topo();
+        let mut nic = HostNic::new(HostId(0));
+        let mut out = Vec::new();
+        nic.send(&t, pkt(1442), Time::ZERO, &mut out);
+        nic.send(&t, pkt(1442), Time::ZERO, &mut out);
+        // Only one TxDone scheduled for the head.
+        assert_eq!(out.len(), 1);
+        assert_eq!(nic.backlog_bytes(), 1500);
+        out.clear();
+        nic.on_tx_done(&t, Time::from_nanos(1200), &mut out);
+        // Arrival of first + TxDone of second.
+        assert_eq!(out.len(), 2);
+        assert_eq!(nic.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let t = topo();
+        let mut nic = HostNic::new(HostId(0));
+        nic.limit_bytes = 3000;
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            nic.send(&t, pkt(1442), Time::ZERO, &mut out);
+        }
+        // 1 in flight + 2 queued (3000B), rest dropped.
+        assert_eq!(nic.drops, 2);
+    }
+}

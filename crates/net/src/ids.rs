@@ -1,0 +1,91 @@
+//! Typed identifiers for network entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A host (server) in the topology.
+    HostId(u32)
+}
+id_type! {
+    /// A switch in the topology.
+    SwitchId(u32)
+}
+id_type! {
+    /// A unidirectional link.
+    LinkId(u32)
+}
+id_type! {
+    /// A TCP flow (index into the runtime's flow table).
+    FlowId(u32)
+}
+
+/// Either endpoint kind of a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeRef {
+    /// A host endpoint.
+    Host(HostId),
+    /// A switch endpoint.
+    Switch(SwitchId),
+}
+
+impl NodeRef {
+    /// The switch id, if this is a switch.
+    pub fn switch(self) -> Option<SwitchId> {
+        match self {
+            NodeRef::Switch(s) => Some(s),
+            NodeRef::Host(_) => None,
+        }
+    }
+
+    /// The host id, if this is a host.
+    pub fn host(self) -> Option<HostId> {
+        match self {
+            NodeRef::Host(h) => Some(h),
+            NodeRef::Switch(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare_and_index() {
+        assert_eq!(HostId(3).index(), 3);
+        assert!(SwitchId(1) < SwitchId(2));
+        assert_eq!(format!("{:?}", LinkId(7)), "LinkId(7)");
+    }
+
+    #[test]
+    fn noderef_accessors() {
+        let h = NodeRef::Host(HostId(1));
+        let s = NodeRef::Switch(SwitchId(2));
+        assert_eq!(h.host(), Some(HostId(1)));
+        assert_eq!(h.switch(), None);
+        assert_eq!(s.switch(), Some(SwitchId(2)));
+        assert_eq!(s.host(), None);
+    }
+}

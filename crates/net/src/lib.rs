@@ -1,0 +1,102 @@
+//! Network substrate for the DRILL reproduction: packets, Clos topologies,
+//! output-queued switches with multiple forwarding engines, host NICs, and
+//! the load-balancer plug-in API.
+//!
+//! The models here implement what the paper's OMNET++/INET setup provided:
+//!
+//! * store-and-forward links with exact serialization + propagation timing;
+//! * output-queued switches with tail-drop FIFO port queues;
+//! * multiple independent *forwarding engines* per switch (§3.2.1), each
+//!   packet handled by the engine of its ingress port;
+//! * the queue-occupancy *visibility lag* the paper models: a packet that is
+//!   still being written into an output queue is invisible to the engines'
+//!   load sensing until fully enqueued — the root cause of the paper's
+//!   synchronization effect (§3.2.3);
+//! * topology builders for every network evaluated in the paper (two-stage
+//!   leaf-spine with arbitrary over-subscription, the scale-out variant,
+//!   heterogeneous/imbalanced striping, VL2 and fat-tree);
+//! * shortest-path (ECMP-style) routing with link-failure support.
+//!
+//! Load-balancing *policies* plug in through [`SwitchPolicy`] /
+//! [`HostPolicy`]; the DRILL algorithm itself lives in `drill-core`, and the
+//! baselines (ECMP, per-packet Random/RR, Presto, CONGA, WCMP) in
+//! `drill-lb`.
+
+#![warn(missing_docs)]
+
+mod builders;
+mod host;
+mod ids;
+mod lbapi;
+mod packet;
+mod routing;
+mod switch;
+mod topology;
+
+pub use builders::{fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Vl2Spec, DEFAULT_PROP};
+pub use host::{HostNic, HOST_NIC_BUF_BYTES};
+pub use ids::{FlowId, HostId, LinkId, NodeRef, SwitchId};
+pub use lbapi::{
+    weighted_group_pick, HostPolicy, NullHostPolicy, PortGroup, QueueView, SelectCtx, SwitchPolicy,
+};
+pub use packet::{flags, CongaTag, Packet, ACK_WIRE_BYTES, HEADER_BYTES};
+pub use routing::{RouteTable, UNREACHABLE};
+pub use switch::{PortQueues, PortStats, Switch, SwitchConfig};
+pub use topology::{HopClass, Link, SwitchKind, Topology};
+
+use drill_sim::Time;
+
+/// Events produced by the network layer, to be embedded in the simulation's
+/// global event enum by the runtime.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A packet has fully arrived at a switch (store-and-forward).
+    ArriveSwitch {
+        /// Destination switch.
+        switch: SwitchId,
+        /// Ingress port at that switch (selects the forwarding engine).
+        ingress: u16,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A packet has fully arrived at a host NIC.
+    ArriveHost {
+        /// Destination host.
+        host: HostId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A switch output port finished serializing its head packet.
+    SwitchTxDone {
+        /// The switch.
+        switch: SwitchId,
+        /// The output port.
+        port: u16,
+    },
+    /// A host NIC finished serializing its head packet.
+    HostTxDone {
+        /// The host.
+        host: HostId,
+    },
+    /// A packet previously appended to a switch output queue has been fully
+    /// written to buffer memory and becomes visible to the forwarding
+    /// engines' load sensing (§3.2.1).
+    EnqueueCommit {
+        /// The switch.
+        switch: SwitchId,
+        /// The output port.
+        port: u16,
+        /// Bytes that become visible.
+        bytes: u32,
+        /// The forwarding engine that performed the enqueue (its pending
+        /// counter is released by the commit).
+        engine: u16,
+    },
+}
+
+/// Sink for newly produced events: `(deliver_at, event)` pairs.
+///
+/// Network components push into a plain `Vec` that the runtime drains into
+/// its global event queue; this avoids borrow entanglement between
+/// components and the queue.
+pub type EventSink = Vec<(Time, NetEvent)>;

@@ -1,0 +1,474 @@
+//! Topology graph: switches, hosts and unidirectional links.
+
+use drill_sim::Time;
+
+use crate::ids::{HostId, LinkId, NodeRef, SwitchId};
+
+/// Role of a switch in the Clos hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwitchKind {
+    /// Edge switch hosts attach to (ToR / leaf).
+    Leaf,
+    /// Middle stage of a 3-stage Clos (VL2 Aggregation, fat-tree Agg).
+    Agg,
+    /// Top stage (2-stage spine, VL2 Intermediate, fat-tree core).
+    Spine,
+}
+
+/// Classification of a link for the paper's per-hop metrics
+/// (Figure 6c / Figure 14c).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HopClass {
+    /// Host NIC to its leaf.
+    HostUp,
+    /// Leaf upward (to spine in 2-stage, to agg in 3-stage) — the paper's
+    /// "Hop 1".
+    LeafUp,
+    /// Agg upward to the top stage (3-stage only).
+    AggUp,
+    /// Top stage downward — the paper's "Hop 2".
+    SpineDown,
+    /// Agg downward to a leaf (3-stage only).
+    AggDown,
+    /// Leaf to host — the paper's "Hop 3" (last hop).
+    ToHost,
+}
+
+/// A unidirectional link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting endpoint.
+    pub src: NodeRef,
+    /// Egress port index at `src` (0 for hosts).
+    pub src_port: u16,
+    /// Receiving endpoint.
+    pub dst: NodeRef,
+    /// Ingress port index at `dst` (0 for hosts).
+    pub dst_port: u16,
+    /// Capacity in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub prop: Time,
+    /// Whether the link is operational.
+    pub up: bool,
+    /// Hop classification.
+    pub hop: HopClass,
+    /// The reverse-direction link.
+    pub peer: LinkId,
+}
+
+#[derive(Clone, Debug)]
+struct SwitchMeta {
+    kind: SwitchKind,
+    /// Egress links, indexed by port number.
+    ports: Vec<LinkId>,
+    /// Ingress links, indexed by ingress port number (same index space as
+    /// the egress port of the paired reverse link).
+    ingress: Vec<LinkId>,
+    /// Dense leaf index if this is a leaf.
+    leaf_index: Option<u32>,
+}
+
+#[derive(Clone, Debug)]
+struct HostMeta {
+    leaf: SwitchId,
+    /// Host's uplink (host -> leaf).
+    uplink: LinkId,
+    /// Egress port at the leaf pointing back to this host.
+    leaf_port: u16,
+}
+
+/// The network graph.
+///
+/// Built by the topology constructors (`leaf_spine`, `vl2`, `fat_tree`,
+/// `leaf_spine_custom`) or assembled manually
+/// with [`Topology::add_switch`] / [`Topology::add_host`] /
+/// [`Topology::connect_switches`].
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    links: Vec<Link>,
+    switches: Vec<SwitchMeta>,
+    hosts: Vec<HostMeta>,
+    leaves: Vec<SwitchId>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a switch of the given kind.
+    pub fn add_switch(&mut self, kind: SwitchKind) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        let leaf_index = (kind == SwitchKind::Leaf).then(|| {
+            self.leaves.push(id);
+            (self.leaves.len() - 1) as u32
+        });
+        self.switches.push(SwitchMeta { kind, ports: Vec::new(), ingress: Vec::new(), leaf_index });
+        id
+    }
+
+    /// Add a host attached to `leaf` with a bidirectional link of `rate_bps`
+    /// and `prop` propagation delay.
+    pub fn add_host(&mut self, leaf: SwitchId, rate_bps: u64, prop: Time) -> HostId {
+        assert_eq!(self.switches[leaf.index()].kind, SwitchKind::Leaf, "hosts attach to leaves");
+        let host = HostId(self.hosts.len() as u32);
+        let (up, _down) = self.add_link_pair(
+            NodeRef::Host(host),
+            NodeRef::Switch(leaf),
+            rate_bps,
+            rate_bps,
+            prop,
+            HopClass::HostUp,
+            HopClass::ToHost,
+        );
+        let leaf_port = self.links[up.index()].dst_port;
+        self.hosts.push(HostMeta { leaf, uplink: up, leaf_port });
+        host
+    }
+
+    /// Connect two switches with a bidirectional link (possibly one of
+    /// several parallel links). `rate_ab`/`rate_ba` are the two directions'
+    /// capacities. Returns `(a->b, b->a)` link ids.
+    pub fn connect_switches(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        rate_ab: u64,
+        rate_ba: u64,
+        prop: Time,
+    ) -> (LinkId, LinkId) {
+        let ka = self.switches[a.index()].kind;
+        let kb = self.switches[b.index()].kind;
+        let (hop_ab, hop_ba) = match (ka, kb) {
+            (SwitchKind::Leaf, SwitchKind::Spine) => (HopClass::LeafUp, HopClass::SpineDown),
+            (SwitchKind::Spine, SwitchKind::Leaf) => (HopClass::SpineDown, HopClass::LeafUp),
+            (SwitchKind::Leaf, SwitchKind::Agg) => (HopClass::LeafUp, HopClass::AggDown),
+            (SwitchKind::Agg, SwitchKind::Leaf) => (HopClass::AggDown, HopClass::LeafUp),
+            (SwitchKind::Agg, SwitchKind::Spine) => (HopClass::AggUp, HopClass::SpineDown),
+            (SwitchKind::Spine, SwitchKind::Agg) => (HopClass::SpineDown, HopClass::AggUp),
+            _ => panic!("unsupported switch adjacency {ka:?}-{kb:?}"),
+        };
+        self.add_link_pair(NodeRef::Switch(a), NodeRef::Switch(b), rate_ab, rate_ba, prop, hop_ab, hop_ba)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_link_pair(
+        &mut self,
+        a: NodeRef,
+        b: NodeRef,
+        rate_ab: u64,
+        rate_ba: u64,
+        prop: Time,
+        hop_ab: HopClass,
+        hop_ba: HopClass,
+    ) -> (LinkId, LinkId) {
+        assert!(rate_ab > 0 && rate_ba > 0, "link rates must be positive");
+        let id_ab = LinkId(self.links.len() as u32);
+        let id_ba = LinkId(self.links.len() as u32 + 1);
+        let port_a = self.next_port(a);
+        let port_b = self.next_port(b);
+        self.links.push(Link {
+            id: id_ab,
+            src: a,
+            src_port: port_a,
+            dst: b,
+            dst_port: port_b,
+            rate_bps: rate_ab,
+            prop,
+            up: true,
+            hop: hop_ab,
+            peer: id_ba,
+        });
+        self.links.push(Link {
+            id: id_ba,
+            src: b,
+            src_port: port_b,
+            dst: a,
+            dst_port: port_a,
+            rate_bps: rate_ba,
+            prop,
+            up: true,
+            hop: hop_ba,
+            peer: id_ab,
+        });
+        self.register_port(a, id_ab, id_ba);
+        self.register_port(b, id_ba, id_ab);
+        (id_ab, id_ba)
+    }
+
+    fn next_port(&self, node: NodeRef) -> u16 {
+        match node {
+            NodeRef::Switch(s) => self.switches[s.index()].ports.len() as u16,
+            NodeRef::Host(_) => 0,
+        }
+    }
+
+    fn register_port(&mut self, node: NodeRef, egress: LinkId, ingress: LinkId) {
+        if let NodeRef::Switch(s) = node {
+            let meta = &mut self.switches[s.index()];
+            meta.ports.push(egress);
+            meta.ingress.push(ingress);
+        }
+    }
+
+    /// Mark both directions between two switches as failed. With parallel
+    /// links, fails the `nth` (0-based) pair. Returns whether a pair was
+    /// found.
+    pub fn fail_switch_link(&mut self, a: SwitchId, b: SwitchId, nth: usize) -> bool {
+        let mut seen = 0;
+        for i in 0..self.links.len() {
+            let l = &self.links[i];
+            if l.up
+                && l.src == NodeRef::Switch(a)
+                && l.dst == NodeRef::Switch(b)
+            {
+                if seen == nth {
+                    let peer = l.peer;
+                    self.links[i].up = false;
+                    self.links[peer.index()].up = false;
+                    return true;
+                }
+                seen += 1;
+            }
+        }
+        false
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// All leaf switches, in creation order (dense leaf-index order).
+    pub fn leaves(&self) -> &[SwitchId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Kind of a switch.
+    pub fn switch_kind(&self, s: SwitchId) -> SwitchKind {
+        self.switches[s.index()].kind
+    }
+
+    /// Dense leaf index of a leaf switch.
+    pub fn leaf_index(&self, s: SwitchId) -> Option<u32> {
+        self.switches[s.index()].leaf_index
+    }
+
+    /// A link by id.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All links (both directions).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Egress link of `(switch, port)`.
+    #[inline]
+    pub fn egress(&self, s: SwitchId, port: u16) -> &Link {
+        let lid = self.switches[s.index()].ports[port as usize];
+        &self.links[lid.index()]
+    }
+
+    /// Egress link ids of a switch, indexed by port.
+    pub fn egress_links(&self, s: SwitchId) -> &[LinkId] {
+        &self.switches[s.index()].ports
+    }
+
+    /// Ingress link of `(switch, port)` — the reverse direction of the
+    /// egress link on the same port index.
+    #[inline]
+    pub fn ingress_link(&self, s: SwitchId, port: u16) -> &Link {
+        let lid = self.switches[s.index()].ingress[port as usize];
+        &self.links[lid.index()]
+    }
+
+    /// Number of ports on a switch.
+    pub fn num_ports(&self, s: SwitchId) -> usize {
+        self.switches[s.index()].ports.len()
+    }
+
+    /// The leaf a host attaches to.
+    #[inline]
+    pub fn host_leaf(&self, h: HostId) -> SwitchId {
+        self.hosts[h.index()].leaf
+    }
+
+    /// Dense leaf index of the leaf a host attaches to.
+    #[inline]
+    pub fn host_leaf_index(&self, h: HostId) -> u32 {
+        self.switches[self.hosts[h.index()].leaf.index()]
+            .leaf_index
+            .expect("host leaf has a leaf index")
+    }
+
+    /// The host's uplink (host -> leaf).
+    #[inline]
+    pub fn host_uplink(&self, h: HostId) -> &Link {
+        &self.links[self.hosts[h.index()].uplink.index()]
+    }
+
+    /// Egress port at the host's leaf that points to the host.
+    #[inline]
+    pub fn host_leaf_port(&self, h: HostId) -> u16 {
+        self.hosts[h.index()].leaf_port
+    }
+
+    /// All hosts attached to a leaf.
+    pub fn hosts_of_leaf(&self, leaf: SwitchId) -> Vec<HostId> {
+        (0..self.hosts.len() as u32)
+            .map(HostId)
+            .filter(|h| self.hosts[h.index()].leaf == leaf)
+            .collect()
+    }
+
+    /// Egress ports of `s` whose link leads to switch `to` and is up.
+    pub fn ports_to_switch(&self, s: SwitchId, to: SwitchId) -> Vec<u16> {
+        self.switches[s.index()]
+            .ports
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &lid)| {
+                let l = &self.links[lid.index()];
+                (l.up && l.dst == NodeRef::Switch(to)).then_some(p as u16)
+            })
+            .collect()
+    }
+
+    /// Check structural invariants; panics with a description on violation.
+    /// Intended for tests and builder validation.
+    pub fn validate(&self) {
+        for (i, l) in self.links.iter().enumerate() {
+            assert_eq!(l.id.index(), i, "link id matches slot");
+            let peer = &self.links[l.peer.index()];
+            assert_eq!(peer.peer, l.id, "peer links are mutual");
+            assert_eq!(peer.src, l.dst, "peer reverses endpoints");
+            assert_eq!(peer.dst, l.src, "peer reverses endpoints");
+            assert_eq!(l.up, peer.up, "both directions share fate");
+            if let NodeRef::Switch(s) = l.src {
+                assert_eq!(
+                    self.switches[s.index()].ports[l.src_port as usize],
+                    l.id,
+                    "egress port table consistent"
+                );
+            }
+        }
+        for (h, meta) in self.hosts.iter().enumerate() {
+            let up = &self.links[meta.uplink.index()];
+            assert_eq!(up.src, NodeRef::Host(HostId(h as u32)));
+            assert_eq!(up.dst, NodeRef::Switch(meta.leaf));
+            let down = &self.links[up.peer.index()];
+            assert_eq!(down.src_port, meta.leaf_port, "leaf port points back at host");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Topology, SwitchId, SwitchId, SwitchId) {
+        // 2 leaves, 1 spine, 1 host per leaf.
+        let mut t = Topology::new();
+        let l0 = t.add_switch(SwitchKind::Leaf);
+        let l1 = t.add_switch(SwitchKind::Leaf);
+        let s0 = t.add_switch(SwitchKind::Spine);
+        t.connect_switches(l0, s0, 40_000_000_000, 40_000_000_000, Time::from_nanos(500));
+        t.connect_switches(l1, s0, 40_000_000_000, 40_000_000_000, Time::from_nanos(500));
+        t.add_host(l0, 10_000_000_000, Time::from_nanos(500));
+        t.add_host(l1, 10_000_000_000, Time::from_nanos(500));
+        t.validate();
+        (t, l0, l1, s0)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (t, l0, _l1, s0) = tiny();
+        assert_eq!(t.num_switches(), 3);
+        assert_eq!(t.num_hosts(), 2);
+        assert_eq!(t.num_leaves(), 2);
+        assert_eq!(t.leaf_index(l0), Some(0));
+        assert_eq!(t.leaf_index(s0), None);
+        assert_eq!(t.switch_kind(s0), SwitchKind::Spine);
+    }
+
+    #[test]
+    fn ports_and_links_are_consistent() {
+        let (t, l0, _l1, s0) = tiny();
+        // l0 has 2 ports: to spine, to host.
+        assert_eq!(t.num_ports(l0), 2);
+        let up = t.egress(l0, 0);
+        assert_eq!(up.dst, NodeRef::Switch(s0));
+        assert_eq!(up.hop, HopClass::LeafUp);
+        let h0 = HostId(0);
+        assert_eq!(t.host_leaf(h0), l0);
+        let to_host = t.egress(l0, t.host_leaf_port(h0));
+        assert_eq!(to_host.dst, NodeRef::Host(h0));
+        assert_eq!(to_host.hop, HopClass::ToHost);
+        assert_eq!(t.host_uplink(h0).hop, HopClass::HostUp);
+    }
+
+    #[test]
+    fn ports_to_switch_and_failures() {
+        let (mut t, l0, _l1, s0) = tiny();
+        assert_eq!(t.ports_to_switch(l0, s0), vec![0]);
+        assert!(t.fail_switch_link(l0, s0, 0));
+        assert!(t.ports_to_switch(l0, s0).is_empty());
+        // Both directions failed.
+        let down = t
+            .links()
+            .iter()
+            .filter(|l| !l.up)
+            .count();
+        assert_eq!(down, 2);
+        // Failing again finds nothing.
+        assert!(!t.fail_switch_link(l0, s0, 0));
+    }
+
+    #[test]
+    fn parallel_links_get_distinct_ports() {
+        let mut t = Topology::new();
+        let l = t.add_switch(SwitchKind::Leaf);
+        let s = t.add_switch(SwitchKind::Spine);
+        t.connect_switches(l, s, 10_000_000_000, 10_000_000_000, Time::from_nanos(500));
+        t.connect_switches(l, s, 10_000_000_000, 10_000_000_000, Time::from_nanos(500));
+        t.validate();
+        assert_eq!(t.ports_to_switch(l, s), vec![0, 1]);
+        assert!(t.fail_switch_link(l, s, 1));
+        assert_eq!(t.ports_to_switch(l, s), vec![0]);
+    }
+
+    #[test]
+    fn hosts_of_leaf() {
+        let (t, l0, l1, _) = tiny();
+        assert_eq!(t.hosts_of_leaf(l0), vec![HostId(0)]);
+        assert_eq!(t.hosts_of_leaf(l1), vec![HostId(1)]);
+        assert_eq!(t.host_leaf_index(HostId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts attach to leaves")]
+    fn host_on_spine_panics() {
+        let mut t = Topology::new();
+        let s = t.add_switch(SwitchKind::Spine);
+        t.add_host(s, 1_000_000_000, Time::ZERO);
+    }
+}

@@ -1,0 +1,246 @@
+//! Experiment configuration.
+
+use drill_net::{fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Topology, Vl2Spec, DEFAULT_PROP};
+use drill_sim::Time;
+use drill_transport::TcpConfig;
+use drill_workload::{FlowSizeDist, IncastSpec, TrafficPattern};
+
+use crate::Scheme;
+
+/// Every topology the paper evaluates, by name.
+#[derive(Clone, Debug)]
+pub enum TopoSpec {
+    /// A plain two-stage leaf-spine Clos.
+    LeafSpine(LeafSpineSpec),
+    /// Figure 13's heterogeneous striping: leaf `i` gets `extra_links`
+    /// links to spines `i mod S` and `(i+1) mod S`, one link otherwise.
+    HeteroStriped {
+        /// The base leaf-spine shape.
+        base: LeafSpineSpec,
+        /// Parallel links to the two "neighbour" spines.
+        extra_links: usize,
+    },
+    /// A VL2 three-stage Clos.
+    Vl2(Vl2Spec),
+    /// A k-ary fat-tree with uniform link rate.
+    FatTree {
+        /// Arity (even).
+        k: usize,
+        /// Link rate in bps.
+        rate: u64,
+    },
+}
+
+impl TopoSpec {
+    /// Materialize the topology.
+    pub fn build(&self) -> Topology {
+        match self {
+            TopoSpec::LeafSpine(spec) => leaf_spine(spec),
+            TopoSpec::HeteroStriped { base, extra_links } => {
+                let s = base.spines;
+                leaf_spine_custom(base, |leaf, spine| {
+                    let n = if spine == leaf % s || spine == (leaf + 1) % s {
+                        *extra_links
+                    } else {
+                        1
+                    };
+                    vec![base.core_rate; n]
+                })
+            }
+            TopoSpec::Vl2(spec) => vl2(spec),
+            TopoSpec::FatTree { k, rate } => fat_tree(*k, *rate, DEFAULT_PROP),
+        }
+    }
+
+    /// Total one-direction core capacity (all leaf up-links), used for the
+    /// offered-load arithmetic.
+    pub fn core_capacity_bps(&self) -> u64 {
+        let topo = self.build();
+        topo.links()
+            .iter()
+            .filter(|l| l.hop == drill_net::HopClass::LeafUp)
+            .map(|l| l.rate_bps)
+            .sum()
+    }
+}
+
+/// What traffic to offer.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Offered core load in `[0, 1)`.
+    pub load: f64,
+    /// Flow-size distribution.
+    pub sizes: FlowSizeDist,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Lognormal burstiness sigma; 0 = Poisson arrivals.
+    pub burst_sigma: f64,
+    /// Optional incast application layered on the background load.
+    pub incast: Option<IncastSpec>,
+}
+
+impl WorkloadSpec {
+    /// The paper's default: trace-driven sizes, Poisson arrivals, uniform
+    /// inter-leaf destinations at the given load.
+    pub fn trace_driven(load: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            load,
+            sizes: FlowSizeDist::fb_web(),
+            pattern: TrafficPattern::Uniform,
+            burst_sigma: 0.0,
+            incast: None,
+        }
+    }
+}
+
+/// Table 1's synthetic elephant/mice mode.
+#[derive(Clone, Debug)]
+pub struct SyntheticMode {
+    /// Elephant transfer size in bytes; each host keeps one elephant
+    /// running to its pattern destination, starting the next transfer on
+    /// completion (Shuffle advances to the next destination).
+    pub elephant_bytes: u64,
+    /// Mice flow size.
+    pub mice_bytes: u64,
+    /// Gap between mice flows per host.
+    pub mice_period: Time,
+}
+
+impl Default for SyntheticMode {
+    fn default() -> Self {
+        SyntheticMode {
+            elephant_bytes: 20_000_000,
+            mice_bytes: 50_000,
+            mice_period: Time::from_millis(100),
+        }
+    }
+}
+
+/// One simulation run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Topology.
+    pub topo: TopoSpec,
+    /// Load balancer under test.
+    pub scheme: Scheme,
+    /// Root RNG seed (same seed + same config = identical run).
+    pub seed: u64,
+    /// Background workload (ignored when `synthetic` is set).
+    pub workload: WorkloadSpec,
+    /// Table-1 style synthetic elephants+mice instead of background flows.
+    pub synthetic: Option<SyntheticMode>,
+    /// Explicit flows started at t=0 (src host, dst host, bytes;
+    /// `u64::MAX` = persistent). Measured as elephants. Composable with
+    /// the background workload.
+    pub static_flows: Vec<(u32, u32, u64)>,
+    /// Flow-arrival window; arrivals stop afterwards.
+    pub duration: Time,
+    /// Extra time to let in-flight flows finish after arrivals stop.
+    pub drain: Time,
+    /// Flows starting earlier than this are excluded from the statistics.
+    pub warmup: Time,
+    /// Forwarding engines per switch.
+    pub engines: usize,
+    /// Per-port buffer limit in bytes.
+    pub queue_limit_bytes: u64,
+    /// Model the §3.2.1 enqueue-commit visibility lag.
+    pub model_commit: bool,
+    /// TCP knobs.
+    pub tcp: TcpConfig,
+    /// Switch-to-switch link pairs (by switch id) to fail.
+    pub failed_links: Vec<(u32, u32)>,
+    /// When to apply the failures: `None` = before the run starts (routing
+    /// already reconverged, the "ideal DRILL" of §4); `Some(t)` = links die
+    /// at `t` and routing reconverges `ospf_delay` later.
+    pub fail_at: Option<Time>,
+    /// Failure-detection + reconvergence delay when `fail_at` is set.
+    pub ospf_delay: Time,
+    /// Install DRILL's symmetric-component decomposition (§3.4) for
+    /// schemes that micro load balance. Disable to ablate asymmetry
+    /// handling (DRILL then treats all candidates as one group).
+    pub asymmetry_handling: bool,
+    /// Sample the Figure-2 queue-length STDV metric every 10 µs.
+    pub sample_queues: bool,
+    /// Open-loop packet-train mode (no TCP): used for the §3.2.3 queue
+    /// studies, Figures 2 and 3.
+    pub raw_packet_mode: bool,
+    /// Hard cap on processed events (safety valve; 0 = unlimited).
+    pub max_events: u64,
+}
+
+impl ExperimentConfig {
+    /// A baseline config on the given topology and scheme: paper-default
+    /// knobs, trace-driven workload at `load`.
+    pub fn new(topo: TopoSpec, scheme: Scheme, load: f64) -> ExperimentConfig {
+        ExperimentConfig {
+            topo,
+            scheme,
+            seed: 1,
+            workload: WorkloadSpec::trace_driven(load),
+            synthetic: None,
+            static_flows: Vec::new(),
+            duration: Time::from_millis(30),
+            drain: Time::from_millis(3000),
+            warmup: Time::from_millis(2),
+            engines: 1,
+            queue_limit_bytes: 1_000_000,
+            model_commit: true,
+            tcp: TcpConfig::default(),
+            failed_links: Vec::new(),
+            fail_at: None,
+            ospf_delay: Time::from_millis(50),
+            asymmetry_handling: true,
+            sample_queues: false,
+            raw_packet_mode: false,
+            max_events: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_specs_build() {
+        let ls = TopoSpec::LeafSpine(LeafSpineSpec::paper_baseline());
+        assert_eq!(ls.build().num_hosts(), 320);
+        // Baseline: 16 leaves x 4 spines x 40G = 2.56 Tbps.
+        assert_eq!(ls.core_capacity_bps(), 2_560_000_000_000);
+        let so = TopoSpec::LeafSpine(LeafSpineSpec::paper_scale_out());
+        assert_eq!(so.core_capacity_bps(), 2_560_000_000_000);
+        let v = TopoSpec::Vl2(Vl2Spec::paper());
+        assert_eq!(v.build().num_hosts(), 320);
+        let f = TopoSpec::FatTree { k: 4, rate: 1_000_000_000 };
+        assert_eq!(f.build().num_hosts(), 16);
+    }
+
+    #[test]
+    fn hetero_striping_links() {
+        let base = LeafSpineSpec {
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 2,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: DEFAULT_PROP,
+        };
+        let t = TopoSpec::HeteroStriped { base, extra_links: 2 }.build();
+        let l0 = t.leaves()[0];
+        // Leaf 0: 2 links each to spines 0 and 1, 1 link to spines 2, 3.
+        assert_eq!(t.ports_to_switch(l0, drill_net::SwitchId(4)).len(), 2);
+        assert_eq!(t.ports_to_switch(l0, drill_net::SwitchId(6)).len(), 1);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ExperimentConfig::new(
+            TopoSpec::LeafSpine(LeafSpineSpec::paper_baseline()),
+            Scheme::Ecmp,
+            0.5,
+        );
+        assert_eq!(cfg.workload.load, 0.5);
+        assert!(cfg.model_commit);
+        assert!(cfg.warmup < cfg.duration);
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment runtime: glues the substrate crates into runnable
+//! simulations.
+//!
+//! * [`Scheme`] — every load balancer evaluated in the paper, by name.
+//! * [`TopoSpec`] — every topology evaluated in the paper, by name.
+//! * [`ExperimentConfig`] — one simulation run: topology + scheme + load +
+//!   workload + failures + switch/TCP knobs.
+//! * [`run`] — execute one configuration deterministically; returns
+//!   [`RunStats`] with every metric a paper figure needs (FCT
+//!   distributions, queue-length STDV, per-hop queueing/loss, duplicate
+//!   ACK histogram, GRO batches, elephant throughput).
+//! * [`run_many`] — a parallel sweep helper (one OS thread per run).
+
+#![warn(missing_docs)]
+
+mod config;
+mod scheme;
+mod stats;
+mod sweep;
+mod world;
+
+pub use config::{ExperimentConfig, SyntheticMode, TopoSpec, WorkloadSpec};
+pub use scheme::Scheme;
+pub use stats::{hop_index, hop_name, HopReport, RunStats};
+pub use sweep::run_many;
+pub use world::{random_leaf_spine_failures, run};

@@ -1,0 +1,193 @@
+//! Run-level metrics.
+
+use drill_net::HopClass;
+use drill_sim::Time;
+use drill_stats::{Distribution, Histogram, Moments};
+
+/// Per-hop aggregates: the paper's Hop 1 (leaf up), Hop 2 (top-stage
+/// down), Hop 3 (leaf to host) — plus the host uplink and (in 3-stage
+/// fabrics) the agg hops.
+#[derive(Clone, Debug, Default)]
+pub struct HopReport {
+    /// Sum of queueing waits in ns, per hop class.
+    pub wait_ns: [u64; 6],
+    /// Number of wait samples, per hop class.
+    pub wait_samples: [u64; 6],
+    /// Packets dropped, per hop class.
+    pub drops: [u64; 6],
+    /// Packets transmitted, per hop class.
+    pub tx: [u64; 6],
+}
+
+/// Index of a hop class in the report arrays.
+pub fn hop_index(h: HopClass) -> usize {
+    match h {
+        HopClass::HostUp => 0,
+        HopClass::LeafUp => 1,
+        HopClass::AggUp => 2,
+        HopClass::SpineDown => 3,
+        HopClass::AggDown => 4,
+        HopClass::ToHost => 5,
+    }
+}
+
+/// Human name for a hop-class index.
+pub fn hop_name(i: usize) -> &'static str {
+    ["host-up", "hop1 leaf-up", "agg-up", "hop2 spine-down", "agg-down", "hop3 to-host"][i]
+}
+
+impl HopReport {
+    /// Mean queueing wait at a hop class, microseconds.
+    pub fn mean_wait_us(&self, h: HopClass) -> f64 {
+        let i = hop_index(h);
+        if self.wait_samples[i] == 0 {
+            0.0
+        } else {
+            self.wait_ns[i] as f64 / self.wait_samples[i] as f64 / 1000.0
+        }
+    }
+
+    /// Loss rate at a hop class (drops / offered).
+    pub fn loss_rate(&self, h: HopClass) -> f64 {
+        let i = hop_index(h);
+        let offered = self.drops[i] + self.tx[i];
+        if offered == 0 {
+            0.0
+        } else {
+            self.drops[i] as f64 / offered as f64
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Scheme display name.
+    pub scheme: String,
+    /// FCTs of completed background + incast flows, in milliseconds.
+    pub fct_ms: Distribution,
+    /// FCTs of incast flows only.
+    pub fct_incast_ms: Distribution,
+    /// FCTs of mice flows only (Table 1).
+    pub fct_mice_ms: Distribution,
+    /// Per-elephant goodput in Gbps (Table 1).
+    pub elephant_gbps: Distribution,
+    /// Per-flow duplicate-ACK counts (Figure 11a).
+    pub dupacks: Histogram,
+    /// Per-flow counts of true path inversions (loss-independent).
+    pub reorders: Histogram,
+    /// Flows started (measured window).
+    pub flows_started: u64,
+    /// Flows completed (measured window).
+    pub flows_completed: u64,
+    /// Mean-over-time of the queue-length STDV metric (§3.2.3), packets.
+    pub queue_stdv: Moments,
+    /// Per-hop queueing and loss.
+    pub hops: HopReport,
+    /// Total GRO batches formed at receivers.
+    pub gro_batches: u64,
+    /// Data packets delivered to receivers (GRO normalization).
+    pub data_pkts_delivered: u64,
+    /// TCP retransmissions.
+    pub retransmissions: u64,
+    /// TCP timeouts.
+    pub timeouts: u64,
+    /// Packets dropped with no route / dead egress.
+    pub blackholed: u64,
+    /// Packets dropped at host NICs.
+    pub nic_drops: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Final simulated time.
+    pub sim_end: Time,
+}
+
+impl RunStats {
+    /// An empty stats block for `scheme`.
+    pub fn new(scheme: String) -> RunStats {
+        RunStats {
+            scheme,
+            fct_ms: Distribution::new(),
+            fct_incast_ms: Distribution::new(),
+            fct_mice_ms: Distribution::new(),
+            elephant_gbps: Distribution::new(),
+            dupacks: Histogram::new(16),
+            reorders: Histogram::new(16),
+            flows_started: 0,
+            flows_completed: 0,
+            queue_stdv: Moments::new(),
+            hops: HopReport::default(),
+            gro_batches: 0,
+            data_pkts_delivered: 0,
+            retransmissions: 0,
+            timeouts: 0,
+            blackholed: 0,
+            nic_drops: 0,
+            events: 0,
+            sim_end: Time::ZERO,
+        }
+    }
+
+    /// Mean FCT in ms.
+    pub fn mean_fct_ms(&self) -> f64 {
+        self.fct_ms.mean()
+    }
+
+    /// The `p`-th percentile FCT in ms.
+    pub fn fct_percentile_ms(&mut self, p: f64) -> f64 {
+        self.fct_ms.percentile(p)
+    }
+
+    /// Fraction of started flows that completed in time.
+    pub fn completion_rate(&self) -> f64 {
+        if self.flows_started == 0 {
+            1.0
+        } else {
+            self.flows_completed as f64 / self.flows_started as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_report_math() {
+        let mut h = HopReport::default();
+        let i = hop_index(HopClass::LeafUp);
+        h.wait_ns[i] = 30_000;
+        h.wait_samples[i] = 3;
+        h.drops[i] = 5;
+        h.tx[i] = 95;
+        assert!((h.mean_wait_us(HopClass::LeafUp) - 10.0).abs() < 1e-12);
+        assert!((h.loss_rate(HopClass::LeafUp) - 0.05).abs() < 1e-12);
+        assert_eq!(h.mean_wait_us(HopClass::ToHost), 0.0);
+        assert_eq!(h.loss_rate(HopClass::ToHost), 0.0);
+    }
+
+    #[test]
+    fn hop_indices_are_distinct() {
+        let all = [
+            HopClass::HostUp,
+            HopClass::LeafUp,
+            HopClass::AggUp,
+            HopClass::SpineDown,
+            HopClass::AggDown,
+            HopClass::ToHost,
+        ];
+        let mut seen: Vec<usize> = all.iter().map(|&h| hop_index(h)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+        for i in 0..6 {
+            assert!(!hop_name(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn completion_rate_empty_is_one() {
+        let s = RunStats::new("x".into());
+        assert_eq!(s.completion_rate(), 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Parallel sweep runner: experiment runs are independent, so sweeps
+//! (schemes x loads) run one per thread.
+
+use crate::{run, ExperimentConfig, RunStats};
+
+/// Run every configuration, in order, spreading runs across OS threads
+/// (bounded by available parallelism). Results come back in input order.
+pub fn run_many(cfgs: &[ExperimentConfig]) -> Vec<RunStats> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<RunStats>> = (0..cfgs.len()).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<RunStats>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cfgs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cfgs.len() {
+                    break;
+                }
+                let stats = run(&cfgs[i]);
+                **slot_refs[i].lock().expect("slot lock") = Some(stats);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scheme, TopoSpec};
+    use drill_net::LeafSpineSpec;
+    use drill_sim::Time;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mk = |scheme| {
+            let mut cfg = ExperimentConfig::new(
+                TopoSpec::LeafSpine(LeafSpineSpec {
+                    spines: 2,
+                    leaves: 2,
+                    hosts_per_leaf: 2,
+                    host_rate: 10_000_000_000,
+                    core_rate: 10_000_000_000,
+                    prop: drill_net::DEFAULT_PROP,
+                }),
+                scheme,
+                0.3,
+            );
+            cfg.duration = Time::from_millis(2);
+            cfg.drain = Time::from_millis(50);
+            cfg
+        };
+        let cfgs = vec![mk(Scheme::Ecmp), mk(Scheme::drill_default()), mk(Scheme::Random)];
+        let par = run_many(&cfgs);
+        assert_eq!(par.len(), 3);
+        for (cfg, stats) in cfgs.iter().zip(&par) {
+            let serial = run(cfg);
+            assert_eq!(stats.events, serial.events, "{}", cfg.scheme.name());
+            assert_eq!(stats.flows_started, serial.flows_started);
+        }
+        assert_eq!(par[0].scheme, "ECMP");
+        assert_eq!(par[1].scheme, "DRILL(2,1)");
+    }
+}

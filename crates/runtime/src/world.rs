@@ -1,0 +1,784 @@
+//! The simulation world: event loop tying every substrate together.
+
+use drill_core::install_symmetric_groups;
+use drill_net::{
+    EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, RouteTable, Switch,
+    SwitchConfig, SwitchId, Topology,
+};
+use drill_sim::{EventQueue, SimRng, Time};
+use drill_stats::stdev_of;
+use drill_transport::{ShimBuffer, TcpFlow};
+use drill_workload::{aggregate_flow_rate, ArrivalProcess, FlowSpec, TrafficPattern, WorkloadGen};
+
+use crate::config::ExperimentConfig;
+use crate::stats::{hop_index, RunStats};
+use crate::Scheme;
+
+/// Queue-STDV sampling period (the paper samples every 10 µs).
+const SAMPLE_PERIOD: Time = Time::from_micros(10);
+
+#[derive(Debug)]
+enum Event {
+    Net(NetEvent),
+    FlowArrival,
+    IncastEpoch,
+    MiceTick,
+    TcpTimer { flow: u32, gen: u64 },
+    ShimTimer { flow: u32, gen: u64 },
+    SampleQueues,
+    ApplyFailures,
+    RecomputeRoutes,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FlowClass {
+    Background,
+    Incast,
+    Mice,
+    Elephant,
+}
+
+struct World {
+    cfg: ExperimentConfig,
+    topo: Topology,
+    routes: RouteTable,
+    switches: Vec<Switch>,
+    nics: Vec<HostNic>,
+    host_policies: Vec<Box<dyn HostPolicy>>,
+    flows: Vec<TcpFlow>,
+    classes: Vec<FlowClass>,
+    measured: Vec<bool>,
+    shims: Vec<Option<ShimBuffer>>,
+    sched_gen: Vec<u64>,
+    queue: EventQueue<Event>,
+    rng_net: SimRng,
+    rng_wl: SimRng,
+    pkt_ids: u64,
+    gen: Option<WorkloadGen>,
+    pending_flow: Option<FlowSpec>,
+    synth_pattern: Option<TrafficPattern>,
+    net_buf: EventSink,
+    stats: RunStats,
+    arrivals_end: Time,
+    leaf_of: Vec<u32>,
+    leaf_up_ports: Vec<Vec<(usize, u16)>>,
+    spine_down_ports: Vec<Vec<(usize, u16)>>,
+    shim_enabled: bool,
+    data_delivered: u64,
+}
+
+/// Pick `n` random distinct, currently-alive leaf-to-spine link pairs
+/// (as `(leaf switch id, spine-side switch id)`), for the failure
+/// experiments (Figures 11b/c and 12).
+pub fn random_leaf_spine_failures(topo: &Topology, n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = topo
+        .links()
+        .iter()
+        .filter(|l| l.up && l.hop == HopClass::LeafUp)
+        .filter_map(|l| match (l.src, l.dst) {
+            (drill_net::NodeRef::Switch(a), drill_net::NodeRef::Switch(b)) => Some((a.0, b.0)),
+            _ => None,
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut rng = SimRng::seed_from(seed ^ 0xfa11_fa11);
+    rng.shuffle(&mut pairs);
+    pairs.truncate(n);
+    pairs
+}
+
+/// Execute one experiment configuration to completion.
+pub fn run(cfg: &ExperimentConfig) -> RunStats {
+    let mut w = World::build(cfg.clone());
+    w.prime();
+    w.event_loop();
+    w.finalize()
+}
+
+impl World {
+    fn build(cfg: ExperimentConfig) -> World {
+        let mut topo = cfg.topo.build();
+        if cfg.fail_at.is_none() {
+            for &(a, b) in &cfg.failed_links {
+                let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+                    || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+                assert!(ok, "failed link ({a},{b}) not found");
+            }
+        }
+        let mut routes = RouteTable::compute(&topo);
+        if cfg.scheme.wants_symmetric_groups() && cfg.asymmetry_handling {
+            install_symmetric_groups(&topo, &mut routes);
+        }
+
+        let sw_cfg = SwitchConfig {
+            engines: cfg.engines,
+            queue_limit_bytes: cfg.queue_limit_bytes,
+            model_enqueue_commit: cfg.model_commit,
+        };
+        let switches: Vec<Switch> = (0..topo.num_switches())
+            .map(|i| {
+                let id = SwitchId(i as u32);
+                let policy = cfg.scheme.make_switch_policy(&topo, &routes, id, cfg.engines);
+                Switch::new(id, topo.num_ports(id), sw_cfg.clone(), policy)
+            })
+            .collect();
+        let nics: Vec<HostNic> = (0..topo.num_hosts() as u32).map(|h| HostNic::new(HostId(h))).collect();
+        let host_policies: Vec<Box<dyn HostPolicy>> = (0..topo.num_hosts() as u32)
+            .map(|h| cfg.scheme.make_host_policy(&topo, &routes, HostId(h)))
+            .collect();
+
+        let leaf_of: Vec<u32> =
+            (0..topo.num_hosts() as u32).map(|h| topo.host_leaf_index(HostId(h))).collect();
+
+        // Queue-STDV sampling port lists.
+        let n_leaves = topo.num_leaves();
+        let mut leaf_up_ports = vec![Vec::new(); n_leaves];
+        let mut spine_down_ports = vec![Vec::new(); n_leaves];
+        for l in topo.links() {
+            if let (drill_net::NodeRef::Switch(src), drill_net::NodeRef::Switch(dst)) = (l.src, l.dst) {
+                if l.hop == HopClass::LeafUp {
+                    let li = topo.leaf_index(src).expect("leaf-up from a leaf") as usize;
+                    leaf_up_ports[li].push((src.index(), l.src_port));
+                } else if l.hop == HopClass::SpineDown {
+                    if let Some(li) = topo.leaf_index(dst) {
+                        spine_down_ports[li as usize].push((src.index(), l.src_port));
+                    }
+                }
+            }
+        }
+
+        let mut rng_wl = SimRng::derive(cfg.seed, "workload", 0);
+        let rng_net = SimRng::derive(cfg.seed, "net", 0);
+
+        let gen = if cfg.synthetic.is_none() && cfg.workload.load > 0.0 {
+            let mean = cfg.workload.sizes.mean();
+            // Offered load is defined against the *available* core capacity
+            // (the paper loads "up to 90% of the available core capacity"
+            // in its failure experiments), so count only live links.
+            let avail_core_bps: u64 = topo
+                .links()
+                .iter()
+                .filter(|l| l.up && l.hop == HopClass::LeafUp)
+                .map(|l| l.rate_bps)
+                .sum();
+            let rate = aggregate_flow_rate(cfg.workload.load, avail_core_bps, mean);
+            let arrivals = if cfg.workload.burst_sigma > 0.0 {
+                ArrivalProcess::lognormal(rate, cfg.workload.burst_sigma)
+            } else {
+                ArrivalProcess::poisson(rate)
+            };
+            Some(WorkloadGen::new(
+                cfg.workload.sizes.clone(),
+                arrivals,
+                cfg.workload.pattern.clone(),
+                leaf_of.clone(),
+                &mut rng_wl,
+            ))
+        } else {
+            None
+        };
+        let synth_pattern = cfg
+            .synthetic
+            .as_ref()
+            .map(|_| cfg.workload.pattern.clone().bind(leaf_of.clone(), &mut rng_wl));
+
+        let stats = RunStats::new(cfg.scheme.name());
+        let shim_enabled = cfg.scheme.uses_shim();
+        let arrivals_end = cfg.duration;
+        World {
+            cfg,
+            topo,
+            routes,
+            switches,
+            nics,
+            host_policies,
+            flows: Vec::new(),
+            classes: Vec::new(),
+            measured: Vec::new(),
+            shims: Vec::new(),
+            sched_gen: Vec::new(),
+            queue: EventQueue::new(),
+            rng_net,
+            rng_wl,
+            pkt_ids: 0,
+            gen,
+            pending_flow: None,
+            synth_pattern,
+            net_buf: Vec::new(),
+            stats,
+            arrivals_end,
+            leaf_of,
+            leaf_up_ports,
+            spine_down_ports,
+            shim_enabled,
+            data_delivered: 0,
+        }
+    }
+
+    /// Schedule the initial events.
+    fn prime(&mut self) {
+        if let Some(g) = self.gen.as_mut() {
+            let spec = g.next_flow(&mut self.rng_wl);
+            self.queue.push(Time::ZERO + spec.gap, Event::FlowArrival);
+            self.pending_flow = Some(spec);
+        }
+        if let Some(incast) = &self.cfg.workload.incast {
+            self.queue.push(self.cfg.warmup + incast.epoch_gap, Event::IncastEpoch);
+        }
+        if let Some(synth) = self.cfg.synthetic.clone() {
+            // One elephant per host, started immediately.
+            for src in 0..self.topo.num_hosts() as u32 {
+                let dst = self
+                    .synth_pattern
+                    .as_mut()
+                    .expect("synthetic mode has a bound pattern")
+                    .pick_dst(src, &mut self.rng_wl);
+                self.start_flow(src, dst, synth.elephant_bytes, FlowClass::Elephant, Time::ZERO);
+            }
+            self.queue.push(synth.mice_period, Event::MiceTick);
+        }
+        if self.cfg.sample_queues {
+            self.queue.push(SAMPLE_PERIOD, Event::SampleQueues);
+        }
+        for &(src, dst, bytes) in &self.cfg.static_flows.clone() {
+            self.start_flow(src, dst, bytes, FlowClass::Elephant, Time::ZERO);
+        }
+        if let Some(at) = self.cfg.fail_at {
+            self.queue.push(at, Event::ApplyFailures);
+        }
+    }
+
+    fn event_loop(&mut self) {
+        let deadline = self.cfg.duration + self.cfg.drain;
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > deadline {
+                break;
+            }
+            if self.cfg.max_events > 0 && self.queue.events_processed() > self.cfg.max_events {
+                break;
+            }
+            self.dispatch(now, ev);
+        }
+    }
+
+    fn dispatch(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::Net(NetEvent::ArriveSwitch { switch, ingress, pkt }) => {
+                self.switches[switch.index()].receive(
+                    &self.topo,
+                    &self.routes,
+                    pkt,
+                    ingress,
+                    now,
+                    &mut self.rng_net,
+                    &mut self.net_buf,
+                );
+                self.drain_net();
+            }
+            Event::Net(NetEvent::ArriveHost { host, pkt }) => self.on_host_arrival(host, pkt, now),
+            Event::Net(NetEvent::SwitchTxDone { switch, port }) => {
+                self.switches[switch.index()].on_tx_done(&self.topo, port, now, &mut self.net_buf);
+                self.drain_net();
+            }
+            Event::Net(NetEvent::HostTxDone { host }) => {
+                self.nics[host.index()].on_tx_done(&self.topo, now, &mut self.net_buf);
+                self.drain_net();
+            }
+            Event::Net(NetEvent::EnqueueCommit { switch, port, bytes, engine }) => {
+                self.switches[switch.index()].on_enqueue_commit(port, bytes, engine);
+            }
+            Event::FlowArrival => {
+                if let Some(spec) = self.pending_flow.take() {
+                    self.start_flow(spec.src, spec.dst, spec.bytes, FlowClass::Background, now);
+                }
+                if now <= self.arrivals_end {
+                    if let Some(g) = self.gen.as_mut() {
+                        let next = g.next_flow(&mut self.rng_wl);
+                        self.queue.push(now + next.gap, Event::FlowArrival);
+                        self.pending_flow = Some(next);
+                    }
+                }
+            }
+            Event::IncastEpoch => {
+                if let Some(incast) = self.cfg.workload.incast.clone() {
+                    let flows = incast.epoch_flows(self.topo.num_hosts() as u32, &mut self.rng_wl);
+                    for (server, requester, bytes) in flows {
+                        self.start_flow(server, requester, bytes, FlowClass::Incast, now);
+                    }
+                    if now + incast.epoch_gap <= self.arrivals_end {
+                        self.queue.push(now + incast.epoch_gap, Event::IncastEpoch);
+                    }
+                }
+            }
+            Event::MiceTick => {
+                if let Some(synth) = self.cfg.synthetic.clone() {
+                    for src in 0..self.topo.num_hosts() as u32 {
+                        let dst = self.uniform_other_leaf(src);
+                        self.start_flow(src, dst, synth.mice_bytes, FlowClass::Mice, now);
+                    }
+                    if now + synth.mice_period <= self.arrivals_end {
+                        self.queue.push(now + synth.mice_period, Event::MiceTick);
+                    }
+                }
+            }
+            Event::TcpTimer { flow, gen } => {
+                let mut out = Vec::new();
+                let fired = self.flows[flow as usize].on_timer(gen, now, &mut self.pkt_ids, &mut out);
+                if fired {
+                    let src = self.flows[flow as usize].src;
+                    for p in out {
+                        self.host_send(src, p, now);
+                    }
+                    self.schedule_rto(flow, now);
+                }
+            }
+            Event::ShimTimer { flow, gen } => {
+                if let Some(shim) = self.shims[flow as usize].as_mut() {
+                    let released = shim.on_timer(gen, now);
+                    for p in released {
+                        self.recv_data(flow, p, now);
+                    }
+                }
+            }
+            Event::SampleQueues => {
+                self.sample_queues();
+                if now + SAMPLE_PERIOD <= self.cfg.duration {
+                    self.queue.push(now + SAMPLE_PERIOD, Event::SampleQueues);
+                }
+            }
+            Event::ApplyFailures => {
+                for &(a, b) in &self.cfg.failed_links {
+                    let _ = self.topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+                        || self.topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+                }
+                self.queue.push(now + self.cfg.ospf_delay, Event::RecomputeRoutes);
+            }
+            Event::RecomputeRoutes => {
+                self.routes = RouteTable::compute(&self.topo);
+                if self.cfg.scheme.wants_symmetric_groups() && self.cfg.asymmetry_handling {
+                    install_symmetric_groups(&self.topo, &mut self.routes);
+                }
+                // Controller-driven schemes rebuild their tables too.
+                if matches!(self.cfg.scheme, Scheme::Wcmp) {
+                    for i in 0..self.switches.len() {
+                        let id = SwitchId(i as u32);
+                        let p = self.cfg.scheme.make_switch_policy(
+                            &self.topo,
+                            &self.routes,
+                            id,
+                            self.cfg.engines,
+                        );
+                        self.switches[i] = rebuild_switch(&self.topo, &self.switches[i], p, &self.cfg);
+                    }
+                }
+                if matches!(self.cfg.scheme, Scheme::Presto { .. }) {
+                    for h in 0..self.host_policies.len() {
+                        self.host_policies[h] =
+                            self.cfg.scheme.make_host_policy(&self.topo, &self.routes, HostId(h as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    fn uniform_other_leaf(&mut self, src: u32) -> u32 {
+        let my_leaf = self.leaf_of[src as usize];
+        loop {
+            let d = self.rng_wl.below(self.leaf_of.len()) as u32;
+            if self.leaf_of[d as usize] != my_leaf {
+                return d;
+            }
+        }
+    }
+
+    fn drain_net(&mut self) {
+        // net_buf is a field to avoid per-event allocation. Drain in FIFO
+        // order: components rely on push order as the tie-break for
+        // same-timestamp events (enqueue-commit before tx-done).
+        for (t, e) in self.net_buf.drain(..) {
+            self.queue.push(t, Event::Net(e));
+        }
+    }
+
+    fn start_flow(&mut self, src: u32, dst: u32, bytes: u64, class: FlowClass, now: Time) {
+        if src == dst {
+            return;
+        }
+        let id = drill_net::FlowId(self.flows.len() as u32);
+        let flow_hash = self.rng_wl.next_u64();
+        let flow = TcpFlow::new(id, HostId(src), HostId(dst), flow_hash, bytes, now, self.cfg.tcp);
+        // Elephants are the measured subject wherever they appear (they
+        // start at t=0 by design); other classes honour the warmup window.
+        let measured = class == FlowClass::Elephant
+            || (now >= self.cfg.warmup && now <= self.arrivals_end);
+        self.flows.push(flow);
+        self.classes.push(class);
+        self.measured.push(measured);
+        self.shims.push(None);
+        self.sched_gen.push(0);
+        if measured {
+            self.stats.flows_started += 1;
+        }
+
+        if self.cfg.raw_packet_mode {
+            // Open-loop packet train: the whole flow is dumped into the
+            // NIC at arrival (the NIC paces it at line rate).
+            let mss = 1442u64;
+            let mut off = 0u64;
+            while off < bytes {
+                let payload = (bytes - off).min(mss) as u32;
+                self.pkt_ids += 1;
+                let p = Packet::data(self.pkt_ids, id, HostId(src), HostId(dst), flow_hash, off, payload, now);
+                self.host_send(HostId(src), p, now);
+                off += payload as u64;
+            }
+            return;
+        }
+
+        let mut out = Vec::new();
+        let idx = id.0;
+        self.flows[idx as usize].start_sending(now, &mut self.pkt_ids, &mut out);
+        for p in out {
+            self.host_send(HostId(src), p, now);
+        }
+        self.schedule_rto(idx, now);
+    }
+
+    fn schedule_rto(&mut self, flow: u32, now: Time) {
+        if let Some((at, gen)) = self.flows[flow as usize].rto_deadline(now) {
+            if self.sched_gen[flow as usize] != gen {
+                self.sched_gen[flow as usize] = gen;
+                self.queue.push(at, Event::TcpTimer { flow, gen });
+            }
+        }
+    }
+
+    fn host_send(&mut self, host: HostId, mut pkt: Packet, now: Time) {
+        self.host_policies[host.index()].on_send(&mut pkt, now, &mut self.rng_net);
+        self.nics[host.index()].send(&self.topo, pkt, now, &mut self.net_buf);
+        self.drain_net();
+    }
+
+    fn on_host_arrival(&mut self, host: HostId, pkt: Packet, now: Time) {
+        if self.cfg.raw_packet_mode {
+            self.data_delivered += 1;
+            return;
+        }
+        let flow = pkt.flow.0;
+        if pkt.is_ack() {
+            // Sender side.
+            debug_assert_eq!(self.flows[flow as usize].src, host);
+            let mut out = Vec::new();
+            self.flows[flow as usize].on_ack(&pkt, now, &mut self.pkt_ids, &mut out);
+            for p in out {
+                self.host_send(host, p, now);
+            }
+            self.schedule_rto(flow, now);
+            if self.flows[flow as usize].is_done() && self.classes[flow as usize] == FlowClass::Elephant
+            {
+                self.chain_elephant(flow, now);
+            }
+        } else {
+            // Receiver side; the shim (if enabled) restores ordering first.
+            if self.shim_enabled {
+                if self.shims[flow as usize].is_none() {
+                    let (threshold, timeout) = self.cfg.scheme.shim_params();
+                    self.shims[flow as usize] = Some(ShimBuffer::with_threshold(timeout, threshold));
+                }
+                let shim = self.shims[flow as usize].as_mut().expect("just created");
+                let (deliver, timer) = shim.on_packet(pkt, now);
+                if let Some((at, gen)) = timer {
+                    self.queue.push(at, Event::ShimTimer { flow, gen });
+                }
+                for p in deliver {
+                    self.recv_data(flow, p, now);
+                }
+            } else {
+                self.recv_data(flow, pkt, now);
+            }
+        }
+    }
+
+    fn recv_data(&mut self, flow: u32, pkt: Packet, now: Time) {
+        self.data_delivered += 1;
+        let receiver = self.flows[flow as usize].dst;
+        let mut acks = Vec::new();
+        self.flows[flow as usize].on_data(&pkt, now, &mut self.pkt_ids, &mut acks);
+        for a in acks {
+            self.host_send(receiver, a, now);
+        }
+    }
+
+    fn chain_elephant(&mut self, flow: u32, now: Time) {
+        let synth = match self.cfg.synthetic.clone() {
+            Some(s) => s,
+            None => return,
+        };
+        let src = self.flows[flow as usize].src.0;
+        let dst = self
+            .synth_pattern
+            .as_mut()
+            .expect("synthetic mode has a bound pattern")
+            .pick_dst(src, &mut self.rng_wl);
+        if now <= self.arrivals_end {
+            self.start_flow(src, dst, synth.elephant_bytes, FlowClass::Elephant, now);
+        }
+    }
+
+    fn sample_queues(&mut self) {
+        let mut lens: Vec<f64> = Vec::new();
+        for ports in &self.leaf_up_ports {
+            if ports.len() < 2 {
+                continue;
+            }
+            lens.clear();
+            lens.extend(ports.iter().map(|&(s, p)| self.switches[s].queue_pkts(p) as f64));
+            self.stats.queue_stdv.add(stdev_of(&lens));
+        }
+        for ports in &self.spine_down_ports {
+            if ports.len() < 2 {
+                continue;
+            }
+            lens.clear();
+            lens.extend(ports.iter().map(|&(s, p)| self.switches[s].queue_pkts(p) as f64));
+            self.stats.queue_stdv.add(stdev_of(&lens));
+        }
+    }
+
+    fn finalize(mut self) -> RunStats {
+        // Per-hop aggregates.
+        for (si, sw) in self.switches.iter().enumerate() {
+            let id = SwitchId(si as u32);
+            for port in 0..sw.num_ports() as u16 {
+                let hop = hop_index(self.topo.egress(id, port).hop);
+                let ps = sw.port_stats(port);
+                self.stats.hops.wait_ns[hop] += ps.wait_ns_sum;
+                self.stats.hops.wait_samples[hop] += ps.wait_count;
+                self.stats.hops.drops[hop] += ps.drops;
+                self.stats.hops.tx[hop] += ps.tx_pkts;
+            }
+            self.stats.blackholed += sw.blackholed;
+        }
+        self.stats.nic_drops = self.nics.iter().map(|n| n.drops).sum();
+        self.stats.data_pkts_delivered = self.data_delivered;
+
+        // Per-flow metrics.
+        let sim_end = self.queue.now();
+        for (i, f) in self.flows.iter().enumerate() {
+            if !self.measured[i] {
+                continue;
+            }
+            self.stats.retransmissions += f.retransmissions as u64;
+            self.stats.timeouts += f.timeouts as u64;
+            self.stats.gro_batches += f.gro_batches;
+            match self.classes[i] {
+                FlowClass::Elephant => {
+                    // Per-flow goodput over the flow's own active lifetime
+                    // (completed flows: until the final ACK; persistent
+                    // flows: until the end of the run).
+                    let end = f.done.unwrap_or(sim_end);
+                    let active = end.saturating_sub(f.start).max(Time::from_nanos(1));
+                    self.stats
+                        .elephant_gbps
+                        .add(f.bytes_acked as f64 * 8.0 / active.as_secs_f64() / 1e9);
+                }
+                class => {
+                    self.stats.dupacks.add(f.dup_acks_sent as usize);
+                    self.stats.reorders.add(f.reorder_events as usize);
+                    if let Some(fct) = f.fct() {
+                        self.stats.flows_completed += 1;
+                        let ms = fct.as_nanos() as f64 / 1e6;
+                        match class {
+                            FlowClass::Mice => self.stats.fct_mice_ms.add(ms),
+                            FlowClass::Incast => {
+                                self.stats.fct_ms.add(ms);
+                                self.stats.fct_incast_ms.add(ms);
+                            }
+                            _ => self.stats.fct_ms.add(ms),
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.events = self.queue.events_processed();
+        self.stats.sim_end = self.queue.now();
+        self.stats
+    }
+}
+
+/// Replace a switch's policy while keeping its id/shape (used when a
+/// controller rebuilds tables after failures). Queue contents are carried
+/// over conceptually by building a fresh switch — packets in flight at the
+/// dead switch are dropped, which approximates a real reconvergence blip.
+fn rebuild_switch(
+    topo: &Topology,
+    old: &Switch,
+    policy: Box<dyn drill_net::SwitchPolicy>,
+    cfg: &ExperimentConfig,
+) -> Switch {
+    let sw_cfg = SwitchConfig {
+        engines: cfg.engines,
+        queue_limit_bytes: cfg.queue_limit_bytes,
+        model_enqueue_commit: cfg.model_commit,
+    };
+    Switch::new(old.id(), topo.num_ports(old.id()), sw_cfg, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopoSpec;
+    use drill_net::LeafSpineSpec;
+
+    fn tiny_topo() -> TopoSpec {
+        TopoSpec::LeafSpine(LeafSpineSpec {
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 4,
+            host_rate: 10_000_000_000,
+            core_rate: 10_000_000_000,
+            prop: drill_net::DEFAULT_PROP,
+        })
+    }
+
+    fn quick_cfg(scheme: Scheme, load: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(tiny_topo(), scheme, load);
+        cfg.duration = Time::from_millis(5);
+        cfg.drain = Time::from_millis(100);
+        cfg.warmup = Time::from_micros(200);
+        cfg
+    }
+
+    #[test]
+    fn ecmp_run_completes_flows() {
+        let stats = run(&quick_cfg(Scheme::Ecmp, 0.3));
+        assert!(stats.flows_started > 50, "{}", stats.flows_started);
+        assert!(stats.completion_rate() > 0.95, "{}", stats.completion_rate());
+        assert!(stats.mean_fct_ms() > 0.0);
+        assert!(stats.events > 1000);
+    }
+
+    #[test]
+    fn drill_run_completes_flows_with_low_reordering() {
+        // Paper-shaped fabric: fast (40G) core over 10G edges. A one-packet
+        // queue imbalance then costs 300ns against 1200ns packet spacing,
+        // which is what keeps DRILL's reordering rare (§3.3); a slow-core
+        // fabric is far more reorder-prone (the paper's scale-out study).
+        let mut cfg = quick_cfg(Scheme::drill_no_shim(), 0.3);
+        cfg.topo = TopoSpec::LeafSpine(LeafSpineSpec {
+            spines: 4,
+            leaves: 4,
+            hosts_per_leaf: 4,
+            host_rate: 10_000_000_000,
+            core_rate: 40_000_000_000,
+            prop: drill_net::DEFAULT_PROP,
+        });
+        let stats = run(&cfg);
+        assert!(stats.completion_rate() > 0.95);
+        // The overwhelming majority of flows see no dup ACKs.
+        assert!(stats.dupacks.frac(0) > 0.9, "{}", stats.dupacks.frac(0));
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let a = run(&quick_cfg(Scheme::drill_default(), 0.4));
+        let b = run(&quick_cfg(Scheme::drill_default(), 0.4));
+        assert_eq!(a.flows_started, b.flows_started);
+        assert_eq!(a.flows_completed, b.flows_completed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.mean_fct_ms(), b.mean_fct_ms());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.4);
+        let a = run(&cfg);
+        cfg.seed = 99;
+        let b = run(&cfg);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn queue_sampler_records() {
+        let mut cfg = quick_cfg(Scheme::Random, 0.5);
+        cfg.sample_queues = true;
+        cfg.raw_packet_mode = true;
+        let stats = run(&cfg);
+        assert!(stats.queue_stdv.count() > 100, "{}", stats.queue_stdv.count());
+    }
+
+    #[test]
+    fn random_failures_are_deterministic_and_distinct() {
+        let topo = tiny_topo().build();
+        let a = random_leaf_spine_failures(&topo, 3, 42);
+        let b = random_leaf_spine_failures(&topo, 3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut u = a.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn failure_run_still_completes() {
+        let mut cfg = quick_cfg(Scheme::drill_default(), 0.3);
+        let topo = cfg.topo.build();
+        cfg.failed_links = random_leaf_spine_failures(&topo, 1, 7);
+        let stats = run(&cfg);
+        assert!(stats.completion_rate() > 0.9, "{}", stats.completion_rate());
+    }
+
+    #[test]
+    fn incast_flows_are_tracked() {
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.1);
+        cfg.workload.incast = Some(drill_workload::IncastSpec {
+            epoch_gap: Time::from_millis(1),
+            ..Default::default()
+        });
+        let stats = run(&cfg);
+        assert!(stats.fct_incast_ms.count() > 0, "incast flows measured");
+    }
+
+    #[test]
+    fn synthetic_mode_produces_elephants_and_mice() {
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.0);
+        cfg.workload.pattern = TrafficPattern::Stride(4);
+        cfg.synthetic = Some(crate::config::SyntheticMode {
+            elephant_bytes: 2_000_000,
+            mice_bytes: 50_000,
+            mice_period: Time::from_millis(1),
+        });
+        cfg.duration = Time::from_millis(10);
+        let stats = run(&cfg);
+        assert!(stats.elephant_gbps.count() > 0, "elephants measured");
+        assert!(stats.fct_mice_ms.count() > 0, "mice measured");
+    }
+
+    #[test]
+    fn all_schemes_run_to_completion() {
+        for scheme in [
+            Scheme::Ecmp,
+            Scheme::Random,
+            Scheme::RoundRobin,
+            Scheme::drill_default(),
+            Scheme::drill_no_shim(),
+            Scheme::PerFlowDrill,
+            Scheme::presto(),
+            Scheme::Presto { shim: false },
+            Scheme::Conga,
+            Scheme::Wcmp,
+        ] {
+            let mut cfg = quick_cfg(scheme, 0.2);
+            cfg.duration = Time::from_millis(2);
+            let stats = run(&cfg);
+            assert!(
+                stats.completion_rate() > 0.9,
+                "{}: completion {}",
+                scheme.name(),
+                stats.completion_rate()
+            );
+        }
+    }
+}

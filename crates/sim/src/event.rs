@@ -1,0 +1,263 @@
+//! The event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::Time;
+
+/// Handle for a cancellable event, returned by
+/// [`EventQueue::push_cancellable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+struct Entry<P> {
+    time: Time,
+    seq: u64,
+    token: u64, // 0 = not cancellable
+    payload: P,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first. `seq` is a monotone counter, so two events scheduled
+// for the same instant pop in the order they were pushed (FIFO). That
+// tie-break is what makes simulations deterministic.
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Entry<P> {}
+
+/// A deterministic future-event list.
+///
+/// Generic over the event payload `P`, which the embedding simulation
+/// defines (an enum of "packet arrives", "timer fires", ... variants).
+///
+/// Events at equal timestamps are delivered in push order. Events pushed
+/// for a time earlier than the last popped time are a logic error in the
+/// caller and panic in debug builds.
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+    seq: u64,
+    next_token: u64,
+    cancelled: HashSet<u64>,
+    now: Time,
+    popped: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue positioned at `Time::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_token: 1,
+            cancelled: HashSet::new(),
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the simulation
+    /// clock).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// drained).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: Time, payload: P) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time: at, seq, token: 0, payload });
+    }
+
+    /// Schedule `payload` at `delay` after the current clock.
+    #[inline]
+    pub fn push_after(&mut self, delay: Time, payload: P) {
+        self.push(self.now + delay, payload);
+    }
+
+    /// Schedule a cancellable event; keep the token to [`cancel`] it.
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn push_cancellable(&mut self, at: Time, payload: P) -> EventToken {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.heap.push(Entry { time: at, seq, token, payload });
+        EventToken(token)
+    }
+
+    /// Cancel a previously scheduled cancellable event. Cancelling an
+    /// already-delivered or already-cancelled event is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Deliver the next event, advancing the clock. Cancelled events are
+    /// skipped silently.
+    pub fn pop(&mut self) -> Option<(Time, P)> {
+        while let Some(e) = self.heap.pop() {
+            if e.token != 0 && self.cancelled.remove(&e.token) {
+                continue;
+            }
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            self.popped += 1;
+            return Some((e.time, e.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next (non-cancelled) pending event without
+    /// delivering it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Drain cancelled entries off the top so the answer is accurate.
+        while let Some(e) = self.heap.peek() {
+            if e.token != 0 && self.cancelled.contains(&e.token) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.token);
+            } else {
+                return Some(e.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(30), 3);
+        q.push(Time::from_nanos(10), 1);
+        q.push(Time::from_nanos(20), 2);
+        assert_eq!(q.pop(), Some((Time::from_nanos(10), 1)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(20), 2)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.push(Time::from_nanos(5), ());
+        q.push(Time::from_nanos(9), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_nanos(5));
+        q.pop();
+        assert_eq!(q.now(), Time::from_nanos(9));
+        assert_eq!(q.events_processed(), 2);
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(100), "a");
+        q.pop();
+        q.push_after(Time::from_nanos(50), "b");
+        assert_eq!(q.pop(), Some((Time::from_nanos(150), "b")));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let tok = q.push_cancellable(Time::from_nanos(10), "cancelled");
+        q.push(Time::from_nanos(20), "kept");
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((Time::from_nanos(20), "kept")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_delivery_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.push_cancellable(Time::from_nanos(10), 1);
+        assert_eq!(q.pop(), Some((Time::from_nanos(10), 1)));
+        q.cancel(tok); // must not panic or affect later events
+        q.push(Time::from_nanos(20), 2);
+        assert_eq!(q.pop(), Some((Time::from_nanos(20), 2)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.push_cancellable(Time::from_nanos(10), 1);
+        q.push(Time::from_nanos(30), 2);
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(30)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(10), 10u64);
+        q.push(Time::from_nanos(40), 40);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), v), (10, 10));
+        q.push(Time::from_nanos(20), 20);
+        q.push(Time::from_nanos(30), 30);
+        let mut seen = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vec![20, 30, 40]);
+    }
+}

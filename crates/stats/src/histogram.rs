@@ -1,0 +1,125 @@
+//! Fixed-bin histograms.
+
+/// An integer-valued histogram with unit-width bins `0, 1, 2, ...` and an
+/// overflow bin.
+///
+/// Used for the paper's duplicate-ACK distribution (Figure 11a): bin `k`
+/// counts flows that saw exactly `k` duplicate ACKs.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with bins `0..max_value` plus an overflow bin.
+    pub fn new(max_value: usize) -> Histogram {
+        Histogram { bins: vec![0; max_value + 1], overflow: 0, total: 0 }
+    }
+
+    /// Count one observation of `value`.
+    pub fn add(&mut self, value: usize) {
+        if value < self.bins.len() {
+            self.bins[value] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Raw count in bin `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Count in the overflow bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations equal to `value`.
+    pub fn frac(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of observations `>= value` (overflow included).
+    pub fn frac_at_least(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 =
+            self.bins.iter().skip(value).sum::<u64>() + self.overflow;
+        above as f64 / self.total as f64
+    }
+
+    /// Merge another histogram (must have identical bin count).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin layouts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let mut h = Histogram::new(5);
+        for v in [0, 0, 1, 3, 5, 9] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.overflow(), 1); // the 9
+        assert!((h.frac(0) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frac_at_least_includes_overflow() {
+        let mut h = Histogram::new(3);
+        for v in [0, 1, 2, 3, 4, 50] {
+            h.add(v);
+        }
+        assert!((h.frac_at_least(3) - 3.0 / 6.0).abs() < 1e-12);
+        assert!((h.frac_at_least(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(2);
+        a.add(0);
+        a.add(5);
+        let mut b = Histogram::new(2);
+        b.add(0);
+        b.add(1);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        let h = Histogram::new(4);
+        assert_eq!(h.frac(0), 0.0);
+        assert_eq!(h.frac_at_least(2), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Statistics used throughout the DRILL reproduction.
+//!
+//! The paper's evaluation reports means, high percentiles (up to the
+//! 99.99th), CDFs, time-averaged standard deviations of queue lengths, and
+//! per-category (per-hop) breakdowns. This crate provides the corresponding
+//! building blocks:
+//!
+//! * [`Moments`] — streaming count/mean/variance/min/max (Welford).
+//! * [`Distribution`] — an exact sample store with quantiles and CDF export
+//!   (flow-completion times per run are at most a few hundred thousand
+//!   samples, so exact storage is both affordable and precise in the far
+//!   tail, where approximate sketches would distort the 99.99th percentile).
+//! * [`Histogram`] — fixed-bin counts (used for the dup-ACK distribution).
+//! * [`Table`] — minimal aligned-text table formatting for the experiment
+//!   binaries, so every figure harness prints rows the same way.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod moments;
+mod percentile;
+mod table;
+
+pub use histogram::Histogram;
+pub use moments::{stdev_of, Moments};
+pub use percentile::Distribution;
+pub use table::{f3, Table};

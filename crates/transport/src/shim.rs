@@ -1,0 +1,284 @@
+//! The reordering-resilient shim layer (§3.3).
+//!
+//! Presto \[42\] and Juggler \[35\] restore in-sequence delivery below TCP by
+//! buffering out-of-order packets in the GRO handler; DRILL can optionally
+//! deploy the same shim ("DRILL" vs "DRILL w/o shim" in every figure).
+//!
+//! The model: per-flow, packets whose sequence number is ahead of the
+//! expected next byte are held in a small buffer. They are released as soon
+//! as the gap fills, or after a timeout (which signals a real loss, letting
+//! TCP's duplicate-ACK machinery engage).
+
+use std::collections::BTreeMap;
+
+use drill_net::Packet;
+use drill_sim::Time;
+
+/// Default hold timeout before a gap is declared a loss and the buffer is
+/// flushed (roughly one loaded fabric RTT: long enough to absorb
+/// microburst-scale reordering, short enough not to stall TCP's
+/// duplicate-ACK loss detection).
+pub const SHIM_DEFAULT_TIMEOUT: Time = Time::from_micros(100);
+
+/// Default: once this many packets are held above a gap, the gap is
+/// declared a loss and the buffer flushes immediately — the same
+/// 3-packets-passed-me evidence TCP's duplicate-ACK threshold uses. Keeps
+/// the shim from stalling ACK clocking behind real losses. Schemes that
+/// reorder at coarser granularity (Presto's 64 KB flowcells can race a
+/// whole cell ahead) configure a correspondingly larger threshold via
+/// [`ShimBuffer::with_threshold`].
+pub const SHIM_FLUSH_THRESHOLD: usize = 3;
+
+/// Per-flow reordering buffer.
+#[derive(Debug)]
+pub struct ShimBuffer {
+    expected: u64,
+    buf: BTreeMap<u64, Packet>,
+    threshold: usize,
+    timeout: Time,
+    /// Generation for lazy timer invalidation.
+    timer_gen: u64,
+    /// Deadline of the armed flush timer, if any.
+    armed: Option<Time>,
+    /// Packets that were delivered late (flushed by timeout).
+    pub timeout_flushes: u64,
+    /// Packets that were held and released in order.
+    pub reordered_held: u64,
+}
+
+impl ShimBuffer {
+    /// A shim buffer with the given hold timeout and the default flush
+    /// threshold.
+    pub fn new(timeout: Time) -> ShimBuffer {
+        ShimBuffer::with_threshold(timeout, SHIM_FLUSH_THRESHOLD)
+    }
+
+    /// A shim buffer with an explicit held-packet flush threshold.
+    pub fn with_threshold(timeout: Time, threshold: usize) -> ShimBuffer {
+        ShimBuffer {
+            expected: 0,
+            buf: BTreeMap::new(),
+            threshold,
+            timeout,
+            timer_gen: 0,
+            armed: None,
+            timeout_flushes: 0,
+            reordered_held: 0,
+        }
+    }
+
+    /// Bytes the shim considers delivered in-sequence so far.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Number of packets currently held.
+    pub fn held(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Current timer generation (stale flush timers must be ignored).
+    pub fn timer_generation(&self) -> u64 {
+        self.timer_gen
+    }
+
+    /// Offer an arriving data packet. In-order (and old/duplicate) packets
+    /// are delivered immediately, together with any buffered packets they
+    /// release; ahead-of-sequence packets are held. Returns the packets to
+    /// deliver up the stack, and the flush deadline to (re-)arm if the
+    /// buffer became (or stays) non-empty.
+    pub fn on_packet(&mut self, pkt: Packet, now: Time) -> (Vec<Packet>, Option<(Time, u64)>) {
+        let mut deliver = Vec::new();
+        if pkt.seq <= self.expected {
+            self.expected = self.expected.max(pkt.seq_end());
+            deliver.push(pkt);
+            // Release buffered packets that are now in sequence.
+            while let Some((&s, _)) = self.buf.first_key_value() {
+                if s > self.expected {
+                    break;
+                }
+                let (_, p) = self.buf.pop_first().expect("checked non-empty");
+                self.expected = self.expected.max(p.seq_end());
+                self.reordered_held += 1;
+                deliver.push(p);
+            }
+            if self.buf.is_empty() {
+                self.armed = None;
+                self.timer_gen += 1;
+                return (deliver, None);
+            }
+            // Still gapped: keep the existing timer.
+            return (deliver, None);
+        }
+        // Ahead of sequence: hold — unless enough packets have already
+        // passed the gap to call it a loss, in which case flush so TCP's
+        // duplicate-ACK machinery engages without delay.
+        self.buf.insert(pkt.seq, pkt);
+        if self.buf.len() >= self.threshold {
+            while let Some((_, p)) = self.buf.pop_first() {
+                self.expected = self.expected.max(p.seq_end());
+                self.timeout_flushes += 1;
+                deliver.push(p);
+            }
+            self.armed = None;
+            self.timer_gen += 1;
+            return (deliver, None);
+        }
+        if self.armed.is_none() {
+            let at = now + self.timeout;
+            self.armed = Some(at);
+            self.timer_gen += 1;
+            return (deliver, Some((at, self.timer_gen)));
+        }
+        (deliver, None)
+    }
+
+    /// A flush timer fired: if current, release everything held (in
+    /// sequence order) so TCP sees the loss. Returns packets to deliver.
+    pub fn on_timer(&mut self, generation: u64, _now: Time) -> Vec<Packet> {
+        if generation != self.timer_gen || self.buf.is_empty() {
+            return Vec::new();
+        }
+        let mut deliver = Vec::new();
+        while let Some((_, p)) = self.buf.pop_first() {
+            self.expected = self.expected.max(p.seq_end());
+            self.timeout_flushes += 1;
+            deliver.push(p);
+        }
+        self.armed = None;
+        self.timer_gen += 1;
+        deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drill_net::{FlowId, HostId};
+
+    fn pkt(seq: u64, payload: u32) -> Packet {
+        Packet::data(seq, FlowId(0), HostId(0), HostId(1), 7, seq, payload, Time::ZERO)
+    }
+
+    #[test]
+    fn in_order_passes_through() {
+        let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+        for i in 0..5u64 {
+            let (d, t) = s.on_packet(pkt(i * 100, 100), Time::from_micros(i));
+            assert_eq!(d.len(), 1);
+            assert!(t.is_none());
+        }
+        assert_eq!(s.expected(), 500);
+        assert_eq!(s.held(), 0);
+        assert_eq!(s.reordered_held, 0);
+    }
+
+    #[test]
+    fn gap_holds_until_filled() {
+        let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+        let (d, t) = s.on_packet(pkt(0, 100), Time::ZERO);
+        assert_eq!(d.len(), 1);
+        assert!(t.is_none());
+        // Packet 2 arrives before packet 1: held, timer armed.
+        let (d, t) = s.on_packet(pkt(200, 100), Time::from_micros(1));
+        assert!(d.is_empty());
+        let (at, _gen) = t.expect("timer armed");
+        assert_eq!(at, Time::from_micros(1) + SHIM_DEFAULT_TIMEOUT);
+        assert_eq!(s.held(), 1);
+        // Gap fills: both delivered, in order.
+        let (d, t) = s.on_packet(pkt(100, 100), Time::from_micros(2));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].seq, 100);
+        assert_eq!(d[1].seq, 200);
+        assert!(t.is_none());
+        assert_eq!(s.expected(), 300);
+        assert_eq!(s.reordered_held, 1);
+    }
+
+    #[test]
+    fn timeout_flushes_ascending() {
+        let mut s = ShimBuffer::new(Time::from_micros(100));
+        s.on_packet(pkt(0, 100), Time::ZERO);
+        let (_, t) = s.on_packet(pkt(300, 100), Time::from_micros(1));
+        let (_at, gen) = t.unwrap();
+        let (d2, t2) = s.on_packet(pkt(200, 100), Time::from_micros(2));
+        assert!(d2.is_empty() && t2.is_none(), "timer already armed");
+        // Fire the flush: both held packets released in seq order.
+        let flushed = s.on_timer(gen, Time::from_micros(101));
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].seq, 200);
+        assert_eq!(flushed[1].seq, 300);
+        assert_eq!(s.timeout_flushes, 2);
+        assert_eq!(s.expected(), 400);
+        // The packet that eventually arrives late passes straight through.
+        let (d, _) = s.on_packet(pkt(100, 100), Time::from_micros(150));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn stale_timer_ignored() {
+        let mut s = ShimBuffer::new(Time::from_micros(100));
+        s.on_packet(pkt(0, 100), Time::ZERO);
+        let (_, t) = s.on_packet(pkt(200, 100), Time::from_micros(1));
+        let (_, gen) = t.unwrap();
+        // Gap fills before the timer fires.
+        s.on_packet(pkt(100, 100), Time::from_micros(2));
+        assert!(s.on_timer(gen, Time::from_micros(101)).is_empty());
+    }
+
+    #[test]
+    fn duplicates_pass_through() {
+        let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+        s.on_packet(pkt(0, 100), Time::ZERO);
+        let (d, _) = s.on_packet(pkt(0, 100), Time::from_micros(5));
+        assert_eq!(d.len(), 1, "retransmissions/duplicates not held");
+        assert_eq!(s.expected(), 100);
+    }
+
+    #[test]
+    fn flush_threshold_triggers_early_release() {
+        // Default threshold 3: the third held packet flushes everything.
+        let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+        s.on_packet(pkt(0, 100), Time::ZERO);
+        assert!(s.on_packet(pkt(200, 100), Time::from_micros(1)).0.is_empty());
+        assert!(s.on_packet(pkt(300, 100), Time::from_micros(2)).0.is_empty());
+        let (d, t) = s.on_packet(pkt(400, 100), Time::from_micros(3));
+        assert_eq!(d.len(), 3, "threshold reached: all held packets flush");
+        assert!(t.is_none());
+        assert_eq!(s.timeout_flushes, 3);
+        assert_eq!(s.expected(), 500);
+    }
+
+    #[test]
+    fn larger_threshold_absorbs_bigger_races() {
+        // A Presto-style threshold holds a whole flowcell's worth.
+        let mut s = ShimBuffer::with_threshold(SHIM_DEFAULT_TIMEOUT, 64);
+        s.on_packet(pkt(0, 100), Time::ZERO);
+        for i in 2..40u64 {
+            let (d, _) = s.on_packet(pkt(i * 100, 100), Time::from_micros(i));
+            assert!(d.is_empty(), "held under threshold");
+        }
+        // The straggler arrives: everything releases in order.
+        let (d, _) = s.on_packet(pkt(100, 100), Time::from_micros(50));
+        assert_eq!(d.len(), 39);
+        assert!(d.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(s.timeout_flushes, 0, "no loss declared");
+    }
+
+    #[test]
+    fn multiple_gaps_release_incrementally() {
+        let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+        s.on_packet(pkt(0, 100), Time::ZERO);
+        s.on_packet(pkt(200, 100), Time::from_micros(1));
+        s.on_packet(pkt(400, 100), Time::from_micros(2));
+        assert_eq!(s.held(), 2);
+        // Filling the first gap releases only up to the second gap.
+        let (d, _) = s.on_packet(pkt(100, 100), Time::from_micros(3));
+        assert_eq!(d.len(), 2);
+        assert_eq!(s.held(), 1);
+        assert_eq!(s.expected(), 300);
+        let (d, _) = s.on_packet(pkt(300, 100), Time::from_micros(4));
+        assert_eq!(d.len(), 2);
+        assert_eq!(s.expected(), 500);
+    }
+}

@@ -1,0 +1,778 @@
+//! Compact TCP Reno/NewReno.
+
+use std::collections::BTreeMap;
+
+use drill_net::{flags, FlowId, HostId, Packet};
+use drill_sim::Time;
+
+/// GRO merges in-order packets into batches of at most this many payload
+/// bytes (one maximal TSO/GRO segment).
+pub const GRO_BATCH_LIMIT: u32 = 64 * 1024;
+
+/// TCP tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment (payload) size in bytes.
+    pub mss: u32,
+    /// Initial congestion window, in segments.
+    pub init_cwnd: u32,
+    /// Lower bound on the retransmission timeout.
+    ///
+    /// Linux 2.6 defaults to 200 ms; datacenter deployments (and the
+    /// incast literature the paper cites) tune it down. Experiments record
+    /// the value used.
+    pub rto_min: Time,
+    /// Upper bound on the (backed-off) retransmission timeout.
+    pub rto_max: Time,
+    /// RTO before any RTT sample exists.
+    pub rto_init: Time,
+    /// Congestion-window cap (models the receive window), bytes.
+    pub max_cwnd_bytes: u64,
+    /// Duplicate-ACK fast-retransmit threshold.
+    pub dupack_thresh: u32,
+    /// Nagle's algorithm (RFC 896), on by default as in Linux 2.6: a
+    /// sub-MSS segment is held back while any data is unacknowledged.
+    /// Besides its latency trade-off, Nagle prevents a flow's short
+    /// trailing segment from being emitted back-to-back behind a full one
+    /// — which, under per-packet multipathing in a store-and-forward
+    /// fabric, would routinely overtake it and masquerade as reordering.
+    pub nagle: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1442, // 1500B wire frames with our 58B of headers
+            init_cwnd: 4,
+            rto_min: Time::from_millis(200),
+            rto_max: Time::from_secs(2),
+            rto_init: Time::from_millis(200),
+            // Linux 2.6-era receive windows autotuned to a few hundred KB;
+            // this cap also bounds per-flow self-inflicted (bufferbloat)
+            // queueing at the last hop.
+            max_cwnd_bytes: 256 * 1024,
+            dupack_thresh: 3,
+            nagle: true,
+        }
+    }
+}
+
+/// One TCP flow: sender and receiver endpoints of a `size`-byte transfer.
+///
+/// The embedding simulation owns the flow table; this type is a pure state
+/// machine. Methods emit packets into an output buffer and signal timer
+/// needs through [`TcpFlow::rto_deadline`] — the runtime schedules an event
+/// for every returned deadline and delivers it via [`TcpFlow::on_timer`];
+/// stale timers are filtered by generation number.
+#[derive(Debug)]
+pub struct TcpFlow {
+    /// Flow id (index in the runtime's flow table).
+    pub id: FlowId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Stable 5-tuple hash shared by all the flow's packets.
+    pub flow_hash: u64,
+    /// Transfer size in bytes (`u64::MAX` = persistent "elephant").
+    pub size: u64,
+    /// Time the flow started.
+    pub start: Time,
+    cfg: TcpConfig,
+
+    // --- sender ---
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    recover: u64,
+    in_recovery: bool,
+    srtt_ns: Option<f64>,
+    rttvar_ns: f64,
+    rto: Time,
+    timer_gen: u64,
+    emit_counter: u32,
+    last_partial_retx: Time,
+
+    // --- receiver ---
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, u64>,
+    last_ack_sent: u64,
+
+    // --- GRO model (receiver) ---
+    gro_expected: u64,
+    gro_cur_bytes: u32,
+    /// Completed GRO batches delivered up the stack.
+    pub gro_batches: u64,
+
+    // --- metrics ---
+    /// Duplicate ACKs this receiver generated (Figure 11a's metric).
+    pub dup_acks_sent: u32,
+    /// True path inversions observed at the receiver: non-retransmitted
+    /// segments that arrived after a segment the sender emitted later
+    /// (loss-independent reordering signal).
+    pub reorder_events: u32,
+    max_emit_seen: i64,
+    /// Data segments retransmitted.
+    pub retransmissions: u32,
+    /// Retransmission timeouts taken.
+    pub timeouts: u32,
+    /// Completion time (final byte cumulatively ACKed at the sender).
+    pub done: Option<Time>,
+    /// Cumulative bytes ACKed (throughput accounting for elephants).
+    pub bytes_acked: u64,
+}
+
+impl TcpFlow {
+    /// A new flow of `size` bytes from `src` to `dst`.
+    pub fn new(
+        id: FlowId,
+        src: HostId,
+        dst: HostId,
+        flow_hash: u64,
+        size: u64,
+        start: Time,
+        cfg: TcpConfig,
+    ) -> TcpFlow {
+        TcpFlow {
+            id,
+            src,
+            dst,
+            flow_hash,
+            size,
+            start,
+            cfg,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: (cfg.init_cwnd * cfg.mss) as f64,
+            ssthresh: cfg.max_cwnd_bytes as f64,
+            dup_acks: 0,
+            recover: 0,
+            in_recovery: false,
+            srtt_ns: None,
+            rttvar_ns: 0.0,
+            rto: cfg.rto_init,
+            timer_gen: 0,
+            emit_counter: 0,
+            last_partial_retx: Time::ZERO,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            last_ack_sent: u64::MAX,
+            gro_expected: 0,
+            gro_cur_bytes: 0,
+            gro_batches: 0,
+            dup_acks_sent: 0,
+            reorder_events: 0,
+            max_emit_seen: -1,
+            retransmissions: 0,
+            timeouts: 0,
+            done: None,
+            bytes_acked: 0,
+        }
+    }
+
+    /// Whether the sender has delivered (and had ACKed) every byte.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Flow completion time, if finished.
+    pub fn fct(&self) -> Option<Time> {
+        self.done.map(|d| d - self.start)
+    }
+
+    /// Current congestion window in bytes (diagnostics).
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Current retransmission timeout (diagnostics).
+    pub fn rto(&self) -> Time {
+        self.rto
+    }
+
+    /// Current timer generation; timers carrying an older generation are
+    /// stale and must be ignored.
+    pub fn timer_generation(&self) -> u64 {
+        self.timer_gen
+    }
+
+    /// Absolute RTO deadline the runtime should schedule, if any data is
+    /// outstanding.
+    pub fn rto_deadline(&self, now: Time) -> Option<(Time, u64)> {
+        (self.snd_nxt > self.snd_una && self.done.is_none())
+            .then(|| (now + self.rto, self.timer_gen))
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn effective_cwnd(&self) -> u64 {
+        (self.cwnd as u64).clamp(self.cfg.mss as u64, self.cfg.max_cwnd_bytes)
+    }
+
+    fn make_segment(&mut self, seq: u64, now: Time, pkt_ids: &mut u64, retx: bool) -> Packet {
+        let payload = (self.size - seq).min(self.cfg.mss as u64) as u32;
+        debug_assert!(payload > 0);
+        *pkt_ids += 1;
+        let mut p = Packet::data(*pkt_ids, self.id, self.src, self.dst, self.flow_hash, seq, payload, now);
+        if seq + payload as u64 >= self.size {
+            p.flags |= flags::FIN;
+        }
+        if retx {
+            p.flags |= flags::RETX;
+        }
+        p.emit_idx = self.emit_counter;
+        self.emit_counter += 1;
+        p
+    }
+
+    /// Start the flow: emit the initial window.
+    pub fn start_sending(&mut self, now: Time, pkt_ids: &mut u64, out: &mut Vec<Packet>) {
+        self.try_send(now, pkt_ids, out);
+        self.timer_gen += 1;
+    }
+
+    /// Emit as many new segments as the window (and Nagle) allow.
+    fn try_send(&mut self, now: Time, pkt_ids: &mut u64, out: &mut Vec<Packet>) {
+        let limit = (self.snd_una + self.effective_cwnd()).min(self.size);
+        while self.snd_nxt < limit {
+            let seg_len = (limit - self.snd_nxt).min(self.cfg.mss as u64);
+            let sub_mss = seg_len < self.cfg.mss as u64 && self.snd_nxt + seg_len < self.size;
+            let outstanding = self.snd_nxt > self.snd_una;
+            // Nagle: hold a sub-MSS, non-final-by-window segment while data
+            // is in flight. (A window-clipped segment is also held: real
+            // stacks wait for the window to open rather than send runts.)
+            if self.cfg.nagle && outstanding && (sub_mss || seg_len < self.cfg.mss as u64) {
+                break;
+            }
+            if sub_mss {
+                break; // never emit a runt mid-stream even without Nagle
+            }
+            let p = self.make_segment(self.snd_nxt, now, pkt_ids, false);
+            self.snd_nxt += p.payload as u64;
+            out.push(p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver side
+    // ------------------------------------------------------------------
+
+    /// Process an arriving data segment at the receiver; emits the ACK.
+    pub fn on_data(&mut self, pkt: &Packet, now: Time, pkt_ids: &mut u64, out: &mut Vec<Packet>) {
+        debug_assert!(pkt.is_data());
+        if !pkt.is_retx() {
+            if (pkt.emit_idx as i64) < self.max_emit_seen {
+                self.reorder_events += 1;
+            }
+            self.max_emit_seen = self.max_emit_seen.max(pkt.emit_idx as i64);
+        }
+        self.gro_account(pkt);
+        let seq = pkt.seq;
+        let end = pkt.seq_end();
+        if seq <= self.rcv_nxt {
+            if end > self.rcv_nxt {
+                self.rcv_nxt = end;
+                // Consume contiguous out-of-order segments.
+                while let Some((&s, &e)) = self.ooo.first_key_value() {
+                    if s > self.rcv_nxt {
+                        break;
+                    }
+                    self.ooo.pop_first();
+                    if e > self.rcv_nxt {
+                        self.rcv_nxt = e;
+                    }
+                }
+            }
+            // else: pure duplicate, re-ACK current edge.
+        } else {
+            // Out of order: buffer it (merge exact duplicates by key).
+            let cur = self.ooo.entry(seq).or_insert(end);
+            if *cur < end {
+                *cur = end;
+            }
+        }
+
+        *pkt_ids += 1;
+        let mut ack =
+            Packet::pure_ack(*pkt_ids, self.id, self.dst, self.src, self.flow_hash, self.rcv_nxt, now);
+        // Echo the segment's send timestamp for RTT sampling, unless it is
+        // a retransmission (Karn's rule).
+        if !pkt.is_retx() {
+            ack.echo = pkt.sent;
+        }
+        if self.rcv_nxt == self.last_ack_sent {
+            self.dup_acks_sent += 1;
+        }
+        self.last_ack_sent = self.rcv_nxt;
+        out.push(ack);
+    }
+
+    /// Payload bytes the receiver has contiguously received.
+    pub fn bytes_received(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    fn gro_account(&mut self, pkt: &Packet) {
+        // GRO merges a flow's packets while they arrive in-order and the
+        // batch stays under 64 KB; an out-of-order packet or a full batch
+        // flushes to the stack. More batches = more per-packet CPU work.
+        if pkt.seq == self.gro_expected
+            && self.gro_cur_bytes + pkt.payload <= GRO_BATCH_LIMIT
+            && self.gro_cur_bytes > 0
+        {
+            self.gro_cur_bytes += pkt.payload;
+        } else {
+            if self.gro_cur_bytes > 0 {
+                self.gro_batches += 1;
+            }
+            self.gro_cur_bytes = pkt.payload;
+        }
+        self.gro_expected = pkt.seq_end();
+    }
+
+    // ------------------------------------------------------------------
+    // Sender side
+    // ------------------------------------------------------------------
+
+    /// Process an arriving ACK at the sender.
+    pub fn on_ack(&mut self, pkt: &Packet, now: Time, pkt_ids: &mut u64, out: &mut Vec<Packet>) {
+        debug_assert!(pkt.is_ack());
+        if self.done.is_some() {
+            return;
+        }
+        let ack = pkt.ack;
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            self.snd_una = ack;
+            self.bytes_acked += newly;
+            self.dup_acks = 0;
+            self.timer_gen += 1; // restart (or stop) the timer
+
+            if pkt.echo != Time::ZERO {
+                self.sample_rtt(now.saturating_sub(pkt.echo));
+            }
+
+            if self.in_recovery {
+                if ack >= self.recover {
+                    // Full recovery.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                } else {
+                    // NewReno partial ACK: retransmit the next hole and
+                    // deflate — but at most one retransmission per RTT.
+                    // Plain NewReno retransmits on *every* partial ACK,
+                    // which under packet reordering (holes that are merely
+                    // in flight) floods the fabric with spurious
+                    // retransmissions; SACK-era stacks (the paper's Linux
+                    // 2.6 has SACK on) do not. Genuine multi-loss windows
+                    // are unaffected: NewReno heals one hole per RTT anyway.
+                    let srtt = Time::from_nanos(self.srtt_ns.unwrap_or(0.0) as u64);
+                    if now.saturating_sub(self.last_partial_retx) >= srtt {
+                        self.last_partial_retx = now;
+                        let p = self.make_segment(self.snd_una, now, pkt_ids, true);
+                        self.retransmissions += 1;
+                        out.push(p);
+                    }
+                    self.cwnd = (self.cwnd - newly as f64 + self.cfg.mss as f64)
+                        .max(self.cfg.mss as f64);
+                }
+            } else if self.cwnd < self.ssthresh {
+                // Slow start.
+                self.cwnd += newly.min(self.cfg.mss as u64) as f64;
+            } else {
+                // Congestion avoidance (per-ACK increment).
+                self.cwnd += (self.cfg.mss as f64) * (self.cfg.mss as f64) / self.cwnd;
+            }
+            self.cwnd = self.cwnd.min(self.cfg.max_cwnd_bytes as f64);
+
+            if self.snd_una >= self.size {
+                self.done = Some(now);
+                return;
+            }
+            self.try_send(now, pkt_ids, out);
+        } else if ack == self.snd_una && self.flight() > 0 {
+            self.dup_acks += 1;
+            if !self.in_recovery && self.dup_acks == self.cfg.dupack_thresh {
+                // Fast retransmit + fast recovery.
+                self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.cfg.mss as f64);
+                self.cwnd = self.ssthresh + (self.cfg.dupack_thresh * self.cfg.mss) as f64;
+                self.recover = self.snd_nxt;
+                self.in_recovery = true;
+                let p = self.make_segment(self.snd_una, now, pkt_ids, true);
+                self.retransmissions += 1;
+                out.push(p);
+            } else if self.in_recovery {
+                // Window inflation lets new data flow during recovery.
+                self.cwnd += self.cfg.mss as f64;
+                self.cwnd = self.cwnd.min(self.cfg.max_cwnd_bytes as f64);
+                self.try_send(now, pkt_ids, out);
+            }
+        }
+    }
+
+    fn sample_rtt(&mut self, rtt: Time) {
+        let r = rtt.as_nanos() as f64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (srtt - r).abs();
+                self.srtt_ns = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        let rto_ns = self.srtt_ns.unwrap() + 4.0 * self.rttvar_ns;
+        self.rto = Time::from_nanos(rto_ns as u64).max(self.cfg.rto_min).min(self.cfg.rto_max);
+    }
+
+    /// An RTO timer fired. Returns `true` if it was current and handled
+    /// (the caller should then reschedule via [`TcpFlow::rto_deadline`]).
+    pub fn on_timer(&mut self, generation: u64, now: Time, pkt_ids: &mut u64, out: &mut Vec<Packet>) -> bool {
+        if generation != self.timer_gen || self.done.is_some() || self.flight() == 0 {
+            return false;
+        }
+        self.timeouts += 1;
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.cfg.mss as f64);
+        self.cwnd = self.cfg.mss as f64;
+        self.rto = (self.rto.mul(2)).min(self.cfg.rto_max);
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.timer_gen += 1;
+        let p = self.make_segment(self.snd_una, now, pkt_ids, true);
+        self.retransmissions += 1;
+        out.push(p);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(size: u64) -> TcpFlow {
+        TcpFlow::new(FlowId(0), HostId(0), HostId(1), 0xfeed, size, Time::ZERO, TcpConfig::default())
+    }
+
+    /// A flow with a large initial window (several tests need many
+    /// segments in flight at once).
+    fn flow_iw10(size: u64) -> TcpFlow {
+        let cfg = TcpConfig { init_cwnd: 10, ..Default::default() };
+        TcpFlow::new(FlowId(0), HostId(0), HostId(1), 0xfeed, size, Time::ZERO, cfg)
+    }
+
+    /// Drive sender + receiver over a perfect in-order pipe with fixed
+    /// one-way delay; returns the completion time.
+    fn run_perfect_pipe(mut f: TcpFlow, delay: Time) -> TcpFlow {
+        let mut ids = 0u64;
+        let mut in_flight: Vec<Packet> = Vec::new();
+        let mut now = Time::ZERO;
+        f.start_sending(now, &mut ids, &mut in_flight);
+        let mut guard = 0;
+        while f.done.is_none() {
+            guard += 1;
+            assert!(guard < 100_000, "no progress");
+            now = now + delay;
+            let data: Vec<Packet> = std::mem::take(&mut in_flight);
+            let mut acks = Vec::new();
+            for p in &data {
+                f.on_data(p, now, &mut ids, &mut acks);
+            }
+            now = now + delay;
+            for a in &acks {
+                f.on_ack(a, now, &mut ids, &mut in_flight);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn initial_window_matches_config() {
+        let mut f = flow(1_000_000);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        assert_eq!(out.len(), 4, "Linux 2.6-era initial window");
+        assert_eq!(out[0].seq, 0);
+        assert_eq!(out[3].seq, 3 * 1442);
+        assert!(out.iter().all(|p| p.payload == 1442));
+        let mut big = flow_iw10(1_000_000);
+        out.clear();
+        big.start_sending(Time::ZERO, &mut ids, &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn nagle_holds_trailing_runt() {
+        // 3000 bytes = two full segments + a 116-byte residual: the runt
+        // is held until the outstanding data is ACKed.
+        let mut f = flow_iw10(3_000);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        assert_eq!(out.len(), 2, "runt held by Nagle");
+        let data: Vec<Packet> = std::mem::take(&mut out);
+        let mut acks = Vec::new();
+        for p in &data {
+            f.on_data(p, Time::from_micros(20), &mut ids, &mut acks);
+        }
+        for a in &acks {
+            f.on_ack(a, Time::from_micros(40), &mut ids, &mut out);
+        }
+        assert_eq!(out.len(), 1, "runt released once un-ACKed data drains");
+        assert_eq!(out[0].payload, 3_000 - 2 * 1442);
+        assert!(out[0].flags & flags::FIN != 0);
+    }
+
+    #[test]
+    fn nagle_off_sends_runt_immediately() {
+        let cfg = TcpConfig { nagle: false, init_cwnd: 10, ..Default::default() };
+        let mut f = TcpFlow::new(FlowId(0), HostId(0), HostId(1), 1, 3_000, Time::ZERO, cfg);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        assert_eq!(out.len(), 3, "runt rides along without Nagle");
+    }
+
+    #[test]
+    fn small_flow_single_segment_with_fin() {
+        let mut f = flow(500);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 500);
+        assert!(out[0].flags & flags::FIN != 0);
+    }
+
+    #[test]
+    fn completes_over_perfect_pipe() {
+        let f = run_perfect_pipe(flow(100_000), Time::from_micros(10));
+        assert!(f.is_done());
+        assert_eq!(f.bytes_acked, 100_000);
+        assert_eq!(f.dup_acks_sent, 0, "in-order delivery: no dup ACKs");
+        assert_eq!(f.retransmissions, 0);
+        assert_eq!(f.timeouts, 0);
+        assert!(f.fct().unwrap() > Time::ZERO);
+    }
+
+    #[test]
+    fn slow_start_doubles_window() {
+        let mut f = flow(10_000_000);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        let w0 = out.len();
+        // ACK the whole first window in-order.
+        let data: Vec<Packet> = std::mem::take(&mut out);
+        let mut acks = Vec::new();
+        for p in &data {
+            f.on_data(p, Time::from_micros(50), &mut ids, &mut acks);
+        }
+        for a in &acks {
+            f.on_ack(a, Time::from_micros(100), &mut ids, &mut out);
+        }
+        // Each ACK grows cwnd by one MSS and releases ~2 segments.
+        assert!(out.len() >= 2 * w0 - 2, "slow start: {} vs {}", out.len(), w0);
+    }
+
+    #[test]
+    fn rtt_estimator_sets_rto() {
+        let f = run_perfect_pipe(flow(200_000), Time::from_micros(25));
+        // RTT = 50us; RTO clamps at rto_min (10ms).
+        assert_eq!(f.rto(), TcpConfig::default().rto_min);
+        assert!(f.srtt_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn out_of_order_triggers_dup_acks_and_fast_retransmit() {
+        let mut f = flow_iw10(1_000_000);
+        let mut ids = 0;
+        let mut sent = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut sent);
+        assert!(sent.len() >= 5);
+        // Deliver packet 0, then packets 2,3,4 (packet 1 lost/late).
+        let now = Time::from_micros(100);
+        let mut acks = Vec::new();
+        f.on_data(&sent[0], now, &mut ids, &mut acks);
+        for p in &sent[2..5] {
+            f.on_data(p, now, &mut ids, &mut acks);
+        }
+        assert_eq!(f.dup_acks_sent, 3, "three duplicate ACKs generated");
+        // Feed the ACKs to the sender: the three dups trigger fast retx.
+        let mut retx = Vec::new();
+        for a in &acks {
+            f.on_ack(a, now + Time::from_micros(50), &mut ids, &mut retx);
+        }
+        assert_eq!(f.retransmissions, 1);
+        let r = retx.iter().find(|p| p.is_retx()).expect("retransmission emitted");
+        assert_eq!(r.seq, sent[1].seq);
+        assert!(f.in_recovery);
+        // The late packet 1 finally arrives: receiver jumps rcv_nxt to
+        // cover the buffered OOO segments.
+        let mut late_acks = Vec::new();
+        f.on_data(&sent[1], now + Time::from_micros(60), &mut ids, &mut late_acks);
+        assert_eq!(late_acks[0].ack, sent[4].seq_end());
+    }
+
+    #[test]
+    fn recovery_exits_on_full_ack() {
+        let mut f = flow_iw10(1_000_000);
+        let mut ids = 0;
+        let mut sent = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut sent);
+        let now = Time::from_micros(100);
+        let mut acks = Vec::new();
+        f.on_data(&sent[0], now, &mut ids, &mut acks);
+        for p in &sent[2..6] {
+            f.on_data(p, now, &mut ids, &mut acks);
+        }
+        let mut out = Vec::new();
+        for a in &acks {
+            f.on_ack(a, now, &mut ids, &mut out);
+        }
+        assert!(f.in_recovery);
+        let recover_point = f.recover;
+        // ACK everything up to the recovery point.
+        ids += 1;
+        let full =
+            Packet::pure_ack(ids, f.id, f.dst, f.src, f.flow_hash, recover_point, now);
+        f.on_ack(&full, now + Time::from_micros(10), &mut ids, &mut out);
+        assert!(!f.in_recovery);
+        assert!((f.cwnd - f.ssthresh).abs() < 1.0, "cwnd deflates to ssthresh");
+    }
+
+    #[test]
+    fn rto_retransmits_and_backs_off() {
+        let mut f = flow(100_000);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        let gen = f.timer_generation();
+        let rto0 = f.rto();
+        out.clear();
+        let fired = f.on_timer(gen, rto0, &mut ids, &mut out);
+        assert!(fired);
+        assert_eq!(f.timeouts, 1);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_retx());
+        assert_eq!(out[0].seq, 0);
+        assert_eq!(f.cwnd_bytes(), 1442, "cwnd collapses to one MSS");
+        assert_eq!(f.rto(), rto0.mul(2), "exponential backoff");
+        // Stale generation is ignored.
+        assert!(!f.on_timer(gen, rto0.mul(2), &mut ids, &mut out));
+    }
+
+    #[test]
+    fn timer_deadline_only_when_outstanding() {
+        let mut f = flow(10_000);
+        assert!(f.rto_deadline(Time::ZERO).is_none(), "nothing in flight yet");
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        assert!(f.rto_deadline(Time::ZERO).is_some());
+        let f2 = run_perfect_pipe(flow(10_000), Time::from_micros(5));
+        assert!(f2.rto_deadline(Time::from_millis(1)).is_none(), "done flow needs no timer");
+    }
+
+    #[test]
+    fn karn_rule_suppresses_retx_rtt_echo() {
+        let mut f = flow(100_000);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        let gen = f.timer_generation();
+        let mut retx = Vec::new();
+        f.on_timer(gen, Time::from_millis(50), &mut ids, &mut retx);
+        let mut acks = Vec::new();
+        f.on_data(&retx[0], Time::from_millis(51), &mut ids, &mut acks);
+        assert_eq!(acks[0].echo, Time::ZERO, "no RTT echo for retransmissions");
+    }
+
+    #[test]
+    fn duplicate_segments_reack_without_advancing() {
+        let mut f = flow(100_000);
+        let mut ids = 0;
+        let mut sent = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut sent);
+        let now = Time::from_micros(10);
+        let mut acks = Vec::new();
+        f.on_data(&sent[0], now, &mut ids, &mut acks);
+        let edge = acks[0].ack;
+        f.on_data(&sent[0], now, &mut ids, &mut acks);
+        assert_eq!(acks[1].ack, edge);
+        assert_eq!(f.dup_acks_sent, 1);
+        assert_eq!(f.bytes_received(), 1442);
+    }
+
+    #[test]
+    fn gro_batches_count_in_order_vs_reordered() {
+        // In-order: 100 MSS-sized packets = ~3 batches (64KB each).
+        let mut f = flow(u64::MAX);
+        let mut ids = 0;
+        let mut sink = Vec::new();
+        let mk = |seq: u64, ids: &mut u64| {
+            *ids += 1;
+            Packet::data(*ids, FlowId(0), HostId(0), HostId(1), 1, seq, 1442, Time::ZERO)
+        };
+        for i in 0..100u64 {
+            let p = mk(i * 1442, &mut ids);
+            f.on_data(&p, Time::ZERO, &mut ids, &mut sink);
+        }
+        let in_order = f.gro_batches;
+        assert!(in_order <= 3, "{in_order}");
+
+        // Reordered: every swap of adjacent packets breaks a batch.
+        let mut g = flow(u64::MAX);
+        for i in 0..50u64 {
+            let a = mk((2 * i + 1) * 1442, &mut ids);
+            let b = mk((2 * i) * 1442, &mut ids);
+            g.on_data(&a, Time::ZERO, &mut ids, &mut sink);
+            g.on_data(&b, Time::ZERO, &mut ids, &mut sink);
+        }
+        assert!(g.gro_batches > 20, "reordering multiplies batches: {}", g.gro_batches);
+    }
+
+    #[test]
+    fn elephant_flow_never_completes() {
+        let mut f = flow_iw10(u64::MAX);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        let data: Vec<Packet> = std::mem::take(&mut out);
+        let mut acks = Vec::new();
+        for p in &data {
+            f.on_data(p, Time::from_micros(20), &mut ids, &mut acks);
+        }
+        for a in &acks {
+            f.on_ack(a, Time::from_micros(40), &mut ids, &mut out);
+        }
+        assert!(!f.is_done());
+        assert_eq!(f.bytes_acked, 10 * 1442);
+        assert!(!out.is_empty(), "keeps sending");
+    }
+
+    #[test]
+    fn cwnd_respects_receive_window_cap() {
+        let cfg = TcpConfig { max_cwnd_bytes: 20_000, ..Default::default() };
+        let mut f = TcpFlow::new(FlowId(0), HostId(0), HostId(1), 1, u64::MAX, Time::ZERO, cfg);
+        let mut ids = 0;
+        let mut out = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut out);
+        for _round in 0..20 {
+            let data: Vec<Packet> = std::mem::take(&mut out);
+            let mut acks = Vec::new();
+            for p in &data {
+                f.on_data(p, Time::from_micros(20), &mut ids, &mut acks);
+            }
+            for a in &acks {
+                f.on_ack(a, Time::from_micros(40), &mut ids, &mut out);
+            }
+        }
+        assert!(f.cwnd_bytes() <= 20_000);
+    }
+}

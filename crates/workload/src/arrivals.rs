@@ -1,0 +1,109 @@
+//! Flow interarrival processes.
+
+use drill_sim::{SimRng, Time};
+
+/// An interarrival-time process for the aggregate flow stream.
+#[derive(Clone, Debug)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at the given aggregate rate (flows/second).
+    Poisson {
+        /// Mean gap between arrivals, nanoseconds.
+        mean_gap_ns: f64,
+    },
+    /// Lognormal gaps (burstier than Poisson, matching the burstiness the
+    /// paper's §2 cites); parameterized by the aggregate rate and sigma of
+    /// the underlying normal.
+    LogNormal {
+        /// `mu` of the underlying normal, chosen so the mean gap matches.
+        mu: f64,
+        /// `sigma` of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` flows/second.
+    pub fn poisson(rate: f64) -> ArrivalProcess {
+        assert!(rate > 0.0);
+        ArrivalProcess::Poisson { mean_gap_ns: 1e9 / rate }
+    }
+
+    /// Lognormal arrivals with mean rate `rate` flows/second and shape
+    /// `sigma` (sigma 0 degenerates to fixed gaps; ~1-2 is very bursty).
+    pub fn lognormal(rate: f64, sigma: f64) -> ArrivalProcess {
+        assert!(rate > 0.0 && sigma >= 0.0);
+        // Mean of lognormal = exp(mu + sigma^2/2); solve for mu.
+        let mean_gap_ns = 1e9 / rate;
+        let mu = mean_gap_ns.ln() - sigma * sigma / 2.0;
+        ArrivalProcess::LogNormal { mu, sigma }
+    }
+
+    /// Draw the gap to the next arrival.
+    pub fn sample_gap(&self, rng: &mut SimRng) -> Time {
+        let ns = match self {
+            ArrivalProcess::Poisson { mean_gap_ns } => rng.exponential(*mean_gap_ns),
+            ArrivalProcess::LogNormal { mu, sigma } => rng.lognormal(*mu, *sigma),
+        };
+        Time::from_nanos(ns.max(0.0).round() as u64)
+    }
+
+    /// The process's mean rate in flows/second.
+    pub fn rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { mean_gap_ns } => 1e9 / mean_gap_ns,
+            ArrivalProcess::LogNormal { mu, sigma } => 1e9 / (mu + sigma * sigma / 2.0).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap(p: &ArrivalProcess, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        let sum: u64 = (0..n).map(|_| p.sample_gap(&mut rng).as_nanos()).sum();
+        sum as f64 / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_rate() {
+        let p = ArrivalProcess::poisson(100_000.0); // 10us mean gap
+        let m = mean_gap(&p, 200_000, 1);
+        assert!((m - 10_000.0).abs() / 10_000.0 < 0.02, "{m}");
+        assert!((p.rate() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lognormal_mean_rate_matches() {
+        let p = ArrivalProcess::lognormal(50_000.0, 1.5);
+        let m = mean_gap(&p, 400_000, 2);
+        assert!((m - 20_000.0).abs() / 20_000.0 < 0.05, "{m}");
+        assert!((p.rate() - 50_000.0).abs() / 50_000.0 < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_is_burstier_than_poisson() {
+        // Compare squared coefficient of variation.
+        let cv2 = |p: &ArrivalProcess, seed| {
+            let mut rng = SimRng::seed_from(seed);
+            let xs: Vec<f64> = (0..100_000).map(|_| p.sample_gap(&mut rng).as_nanos() as f64).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(&ArrivalProcess::poisson(10_000.0), 3);
+        let bursty = cv2(&ArrivalProcess::lognormal(10_000.0, 1.5), 3);
+        assert!((poisson - 1.0).abs() < 0.1, "exponential cv^2 = 1: {poisson}");
+        assert!(bursty > 3.0, "lognormal(sigma=1.5) much burstier: {bursty}");
+    }
+
+    #[test]
+    fn gaps_are_nonnegative() {
+        let p = ArrivalProcess::lognormal(1e6, 2.0);
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..1000 {
+            let _ = p.sample_gap(&mut rng); // must not panic / underflow
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Traffic patterns: who talks to whom.
+
+use drill_sim::SimRng;
+
+/// Destination-selection patterns (§4 "Synthetic workloads" plus the
+/// trace-driven uniform pattern).
+#[derive(Clone, Debug)]
+pub enum TrafficPattern {
+    /// Each flow picks a uniform-random destination under a *different*
+    /// leaf (the paper's default and its "Random" synthetic pattern).
+    Uniform,
+    /// `server[i]` sends to `server[(i + x) mod N]`.
+    Stride(u32),
+    /// A fixed random permutation (bijection) chosen once.
+    Bijection,
+    /// Each server sends to all other servers in its own random order,
+    /// cycling.
+    Shuffle,
+    // -- internal bound states (constructed by `bind`) --
+    #[doc(hidden)]
+    BoundBijection(Vec<u32>, Vec<u32>),
+    #[doc(hidden)]
+    BoundShuffle(Vec<Vec<u32>>, Vec<usize>, Vec<u32>),
+    #[doc(hidden)]
+    BoundUniform(Vec<u32>),
+    #[doc(hidden)]
+    BoundStride(u32, u32),
+}
+
+impl TrafficPattern {
+    /// Bind the pattern to a concrete host set (`leaf_of[h]` = leaf index
+    /// of host `h`), fixing any random structure (permutations, shuffle
+    /// orders) from `rng`.
+    pub fn bind(self, leaf_of: Vec<u32>, rng: &mut SimRng) -> TrafficPattern {
+        let n = leaf_of.len() as u32;
+        match self {
+            TrafficPattern::Uniform => TrafficPattern::BoundUniform(leaf_of),
+            TrafficPattern::Stride(x) => TrafficPattern::BoundStride(x, n),
+            TrafficPattern::Bijection => {
+                // A permutation with no host mapped to its own leaf:
+                // resample until valid (fast for any reasonable topology).
+                loop {
+                    let mut perm: Vec<u32> = (0..n).collect();
+                    rng.shuffle(&mut perm);
+                    if perm
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &d)| leaf_of[i] != leaf_of[d as usize])
+                    {
+                        return TrafficPattern::BoundBijection(perm, leaf_of);
+                    }
+                }
+            }
+            TrafficPattern::Shuffle => {
+                let orders: Vec<Vec<u32>> = (0..n)
+                    .map(|i| {
+                        let mut others: Vec<u32> = (0..n).filter(|&j| j != i).collect();
+                        rng.shuffle(&mut others);
+                        others
+                    })
+                    .collect();
+                TrafficPattern::BoundShuffle(orders, vec![0; n as usize], leaf_of)
+            }
+            bound => bound,
+        }
+    }
+
+    /// Pick the destination for a new flow from `src`.
+    pub fn pick_dst(&mut self, src: u32, rng: &mut SimRng) -> u32 {
+        match self {
+            TrafficPattern::BoundUniform(leaf_of) => {
+                let my_leaf = leaf_of[src as usize];
+                loop {
+                    let d = rng.below(leaf_of.len()) as u32;
+                    if leaf_of[d as usize] != my_leaf {
+                        return d;
+                    }
+                }
+            }
+            TrafficPattern::BoundStride(x, n) => (src + *x) % *n,
+            TrafficPattern::BoundBijection(perm, _) => perm[src as usize],
+            TrafficPattern::BoundShuffle(orders, cursors, _) => {
+                let order = &orders[src as usize];
+                let c = &mut cursors[src as usize];
+                let d = order[*c % order.len()];
+                *c += 1;
+                d
+            }
+            _ => panic!("pattern must be bound before use"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_of() -> Vec<u32> {
+        (0..16).map(|h| h / 4).collect() // 4 leaves x 4 hosts
+    }
+
+    #[test]
+    fn uniform_avoids_own_leaf() {
+        let mut rng = SimRng::seed_from(1);
+        let mut p = TrafficPattern::Uniform.bind(leaf_of(), &mut rng);
+        for src in 0..16u32 {
+            for _ in 0..50 {
+                let d = p.pick_dst(src, &mut rng);
+                assert_ne!(d / 4, src / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn stride_is_deterministic() {
+        let mut rng = SimRng::seed_from(2);
+        let mut p = TrafficPattern::Stride(8).bind(leaf_of(), &mut rng);
+        assert_eq!(p.pick_dst(0, &mut rng), 8);
+        assert_eq!(p.pick_dst(12, &mut rng), 4);
+        assert_eq!(p.pick_dst(15, &mut rng), 7);
+    }
+
+    #[test]
+    fn bijection_is_a_cross_leaf_permutation() {
+        let mut rng = SimRng::seed_from(3);
+        let mut p = TrafficPattern::Bijection.bind(leaf_of(), &mut rng);
+        let dsts: Vec<u32> = (0..16).map(|s| p.pick_dst(s, &mut rng)).collect();
+        let mut sorted = dsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "a permutation");
+        for (s, &d) in dsts.iter().enumerate() {
+            assert_ne!(s as u32 / 4, d / 4, "never its own leaf");
+        }
+        // Stable across calls.
+        assert_eq!(p.pick_dst(3, &mut rng), dsts[3]);
+    }
+
+    #[test]
+    fn shuffle_visits_everyone_before_repeating() {
+        let mut rng = SimRng::seed_from(4);
+        let mut p = TrafficPattern::Shuffle.bind(leaf_of(), &mut rng);
+        let mut seen: Vec<u32> = (0..15).map(|_| p.pick_dst(0, &mut rng)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..16).collect::<Vec<_>>(), "all others once");
+        // 16th pick starts the second round.
+        let again = p.pick_dst(0, &mut rng);
+        assert_ne!(again, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn unbound_pattern_panics() {
+        let mut rng = SimRng::seed_from(5);
+        TrafficPattern::Uniform.pick_dst(0, &mut rng);
+    }
+}

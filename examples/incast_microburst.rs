@@ -1,0 +1,61 @@
+//! Incast microbursts: the scenario the paper's introduction motivates.
+//!
+//! Every 2 ms, 10% of hosts simultaneously fetch 10 KB responses from 10%
+//! of the other hosts, on top of 20% background load. Micro load balancing
+//! reacts within packets; edge/flowlet schemes react only after their
+//! control loop catches up.
+//!
+//! ```sh
+//! cargo run --release --example incast_microburst
+//! ```
+
+use drill::net::{HopClass, LeafSpineSpec, DEFAULT_PROP};
+use drill::runtime::{run_many, ExperimentConfig, Scheme, TopoSpec};
+use drill::sim::Time;
+use drill::workload::IncastSpec;
+
+fn main() {
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves: 4,
+        hosts_per_leaf: 16,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let schemes =
+        [Scheme::Ecmp, Scheme::Conga, Scheme::presto(), Scheme::drill_default()];
+
+    let cfgs: Vec<ExperimentConfig> = schemes
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = ExperimentConfig::new(topo.clone(), scheme, 0.2);
+            cfg.duration = Time::from_millis(20);
+            cfg.workload.incast =
+                Some(IncastSpec { epoch_gap: Time::from_millis(2), ..Default::default() });
+            cfg
+        })
+        .collect();
+
+    println!("incast on a 4x4x16 fabric: 10% of hosts fetch 10KB from 10% of hosts");
+    println!("every 2ms, 20% background load\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "scheme", "incasts", "median", "p99", "p99.99", "hop1 loss %", "hop1 q [us]"
+    );
+    for mut stats in run_many(&cfgs) {
+        println!(
+            "{:<10} {:>8} {:>10.3}ms {:>10.3}ms {:>10.3}ms {:>14.3} {:>12.3}",
+            stats.scheme,
+            stats.fct_incast_ms.count(),
+            stats.fct_incast_ms.percentile(50.0),
+            stats.fct_incast_ms.percentile(99.0),
+            stats.fct_incast_ms.percentile(99.99),
+            stats.hops.loss_rate(HopClass::LeafUp) * 100.0,
+            stats.hops.mean_wait_us(HopClass::LeafUp),
+        );
+    }
+    println!("\nThe paper's Figure 14: DRILL cuts the 99.99th-percentile incast FCT by");
+    println!("2.1x vs CONGA and 2.6x vs Presto at 20% load, by diverting the burst");
+    println!("packet-by-packet before upstream queues overflow.");
+}

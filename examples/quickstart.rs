@@ -1,0 +1,48 @@
+//! Quickstart: build a leaf-spine fabric, offer a trace-driven workload,
+//! and compare ECMP against DRILL(2, 1).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use drill::net::{HopClass, LeafSpineSpec, DEFAULT_PROP};
+use drill::runtime::{run, ExperimentConfig, Scheme, TopoSpec};
+use drill::sim::Time;
+
+fn main() {
+    // A small two-stage Clos: 4 spines, 4 leaves, 8 hosts per leaf,
+    // 40 Gbps core over 10 Gbps edges.
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves: 4,
+        hosts_per_leaf: 8,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+
+    println!("DRILL quickstart: 4x4x8 leaf-spine, trace-driven workload, 60% load\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "scheme", "flows", "mean FCT", "p99 FCT", "hop1 q [us]", "dupACK flows"
+    );
+    for scheme in [Scheme::Ecmp, Scheme::Random, Scheme::drill_default()] {
+        let mut cfg = ExperimentConfig::new(topo.clone(), scheme, 0.6);
+        cfg.duration = Time::from_millis(10);
+        let mut stats = run(&cfg);
+        let p99 = stats.fct_percentile_ms(99.0);
+        println!(
+            "{:<22} {:>10} {:>9.3}ms {:>9.2}ms {:>12.3} {:>13.2}%",
+            stats.scheme,
+            stats.flows_started,
+            stats.mean_fct_ms(),
+            p99,
+            stats.hops.mean_wait_us(HopClass::LeafUp),
+            stats.dupacks.frac_at_least(1) * 100.0,
+        );
+    }
+    println!("\nDRILL keeps the upstream (leaf-to-spine) queues near zero by making a");
+    println!("load-aware choice for every packet; the optional shim hides the little");
+    println!("reordering that remains. See crates/bench/src/bin/ for the full paper");
+    println!("reproduction harness (fig2..fig14, table1, hw_area).");
+}

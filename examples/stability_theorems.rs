@@ -1,0 +1,64 @@
+//! The §3.2.4 stability theorems, observed.
+//!
+//! Theorem 1: DRILL(d, 0) — random sampling without memory — is unstable
+//! for some admissible arrivals whenever d < N.
+//! Theorem 2: DRILL(d, m≥1) is stable with 100% throughput.
+//!
+//! ```sh
+//! cargo run --release --example stability_theorems
+//! ```
+
+use drill::core::stability::{simulate, StabilityConfig};
+
+fn show(label: &str, cfg: &StabilityConfig) {
+    let out = simulate(cfg);
+    println!("{label}");
+    println!(
+        "  admissible: {}   slots: {}   arrivals: {}   served: {}",
+        cfg.is_admissible(),
+        cfg.slots,
+        out.arrivals,
+        out.served
+    );
+    println!(
+        "  final queues: {:?}   max backlog: {}   throughput: {:.3}",
+        out.final_queues,
+        out.max_total,
+        out.throughput()
+    );
+    let traj: Vec<u64> = out.trajectory.iter().step_by(8).copied().collect();
+    println!("  backlog trajectory (every slots/8): {traj:?}\n");
+}
+
+fn main() {
+    println!("M x N switch model: 1 engine at lambda = 0.85, two queues with");
+    println!("service rates (0.92, 0.08) — admissible, but the slow queue can");
+    println!("only survive if the scheduler learns to avoid it.\n");
+
+    let unstable = StabilityConfig {
+        arrival_prob: vec![0.85],
+        service_prob: vec![0.92, 0.08],
+        d: 1,
+        m: 0,
+        slots: 200_000,
+        seed: 42,
+    };
+    show("DRILL(1, 0) — Theorem 1: memoryless sampling diverges", &unstable);
+
+    let stable = StabilityConfig { m: 1, ..unstable.clone() };
+    show("DRILL(1, 1) — Theorem 2: one memory unit restores stability", &stable);
+
+    let multi = StabilityConfig {
+        arrival_prob: vec![0.2; 4],
+        service_prob: vec![0.6, 0.3, 0.05],
+        d: 2,
+        m: 1,
+        slots: 200_000,
+        seed: 7,
+    };
+    show("DRILL(2, 1), 4 engines, heterogeneous service — still stable", &multi);
+
+    println!("The theorem's intuition: without memory, a queue receives d/N of the");
+    println!("load whenever it is sampled and short, regardless of its service rate;");
+    println!("memory lets engines keep routing to the fast queue they have seen.");
+}

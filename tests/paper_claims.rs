@@ -1,0 +1,147 @@
+//! Qualitative paper claims, checked end-to-end at test scale.
+//!
+//! These are the *shape* assertions the reproduction stands on: scheme
+//! orderings and directional effects, not absolute numbers.
+
+use drill::hw::{estimate, HwSpec, TechNode};
+use drill::net::{HopClass, LeafSpineSpec, DEFAULT_PROP};
+use drill::runtime::{run_many, ExperimentConfig, Scheme, TopoSpec};
+use drill::sim::Time;
+
+fn paper_shaped() -> TopoSpec {
+    TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves: 4,
+        hosts_per_leaf: 12,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    })
+}
+
+fn cfg(scheme: Scheme, load: f64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(paper_shaped(), scheme, load);
+    cfg.duration = Time::from_millis(8);
+    cfg.warmup = Time::from_micros(500);
+    cfg
+}
+
+/// §3.2.3 / Figure 2: ECMP's queue imbalance is orders of magnitude above
+/// any per-packet scheme, and DRILL(2,1) beats per-packet Random.
+#[test]
+fn queue_stdv_ordering() {
+    let mk = |scheme| {
+        let mut c = cfg(scheme, 0.8);
+        c.raw_packet_mode = true;
+        c.sample_queues = true;
+        c.queue_limit_bytes = 20_000_000;
+        c.workload.burst_sigma = 2.0;
+        c
+    };
+    let res = run_many(&[mk(Scheme::Ecmp), mk(Scheme::Random), mk(Scheme::drill_no_shim())]);
+    let (ecmp, random, drill) =
+        (res[0].queue_stdv.mean(), res[1].queue_stdv.mean(), res[2].queue_stdv.mean());
+    assert!(ecmp > 3.0 * random, "ECMP {ecmp} >> Random {random}");
+    assert!(drill < random, "DRILL {drill} < Random {random}");
+}
+
+/// Figure 11a: at identical (per-packet) granularity, DRILL's load
+/// awareness yields less reordering than load-oblivious Random; ECMP and
+/// CONGA never reorder.
+#[test]
+fn reordering_ordering() {
+    let res = run_many(&[
+        cfg(Scheme::Ecmp, 0.8),
+        cfg(Scheme::Conga, 0.8),
+        cfg(Scheme::Random, 0.8),
+        cfg(Scheme::drill_no_shim(), 0.8),
+        cfg(Scheme::drill_default(), 0.8),
+    ]);
+    assert_eq!(res[0].reorders.frac_at_least(1), 0.0, "ECMP never reorders");
+    assert_eq!(res[1].reorders.frac_at_least(1), 0.0, "CONGA flowlets never reorder");
+    let random = res[2].reorders.frac_at_least(1);
+    let drill = res[3].reorders.frac_at_least(1);
+    assert!(drill < random, "DRILL {drill} < Random {random}");
+    // §3.3: the shim hides what little reordering remains from TCP.
+    let shimmed = res[4].dupacks.frac_at_least(1);
+    let bare = res[3].dupacks.frac_at_least(1);
+    assert!(shimmed < bare, "shim cuts dup ACKs: {shimmed} < {bare}");
+}
+
+/// Figure 6(c): DRILL's benefit is concentrated at the upstream (hop 1)
+/// queues under load.
+#[test]
+fn drill_cuts_upstream_queueing() {
+    let res = run_many(&[cfg(Scheme::Ecmp, 0.8), cfg(Scheme::drill_default(), 0.8)]);
+    let ecmp_h1 = res[0].hops.mean_wait_us(HopClass::LeafUp);
+    let drill_h1 = res[1].hops.mean_wait_us(HopClass::LeafUp);
+    assert!(
+        drill_h1 * 2.0 < ecmp_h1,
+        "hop-1 queueing at least halved: DRILL {drill_h1} vs ECMP {ecmp_h1}"
+    );
+    // Hop 3 (no path choice) is roughly unaffected (within 2x of ECMP).
+    let ecmp_h3 = res[0].hops.mean_wait_us(HopClass::ToHost);
+    let drill_h3 = res[1].hops.mean_wait_us(HopClass::ToHost);
+    assert!(drill_h3 < ecmp_h3 * 2.0 + 1.0, "hop 3 similar: {drill_h3} vs {ecmp_h3}");
+}
+
+/// Figure 14: under incast, DRILL's tail is no worse than ECMP's and its
+/// hop-1 loss rate is lower.
+#[test]
+fn incast_tail_and_upstream_loss() {
+    let mk = |scheme| {
+        let mut c = cfg(scheme, 0.2);
+        c.duration = Time::from_millis(12);
+        c.workload.incast = Some(drill::workload::IncastSpec {
+            epoch_gap: Time::from_millis(2),
+            ..Default::default()
+        });
+        c
+    };
+    let mut res = run_many(&[mk(Scheme::Ecmp), mk(Scheme::drill_default())]);
+    let ecmp_drops = res[0].hops.drops[1]; // leaf-up
+    let drill_drops = res[1].hops.drops[1];
+    assert!(drill_drops <= ecmp_drops, "hop-1 drops: DRILL {drill_drops} <= ECMP {ecmp_drops}");
+    let ecmp_tail = res[0].fct_incast_ms.percentile(99.0);
+    let drill_tail = res[1].fct_incast_ms.percentile(99.0);
+    assert!(
+        drill_tail <= ecmp_tail * 1.2,
+        "incast tail not worse: DRILL {drill_tail} vs ECMP {ecmp_tail}"
+    );
+}
+
+/// §4 hardware: the paper's (reproduced) area accounting stays under 1% of
+/// a reference switch chip even for extreme configurations.
+#[test]
+fn hardware_overhead_under_one_percent() {
+    let tech = TechNode::default();
+    for spec in [
+        HwSpec::paper_default(),
+        HwSpec { engines: 48, ..HwSpec::paper_default() },
+        HwSpec { d: 20, m: 20, engines: 48, ..HwSpec::paper_default() },
+    ] {
+        let est = estimate(&spec, &tech);
+        assert!(est.fraction_of_chip < 0.01, "{spec:?}: {}", est.fraction_of_chip);
+    }
+}
+
+/// §3.2.4: the stability dichotomy, via the abstract switch model.
+#[test]
+fn stability_dichotomy() {
+    use drill::core::stability::{simulate, theorem1_counterexample};
+    let unstable = simulate(&theorem1_counterexample(1, 0, 60_000, 9));
+    let stable = simulate(&theorem1_counterexample(1, 1, 60_000, 9));
+    assert!(unstable.final_queues.iter().sum::<u64>() > 50 * stable.final_queues.iter().sum::<u64>().max(1));
+    assert!(stable.throughput() > 0.99);
+}
+
+/// §4 GRO: DRILL (with shim) increases receiver GRO batches only
+/// marginally relative to ECMP.
+#[test]
+fn gro_batches_close_to_ecmp() {
+    let res = run_many(&[cfg(Scheme::Ecmp, 0.6), cfg(Scheme::drill_default(), 0.6)]);
+    let per_pkt =
+        |s: &drill::runtime::RunStats| s.gro_batches as f64 / s.data_pkts_delivered.max(1) as f64;
+    let (e, d) = (per_pkt(&res[0]), per_pkt(&res[1]));
+    assert!(d < e * 1.15, "GRO batches per packet: DRILL {d} vs ECMP {e}");
+}

@@ -1,0 +1,225 @@
+//! Property-based invariants across the crates.
+
+use drill::core::{decompose_groups, DrillPolicy, Quiver};
+use drill::net::{
+    leaf_spine, FlowId, HostId, LeafSpineSpec, Packet, QueueView, RouteTable, SelectCtx, SwitchId,
+    SwitchPolicy, DEFAULT_PROP,
+};
+use drill::sim::{SimRng, Time};
+use drill::transport::{ShimBuffer, TcpConfig, TcpFlow};
+use proptest::prelude::*;
+
+use proptest::prop_compose;
+prop_compose! {
+    fn spec_strategy()(spines in 2usize..6, leaves in 2usize..6, hosts in 1usize..4)
+        -> LeafSpineSpec {
+        LeafSpineSpec {
+            spines,
+            leaves,
+            hosts_per_leaf: hosts,
+            host_rate: 10_000_000_000,
+            core_rate: 40_000_000_000,
+            prop: DEFAULT_PROP,
+        }
+    }
+}
+
+struct FixedQueues(Vec<u64>);
+impl QueueView for FixedQueues {
+    fn visible_bytes(&self, p: u16) -> u64 {
+        self.0[p as usize]
+    }
+    fn visible_pkts(&self, p: u16) -> u32 {
+        (self.0[p as usize] / 1500) as u32
+    }
+    fn num_ports(&self) -> usize {
+        self.0.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routing: in a healthy leaf-spine fabric every leaf pair is 2 hops
+    /// apart with all spines as candidates; after failing one uplink the
+    /// affected leaf loses exactly one candidate everywhere.
+    #[test]
+    fn routing_reachability(spec in spec_strategy(), fail_spine in 0usize..6) {
+        let mut topo = leaf_spine(&spec);
+        let routes = RouteTable::compute(&topo);
+        for (i, &a) in topo.leaves().iter().enumerate() {
+            for j in 0..topo.num_leaves() as u32 {
+                if i as u32 == j { continue; }
+                prop_assert_eq!(routes.dist(a, j), Some(2));
+                prop_assert_eq!(routes.candidates(a, j).len(), spec.spines);
+            }
+        }
+        let l0 = topo.leaves()[0];
+        let spine = SwitchId((spec.leaves + fail_spine % spec.spines) as u32);
+        prop_assert!(topo.fail_switch_link(l0, spine, 0));
+        let routes = RouteTable::compute(&topo);
+        for j in 1..topo.num_leaves() as u32 {
+            prop_assert_eq!(routes.candidates(l0, j).len(), spec.spines - 1);
+        }
+    }
+
+    /// Decomposition: groups always partition the candidate set, and
+    /// weights are positive.
+    #[test]
+    fn decomposition_partitions(spec in spec_strategy(), fails in 0usize..3, seed in 0u64..1000) {
+        let mut topo = leaf_spine(&spec);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..fails {
+            let leaf = topo.leaves()[rng.below(spec.leaves)];
+            let spine = SwitchId((spec.leaves + rng.below(spec.spines)) as u32);
+            let _ = topo.fail_switch_link(leaf, spine, 0);
+        }
+        let routes = RouteTable::compute(&topo);
+        let quiver = Quiver::build(&topo, &routes);
+        for si in 0..topo.num_switches() {
+            let s = SwitchId(si as u32);
+            for dst in 0..topo.num_leaves() as u32 {
+                let cand = routes.candidates(s, dst);
+                if cand.len() < 2 { continue; }
+                let groups = decompose_groups(&topo, &routes, &quiver, s, dst);
+                let mut all: Vec<u16> = groups.iter().flat_map(|g| g.ports.iter().copied()).collect();
+                all.sort_unstable();
+                all.dedup();
+                let mut c = cand.to_vec();
+                c.sort_unstable();
+                prop_assert_eq!(all, c, "groups partition candidates");
+                prop_assert!(groups.iter().all(|g| g.weight >= 1));
+            }
+        }
+    }
+
+    /// DRILL(d, m) always returns a candidate, for arbitrary queue states
+    /// and candidate subsets.
+    #[test]
+    fn drill_select_stays_in_candidates(
+        d in 1usize..8,
+        m in 0usize..8,
+        engines in 1usize..4,
+        queues in proptest::collection::vec(0u64..200_000, 2..24),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = queues.len();
+        let view = FixedQueues(queues);
+        let mut policy = DrillPolicy::new(d, m, engines);
+        // Random strict subset of ports as candidates.
+        let k = 1 + rng.below(n);
+        let cand: Vec<u16> = rng.sample_indices(n, k).into_iter().map(|i| i as u16).collect();
+        for round in 0..20u32 {
+            let ctx = SelectCtx {
+                now: Time::from_nanos(round as u64 * 100),
+                engine: round as usize % engines,
+                flow_hash: seed ^ round as u64,
+                flow: FlowId(round),
+                dst_leaf: 0,
+                candidates: &cand,
+            };
+            let sel = policy.select(&ctx, &view, &mut rng);
+            prop_assert!(cand.contains(&sel));
+        }
+    }
+
+    /// The shim delivers every packet exactly once and never out of
+    /// sequence order *within a delivery batch*, for arbitrary arrival
+    /// permutations of a window.
+    #[test]
+    fn shim_delivers_once_in_order(
+        n in 1usize..24,
+        seed in 0u64..10_000,
+        timeout_us in 1u64..500,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        rng.shuffle(&mut order);
+        let mut shim = ShimBuffer::new(Time::from_micros(timeout_us));
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut pending_timer: Option<(Time, u64)> = None;
+        for (i, &k) in order.iter().enumerate() {
+            let now = Time::from_micros(i as u64);
+            // Fire an expired timer first, as the event loop would.
+            if let Some((at, gen)) = pending_timer {
+                if at <= now {
+                    delivered.extend(shim.on_timer(gen, at).iter().map(|p| p.seq / 100));
+                    pending_timer = None;
+                }
+            }
+            let pkt = Packet::data(k, FlowId(0), HostId(0), HostId(1), 1, k * 100, 100, now);
+            let (out, timer) = shim.on_packet(pkt, now);
+            delivered.extend(out.iter().map(|p| p.seq / 100));
+            if let Some(t) = timer {
+                pending_timer = Some(t);
+            }
+        }
+        if let Some((at, gen)) = pending_timer {
+            delivered.extend(shim.on_timer(gen, at).iter().map(|p| p.seq / 100));
+        }
+        // Exactly once.
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// TCP delivers a transfer completely over a lossy, reordering pipe:
+    /// every run terminates with all bytes ACKed, regardless of drop
+    /// pattern (as long as not everything is dropped).
+    #[test]
+    fn tcp_survives_loss_and_reordering(
+        size in 1_000u64..200_000,
+        drop_mod in 5u64..50,
+        swap in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TcpConfig {
+            rto_min: Time::from_micros(500),
+            rto_init: Time::from_micros(500),
+            rto_max: Time::from_millis(5),
+            init_cwnd: 10,
+            ..Default::default()
+        };
+        let mut f = TcpFlow::new(FlowId(0), HostId(0), HostId(1), seed, size, Time::ZERO, cfg);
+        let mut ids = 0u64;
+        let mut wire: Vec<Packet> = Vec::new();
+        let mut now = Time::ZERO;
+        f.start_sending(now, &mut ids, &mut wire);
+        let mut dropped = 0u64;
+        let mut guard = 0;
+        while !f.is_done() {
+            guard += 1;
+            prop_assert!(guard < 30_000, "no livelock");
+            now += Time::from_micros(20);
+            let mut data: Vec<Packet> = std::mem::take(&mut wire);
+            if swap && data.len() >= 2 {
+                data.swap(0, 1);
+            }
+            let mut acks = Vec::new();
+            for p in &data {
+                dropped += 1;
+                // Drop every drop_mod-th data packet (but never the very
+                // last retransmission chain forever: ids keep increasing).
+                if p.id % drop_mod == 0 && p.id % (3 * drop_mod) != 0 {
+                    continue;
+                }
+                f.on_data(p, now, &mut ids, &mut acks);
+            }
+            now += Time::from_micros(20);
+            for a in &acks {
+                f.on_ack(a, now, &mut ids, &mut wire);
+            }
+            // Drive the RTO when the window stalls.
+            if wire.is_empty() && !f.is_done() {
+                if let Some((at, gen)) = f.rto_deadline(now) {
+                    now = at;
+                    f.on_timer(gen, now, &mut ids, &mut wire);
+                }
+            }
+        }
+        prop_assert!(f.is_done());
+        prop_assert_eq!(f.bytes_acked, size);
+        prop_assert!(dropped > 0);
+    }
+}
