@@ -27,10 +27,17 @@ fn cfg(scheme: Scheme) -> ExperimentConfig {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    for scheme in [Scheme::Ecmp, Scheme::drill_default(), Scheme::Conga, Scheme::presto()] {
-        g.bench_with_input(BenchmarkId::new("run_2ms", scheme.name()), &scheme, |b, &s| {
-            b.iter(|| run(&cfg(s)))
-        });
+    for scheme in [
+        Scheme::Ecmp,
+        Scheme::drill_default(),
+        Scheme::Conga,
+        Scheme::presto(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("run_2ms", scheme.name()),
+            &scheme,
+            |b, &s| b.iter(|| run(&cfg(s))),
+        );
     }
     g.finish();
 }

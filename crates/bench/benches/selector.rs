@@ -48,10 +48,14 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| p.select(&ctx, &queues, &mut rng))
     });
     for (d, m) in [(1, 0), (2, 1), (4, 2), (12, 1), (2, 11), (20, 20)] {
-        g.bench_with_input(BenchmarkId::new("drill", format!("d{d}_m{m}")), &(d, m), |b, &(d, m)| {
-            let mut p = DrillPolicy::new(d, m, 1);
-            b.iter(|| p.select(&ctx, &queues, &mut rng))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("drill", format!("d{d}_m{m}")),
+            &(d, m),
+            |b, &(d, m)| {
+                let mut p = DrillPolicy::new(d, m, 1);
+                b.iter(|| p.select(&ctx, &queues, &mut rng))
+            },
+        );
     }
     g.finish();
 }

@@ -7,7 +7,10 @@ use drill_sim::Time;
 use drill_transport::{ShimBuffer, TcpConfig, TcpFlow, SHIM_DEFAULT_TIMEOUT};
 
 fn transfer(bytes: u64) -> TcpFlow {
-    let cfg = TcpConfig { init_cwnd: 10, ..Default::default() };
+    let cfg = TcpConfig {
+        init_cwnd: 10,
+        ..Default::default()
+    };
     let mut f = TcpFlow::new(FlowId(0), HostId(0), HostId(1), 1, bytes, Time::ZERO, cfg);
     let mut ids = 0u64;
     let mut in_flight: Vec<Packet> = Vec::new();
@@ -30,13 +33,24 @@ fn transfer(bytes: u64) -> TcpFlow {
 
 fn bench_tcp(c: &mut Criterion) {
     let mut g = c.benchmark_group("tcp");
-    g.bench_function("transfer_1MB_perfect_pipe", |b| b.iter(|| transfer(1_000_000)));
+    g.bench_function("transfer_1MB_perfect_pipe", |b| {
+        b.iter(|| transfer(1_000_000))
+    });
     g.bench_function("shim_in_order_1k_pkts", |b| {
         b.iter(|| {
             let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
             let mut delivered = 0usize;
             for i in 0..1000u64 {
-                let p = Packet::data(i, FlowId(0), HostId(0), HostId(1), 1, i * 1442, 1442, Time::ZERO);
+                let p = Packet::data(
+                    i,
+                    FlowId(0),
+                    HostId(0),
+                    HostId(1),
+                    1,
+                    i * 1442,
+                    1442,
+                    Time::ZERO,
+                );
                 delivered += s.on_packet(p, Time::from_nanos(i * 1200)).0.len();
             }
             delivered
@@ -47,8 +61,26 @@ fn bench_tcp(c: &mut Criterion) {
             let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
             let mut delivered = 0usize;
             for i in 0..500u64 {
-                let a = Packet::data(i, FlowId(0), HostId(0), HostId(1), 1, (2 * i + 1) * 1442, 1442, Time::ZERO);
-                let b2 = Packet::data(i, FlowId(0), HostId(0), HostId(1), 1, (2 * i) * 1442, 1442, Time::ZERO);
+                let a = Packet::data(
+                    i,
+                    FlowId(0),
+                    HostId(0),
+                    HostId(1),
+                    1,
+                    (2 * i + 1) * 1442,
+                    1442,
+                    Time::ZERO,
+                );
+                let b2 = Packet::data(
+                    i,
+                    FlowId(0),
+                    HostId(0),
+                    HostId(1),
+                    1,
+                    (2 * i) * 1442,
+                    1442,
+                    Time::ZERO,
+                );
                 delivered += s.on_packet(a, Time::from_nanos(i * 2400)).0.len();
                 delivered += s.on_packet(b2, Time::from_nanos(i * 2400 + 1200)).0.len();
             }

@@ -85,7 +85,13 @@ fn main() {
         cfg
     };
     let res = run_many(&[mk(true), mk(false)]);
-    let mut t = Table::new(["variant", "mean FCT [ms]", "p99.9 [ms]", "hop1 q [us]", "retx"]);
+    let mut t = Table::new([
+        "variant",
+        "mean FCT [ms]",
+        "p99.9 [ms]",
+        "hop1 q [us]",
+        "retx",
+    ]);
     for (label, s) in ["with groups (§3.4)", "without (naive)"].iter().zip(&res) {
         let mut fct = s.fct_ms.clone();
         t.row([

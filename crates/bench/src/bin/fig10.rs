@@ -28,10 +28,16 @@ fn main() {
 
     let schemes = fct_schemes();
     for &load in &[0.2, 0.7] {
-        let cfgs: Vec<ExperimentConfig> =
-            schemes.iter().map(|&s| base_config(topo.clone(), s, load, scale)).collect();
+        let cfgs: Vec<ExperimentConfig> = schemes
+            .iter()
+            .map(|&s| base_config(topo.clone(), s, load, scale))
+            .collect();
         let mut res = run_many(&cfgs);
-        println!("({}) {}% load — FCT [ms] at CDF fractions", if load < 0.5 { "a" } else { "b" }, (load * 100.0) as u32);
+        println!(
+            "({}) {}% load — FCT [ms] at CDF fractions",
+            if load < 0.5 { "a" } else { "b" },
+            (load * 100.0) as u32
+        );
         println!("{}", cdf_table(&schemes, &mut res, 12));
     }
     println!("expected shape (paper): DRILL keeps FCT short in 3-stage Clos networks;");

@@ -7,12 +7,17 @@
 
 use drill_bench::{banner, base_config, fct_schemes, fct_tables, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{random_leaf_spine_failures, run_many, ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill_runtime::{
+    random_leaf_spine_failures, run_many, ExperimentConfig, RunStats, Scheme, TopoSpec,
+};
 use drill_stats::Table;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 11: reordering (a) and single link failure (b, c)", scale);
+    banner(
+        "Figure 11: reordering (a) and single link failure (b, c)",
+        scale,
+    );
 
     let leaves = scale.dim(4, 8, 16);
     let hosts = scale.dim(8, 16, 20);
@@ -35,8 +40,10 @@ fn main() {
         Scheme::drill_no_shim(),
         Scheme::drill_default(),
     ];
-    let cfgs: Vec<ExperimentConfig> =
-        reorder_schemes.iter().map(|&s| base_config(topo.clone(), s, 0.8, scale)).collect();
+    let cfgs: Vec<ExperimentConfig> = reorder_schemes
+        .iter()
+        .map(|&s| base_config(topo.clone(), s, 0.8, scale))
+        .collect();
     let res = run_many(&cfgs);
 
     let mut t = Table::new([
@@ -53,7 +60,10 @@ fn main() {
             format!("{:.4}", st.dupacks.frac_at_least(1)),
             format!("{:.4}", st.dupacks.frac_at_least(4)),
             format!("{:.4}", st.reorders.frac_at_least(1)),
-            format!("{:.4}", st.gro_batches as f64 / st.data_pkts_delivered.max(1) as f64),
+            format!(
+                "{:.4}",
+                st.gro_batches as f64 / st.data_pkts_delivered.max(1) as f64
+            ),
         ]);
     }
     println!("(a) reordering at 80% load (per flow)");
@@ -66,7 +76,10 @@ fn main() {
 
     // ---- (b, c) one leaf-spine link failure ---------------------------
     let failure = random_leaf_spine_failures(&topo.build(), 1, drill_bench::seed_from_env());
-    println!("failed link: leaf {} <-> spine {}\n", failure[0].0, failure[0].1);
+    println!(
+        "failed link: leaf {} <-> spine {}\n",
+        failure[0].0, failure[0].1
+    );
     let schemes = fct_schemes();
     let loads = scale.loads();
     let mut cfgs: Vec<ExperimentConfig> = Vec::new();
@@ -81,7 +94,11 @@ fn main() {
     let mut grid: Vec<Vec<RunStats>> = Vec::new();
     let mut it = flat.into_iter();
     for _ in &loads {
-        grid.push((0..schemes.len()).map(|_| it.next().expect("result")).collect());
+        grid.push(
+            (0..schemes.len())
+                .map(|_| it.next().expect("result"))
+                .collect(),
+        );
     }
     let (mean, tail) = fct_tables(&loads, &schemes, grid);
     println!("(b) mean FCT [ms] vs load, 1 link failure");

@@ -5,7 +5,9 @@
 
 use drill_bench::{banner, base_config, fct_schemes, fct_tables, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{random_leaf_spine_failures, run_many, ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill_runtime::{
+    random_leaf_spine_failures, run_many, ExperimentConfig, RunStats, Scheme, TopoSpec,
+};
 use drill_sim::Time;
 
 fn main() {
@@ -23,7 +25,8 @@ fn main() {
         prop: drill_net::DEFAULT_PROP,
     });
     let n_failures = scale.dim(3, 6, 10);
-    let failures = random_leaf_spine_failures(&topo.build(), n_failures, drill_bench::seed_from_env());
+    let failures =
+        random_leaf_spine_failures(&topo.build(), n_failures, drill_bench::seed_from_env());
     println!(
         "topology: {n} spines x {n} leaves x {hosts} hosts, all 10G; {} failed links (paper: 10)\n",
         failures.len()
@@ -43,16 +46,27 @@ fn main() {
     let mut grid: Vec<Vec<RunStats>> = Vec::new();
     let mut it = flat.into_iter();
     for _ in &loads {
-        grid.push((0..schemes.len()).map(|_| it.next().expect("result")).collect());
+        grid.push(
+            (0..schemes.len())
+                .map(|_| it.next().expect("result"))
+                .collect(),
+        );
     }
     let (mean, tail) = fct_tables(&loads, &schemes, grid);
     println!("(a) mean FCT [ms] vs load, {} failures", failures.len());
     println!("{mean}");
-    println!("(b) 99.99th percentile FCT [ms] vs load, {} failures", failures.len());
+    println!(
+        "(b) 99.99th percentile FCT [ms] vs load, {} failures",
+        failures.len()
+    );
     println!("{tail}");
 
     // §4: ideal DRILL vs OSPF-delayed reaction, 5 failures at 70% load.
-    let five = random_leaf_spine_failures(&topo.build(), n_failures.min(5), drill_bench::seed_from_env() + 1);
+    let five = random_leaf_spine_failures(
+        &topo.build(),
+        n_failures.min(5),
+        drill_bench::seed_from_env() + 1,
+    );
     let mut ideal = base_config(topo.clone(), Scheme::drill_default(), 0.7, scale);
     ideal.failed_links = five.clone();
     let mut delayed = ideal.clone();
@@ -67,10 +81,16 @@ fn main() {
         let mut f = res[1].fct_ms.clone();
         f.percentile(50.0)
     };
-    println!("ideal-DRILL vs OSPF-delayed DRILL ({} failures, 70% load):", five.len());
+    println!(
+        "ideal-DRILL vs OSPF-delayed DRILL ({} failures, 70% load):",
+        five.len()
+    );
     println!("  median FCT ideal   = {ideal_med:.3} ms");
     println!("  median FCT delayed = {delayed_med:.3} ms");
-    println!("  ideal improvement  = {:.2}% (paper: < 0.6%)\n", (delayed_med / ideal_med - 1.0) * 100.0);
+    println!(
+        "  ideal improvement  = {:.2}% (paper: < 0.6%)\n",
+        (delayed_med / ideal_med - 1.0) * 100.0
+    );
     println!("expected shape (paper): DRILL and CONGA tolerate many failures best —");
     println!("CONGA shifts load toward surviving capacity, DRILL breaks asymmetric-path");
     println!("rate dependencies via its symmetric decomposition; Presto's static");

@@ -9,7 +9,10 @@ use drill_runtime::{run_many, ExperimentConfig, RunStats, Scheme, TopoSpec};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 13: heterogeneous striping (extra parallel links)", scale);
+    banner(
+        "Figure 13: heterogeneous striping (extra parallel links)",
+        scale,
+    );
 
     let n = scale.dim(4, 8, 16);
     let hosts = scale.dim(8, 16, 48);
@@ -21,7 +24,10 @@ fn main() {
         core_rate: 10_000_000_000,
         prop: drill_net::DEFAULT_PROP,
     };
-    let topo = TopoSpec::HeteroStriped { base, extra_links: 2 };
+    let topo = TopoSpec::HeteroStriped {
+        base,
+        extra_links: 2,
+    };
     println!(
         "topology: {n} leaves x {hosts} hosts, {n} spines; 2 links to spines i and i+1,\n1 link otherwise (paper: 16 leaves x 48 hosts, 16 spines)\n"
     );
@@ -44,7 +50,11 @@ fn main() {
     let mut grid: Vec<Vec<RunStats>> = Vec::new();
     let mut it = flat.into_iter();
     for _ in &loads {
-        grid.push((0..schemes.len()).map(|_| it.next().expect("result")).collect());
+        grid.push(
+            (0..schemes.len())
+                .map(|_| it.next().expect("result"))
+                .collect(),
+        );
     }
     let (mean, tail) = fct_tables(&loads, &schemes, grid);
     println!("(a) mean FCT [ms] vs load");

@@ -30,7 +30,10 @@ fn main() {
     println!("incast: each epoch, 10% of hosts fetch 10KB from 10% of hosts\n");
 
     let schemes = fct_schemes();
-    let incast = IncastSpec { epoch_gap: Time::from_millis(2), ..Default::default() };
+    let incast = IncastSpec {
+        epoch_gap: Time::from_millis(2),
+        ..Default::default()
+    };
 
     let mut keep_for_c: Vec<RunStats> = Vec::new();
     for &load in &[0.2, 0.3] {
@@ -47,7 +50,12 @@ fn main() {
         let mut header = vec!["metric".to_string()];
         header.extend(schemes.iter().map(|s| s.name()));
         let mut t = Table::new(header);
-        for (label, p) in [("median", 50.0), ("p99", 99.0), ("p99.9", 99.9), ("p99.99", 99.99)] {
+        for (label, p) in [
+            ("median", 50.0),
+            ("p99", 99.0),
+            ("p99.9", 99.9),
+            ("p99.99", 99.99),
+        ] {
             let mut row = vec![format!("incast FCT {label} [ms]")];
             for s in res.iter_mut() {
                 row.push(f3(s.fct_incast_ms.percentile(p)));
@@ -71,7 +79,15 @@ fn main() {
     }
 
     // (c) queueing and loss per hop at 20% load.
-    let mut t = Table::new(["scheme", "q hop1 [us]", "q hop2 [us]", "q hop3 [us]", "loss hop1 %", "loss hop2 %", "loss hop3 %"]);
+    let mut t = Table::new([
+        "scheme",
+        "q hop1 [us]",
+        "q hop2 [us]",
+        "q hop3 [us]",
+        "loss hop1 %",
+        "loss hop2 %",
+        "loss hop3 %",
+    ]);
     for (s, st) in schemes.iter().zip(&keep_for_c) {
         t.row([
             s.name(),

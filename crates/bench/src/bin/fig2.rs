@@ -20,15 +20,30 @@ fn schemes() -> Vec<Scheme> {
         Scheme::Ecmp,
         Scheme::Random,
         Scheme::RoundRobin,
-        Scheme::Drill { d: 2, m: 1, shim: false },
-        Scheme::Drill { d: 12, m: 1, shim: false },
-        Scheme::Drill { d: 2, m: 11, shim: false },
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        },
+        Scheme::Drill {
+            d: 12,
+            m: 1,
+            shim: false,
+        },
+        Scheme::Drill {
+            d: 2,
+            m: 11,
+            shim: false,
+        },
     ]
 }
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 2: queue-length STDV vs engines (a: 80% load, b: 30% load)", scale);
+    banner(
+        "Figure 2: queue-length STDV vs engines (a: 80% load, b: 30% load)",
+        scale,
+    );
 
     let n = scale.dim(4, 8, 48);
     let engines_axis: Vec<usize> = match scale {
@@ -74,7 +89,11 @@ fn main() {
             }
             t.row(row);
         }
-        println!("({}) {}% load — mean queue length STDV [packets]", if load > 0.5 { "a" } else { "b" }, (load * 100.0) as u32);
+        println!(
+            "({}) {}% load — mean queue length STDV [packets]",
+            if load > 0.5 { "a" } else { "b" },
+            (load * 100.0) as u32
+        );
         println!("{}", t.render());
     }
     println!("expected shape (paper): DRILL(2,1) well below Random/RR at all engine");

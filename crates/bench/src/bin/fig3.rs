@@ -11,7 +11,10 @@ use drill_stats::{f3, Table};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 3: synchronization effect (48-engine switches, 80% load)", scale);
+    banner(
+        "Figure 3: synchronization effect (48-engine switches, 80% load)",
+        scale,
+    );
 
     let n = scale.dim(4, 8, 48);
     let engines = scale.dim(8, 16, 48);
@@ -31,7 +34,12 @@ fn main() {
     println!("topology: {n}x{n}x{n}, {engines}-engine switches (paper: 48x48x48, 48 engines)\n");
 
     let mk = |d: usize, m: usize| {
-        let mut cfg = base_config(topo.clone(), Scheme::Drill { d, m, shim: false }, 0.8, scale);
+        let mut cfg = base_config(
+            topo.clone(),
+            Scheme::Drill { d, m, shim: false },
+            0.8,
+            scale,
+        );
         cfg.engines = engines;
         cfg.raw_packet_mode = true;
         cfg.queue_limit_bytes = 20_000_000;
@@ -50,7 +58,11 @@ fn main() {
     let res = run_many(&cfgs);
     let mut t = Table::new(["samples d", "DRILL(d,1)", "DRILL(d,2)"]);
     for (i, &d) in axis.iter().enumerate() {
-        t.row([d.to_string(), f3(res[2 * i].queue_stdv.mean()), f3(res[2 * i + 1].queue_stdv.mean())]);
+        t.row([
+            d.to_string(),
+            f3(res[2 * i].queue_stdv.mean()),
+            f3(res[2 * i + 1].queue_stdv.mean()),
+        ]);
     }
     println!("(left) mean queue length STDV vs number of samples d");
     println!("{}", t.render());
@@ -64,7 +76,11 @@ fn main() {
     let res = run_many(&cfgs);
     let mut t = Table::new(["memory m", "DRILL(1,m)", "DRILL(2,m)"]);
     for (i, &m) in axis.iter().enumerate() {
-        t.row([m.to_string(), f3(res[2 * i].queue_stdv.mean()), f3(res[2 * i + 1].queue_stdv.mean())]);
+        t.row([
+            m.to_string(),
+            f3(res[2 * i].queue_stdv.mean()),
+            f3(res[2 * i + 1].queue_stdv.mean()),
+        ]);
     }
     println!("(right) mean queue length STDV vs units of memory m");
     println!("{}", t.render());

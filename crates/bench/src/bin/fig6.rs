@@ -39,7 +39,11 @@ fn main() {
     let mut grid: Vec<Vec<RunStats>> = Vec::new();
     let mut it = flat.into_iter();
     for _ in &loads {
-        grid.push((0..schemes.len()).map(|_| it.next().expect("result")).collect());
+        grid.push(
+            (0..schemes.len())
+                .map(|_| it.next().expect("result"))
+                .collect(),
+        );
     }
 
     // (c) uses the 10/50/80% rows of the same grid where available.
@@ -68,7 +72,12 @@ fn main() {
     println!("(b) 99.99th percentile FCT [ms] vs offered core load");
     println!("{tail}");
 
-    let mut t = Table::new(["load/scheme", "hop1 leaf-up [us]", "hop2 spine-down [us]", "hop3 to-host [us]"]);
+    let mut t = Table::new([
+        "load/scheme",
+        "hop1 leaf-up [us]",
+        "hop2 spine-down [us]",
+        "hop3 to-host [us]",
+    ]);
     for (_, row) in hop_rows {
         t.row(row);
     }
@@ -79,11 +88,19 @@ fn main() {
     let mut at_high: Vec<RunStats> = {
         let mut cfgs = Vec::new();
         for &scheme in &schemes {
-            cfgs.push(base_config(topo.clone(), scheme, *loads.last().expect("loads"), scale));
+            cfgs.push(base_config(
+                topo.clone(),
+                scheme,
+                *loads.last().expect("loads"),
+                scale,
+            ));
         }
         run_many(&cfgs)
     };
-    println!("FCT CDF at {:.0}% load [ms]:", loads.last().unwrap() * 100.0);
+    println!(
+        "FCT CDF at {:.0}% load [ms]:",
+        loads.last().unwrap() * 100.0
+    );
     println!("{}", cdf_table(&schemes, &mut at_high, 10));
 
     println!("expected shape (paper): DRILL < Presto < CONGA < ECMP in mean FCT under");

@@ -8,7 +8,10 @@ use drill_runtime::{run_many, ExperimentConfig, RunStats, TopoSpec};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 7: scale-out topology (16 spines x 16 leaves, all 10G)", scale);
+    banner(
+        "Figure 7: scale-out topology (16 spines x 16 leaves, all 10G)",
+        scale,
+    );
 
     let leaves = scale.dim(4, 8, 16);
     let spines = scale.dim(4, 8, 16);
@@ -21,7 +24,9 @@ fn main() {
         core_rate: 10_000_000_000,
         prop: drill_net::DEFAULT_PROP,
     });
-    println!("topology: {spines} spines x {leaves} leaves x {hosts} hosts, all 10G (paper: 16x16x20)\n");
+    println!(
+        "topology: {spines} spines x {leaves} leaves x {hosts} hosts, all 10G (paper: 16x16x20)\n"
+    );
 
     let schemes = fct_schemes();
     let loads = scale.loads();
@@ -35,7 +40,11 @@ fn main() {
     let mut grid: Vec<Vec<RunStats>> = Vec::new();
     let mut it = flat.into_iter();
     for _ in &loads {
-        grid.push((0..schemes.len()).map(|_| it.next().expect("result")).collect());
+        grid.push(
+            (0..schemes.len())
+                .map(|_| it.next().expect("result"))
+                .collect(),
+        );
     }
     let (mean, tail) = fct_tables(&loads, &schemes, grid);
     println!("(a) mean FCT [ms] vs offered core load");

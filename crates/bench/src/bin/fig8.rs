@@ -23,10 +23,16 @@ fn main() {
 
     let schemes = fct_schemes();
     for &load in &[0.3, 0.8] {
-        let cfgs: Vec<ExperimentConfig> =
-            schemes.iter().map(|&s| base_config(topo.clone(), s, load, scale)).collect();
+        let cfgs: Vec<ExperimentConfig> = schemes
+            .iter()
+            .map(|&s| base_config(topo.clone(), s, load, scale))
+            .collect();
         let mut res = run_many(&cfgs);
-        println!("({}) {}% load — FCT [ms] at CDF fractions", if load < 0.5 { "a" } else { "b" }, (load * 100.0) as u32);
+        println!(
+            "({}) {}% load — FCT [ms] at CDF fractions",
+            if load < 0.5 { "a" } else { "b" },
+            (load * 100.0) as u32
+        );
         println!("{}", cdf_table(&schemes, &mut res, 12));
     }
     println!("expected shape (paper): curves nearly coincide at 30% load; at 80% the");

@@ -27,8 +27,10 @@ fn main() {
             prop: drill_net::DEFAULT_PROP,
         });
         println!("({label}) {spines} spines x {leaves} leaves x {hosts} hosts");
-        let cfgs: Vec<ExperimentConfig> =
-            schemes.iter().map(|&s| base_config(topo.clone(), s, 0.8, scale)).collect();
+        let cfgs: Vec<ExperimentConfig> = schemes
+            .iter()
+            .map(|&s| base_config(topo.clone(), s, 0.8, scale))
+            .collect();
         let mut res = run_many(&cfgs);
         println!("{}", cdf_table(&schemes, &mut res, 12));
     }

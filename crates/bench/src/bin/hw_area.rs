@@ -31,17 +31,47 @@ fn main() {
     }
     println!("{}", t.render());
     println!("total gates:        {}", est.total_gates);
-    println!("estimated area:     {:.4} mm^2   (paper: 0.04 mm^2)", est.area_mm2);
-    println!("fraction of chip:   {:.4}%      (paper: < 1%)\n", est.fraction_of_chip * 100.0);
+    println!(
+        "estimated area:     {:.4} mm^2   (paper: 0.04 mm^2)",
+        est.area_mm2
+    );
+    println!(
+        "fraction of chip:   {:.4}%      (paper: < 1%)\n",
+        est.fraction_of_chip * 100.0
+    );
 
     // Sensitivity: engines and (d, m).
     let mut t = Table::new(["configuration", "gates", "area mm^2", "% of chip"]);
     for (label, spec) in [
         ("DRILL(2,1), 1 engine", HwSpec::paper_default()),
-        ("DRILL(2,1), 48 engines", HwSpec { engines: 48, ..HwSpec::paper_default() }),
-        ("DRILL(12,1), 1 engine", HwSpec { d: 12, ..HwSpec::paper_default() }),
-        ("DRILL(2,11), 1 engine", HwSpec { m: 11, ..HwSpec::paper_default() }),
-        ("DRILL(2,1), 256 ports", HwSpec { ports: 256, ..HwSpec::paper_default() }),
+        (
+            "DRILL(2,1), 48 engines",
+            HwSpec {
+                engines: 48,
+                ..HwSpec::paper_default()
+            },
+        ),
+        (
+            "DRILL(12,1), 1 engine",
+            HwSpec {
+                d: 12,
+                ..HwSpec::paper_default()
+            },
+        ),
+        (
+            "DRILL(2,11), 1 engine",
+            HwSpec {
+                m: 11,
+                ..HwSpec::paper_default()
+            },
+        ),
+        (
+            "DRILL(2,1), 256 ports",
+            HwSpec {
+                ports: 256,
+                ..HwSpec::paper_default()
+            },
+        ),
     ] {
         let e = estimate(&spec, &tech);
         t.row([

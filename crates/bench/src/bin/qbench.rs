@@ -1,0 +1,317 @@
+//! qbench: std-only microbenchmark of the simulator event queue.
+//!
+//! Compares the timing-wheel [`WheelQueue`] against the legacy binary-heap
+//! [`HeapQueue`] in-process, with no external benchmark framework (the
+//! criterion benches are feature-gated for offline builds; this binary is
+//! the default perf entry point).
+//!
+//! Workloads:
+//!
+//! * **hold(n)** — the steady-state shape of a simulation: `n` events
+//!   resident, each iteration pops the earliest and schedules a
+//!   replacement a short random gap ahead (sizes 64 / 4096 / 65536).
+//! * **churn** — 1M scheduled events under a mixed push / cancel / pop
+//!   interleaving with a heavy-tailed deadline spread that exercises
+//!   every wheel level and the far-future overflow.
+//!
+//! Methodology: one warmup run, then the median of nine timed runs per
+//! (workload, queue) cell. Output is a JSON document on stdout; see
+//! `scripts/qbench.sh` for the full A/B harness that also times an
+//! end-to-end fig2-style run under both queue builds and assembles
+//! `results/qbench.json`.
+//!
+//! `--e2e` instead runs one fig2-shaped experiment (open-loop packet
+//! trains, queue sampling on) against whichever `EventQueue` this binary
+//! was compiled with (`--features heap-queue` selects the heap) and prints
+//! a single JSON object with the wall-clock time.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use drill_net::{LeafSpineSpec, DEFAULT_PROP};
+use drill_runtime::{run, ExperimentConfig, Scheme, TopoSpec};
+use drill_sim::{EventToken, HeapQueue, SimRng, Time, WheelQueue};
+
+/// The common surface of the two queue implementations.
+trait EventQ {
+    const NAME: &'static str;
+    fn make() -> Self;
+    fn push(&mut self, at: Time, p: u64);
+    fn push_cancellable(&mut self, at: Time, p: u64) -> EventToken;
+    fn cancel(&mut self, tok: EventToken);
+    fn pop(&mut self) -> Option<(Time, u64)>;
+    fn now(&self) -> Time;
+}
+
+macro_rules! impl_eventq {
+    ($ty:ident, $name:literal) => {
+        impl EventQ for $ty<u64> {
+            const NAME: &'static str = $name;
+            fn make() -> Self {
+                $ty::new()
+            }
+            fn push(&mut self, at: Time, p: u64) {
+                $ty::push(self, at, p)
+            }
+            fn push_cancellable(&mut self, at: Time, p: u64) -> EventToken {
+                $ty::push_cancellable(self, at, p)
+            }
+            fn cancel(&mut self, tok: EventToken) {
+                $ty::cancel(self, tok)
+            }
+            fn pop(&mut self) -> Option<(Time, u64)> {
+                $ty::pop(self)
+            }
+            fn now(&self) -> Time {
+                $ty::now(self)
+            }
+        }
+    };
+}
+
+impl_eventq!(WheelQueue, "wheel");
+impl_eventq!(HeapQueue, "heap");
+
+/// hold(n): pop-one/push-one at steady state. Returns (ops, seconds)
+/// where one op is a pop + a push.
+fn hold<Q: EventQ>(n: usize, iters: usize) -> (u64, f64) {
+    let mut q = Q::make();
+    let mut rng = SimRng::seed_from(42);
+    for i in 0..n {
+        q.push(Time::from_nanos(1 + rng.below(10_000) as u64), i as u64);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        let (t, p) = q.pop().expect("queue holds n events");
+        black_box(p);
+        // Mostly short gaps (packet service times), occasional long ones
+        // (timers), as in a real run.
+        let gap = if rng.below(16) == 0 {
+            rng.below(1 << 22)
+        } else {
+            rng.below(4096)
+        };
+        q.push(t + Time::from_nanos(1 + gap as u64), p);
+    }
+    (iters as u64, start.elapsed().as_secs_f64())
+}
+
+/// churn: `events` pushes against a large resident population (the shape
+/// of a packed simulation: one RTO timer per flow plus packet events),
+/// with cancel traffic both before *and after* events fire — the
+/// cancel-after-fire case is the TCP pattern that grew the old heap's
+/// cancelled set without bound. Returns (schedule+fire ops, seconds).
+fn churn<Q: EventQ>(events: usize) -> (u64, f64) {
+    const RESIDENT: usize = 65_536;
+    let mut q = Q::make();
+    let mut rng = SimRng::seed_from(7);
+    let mut tokens: Vec<EventToken> = Vec::new();
+    let mut pushed = 0u64;
+    let mut fired = 0u64;
+    let start = Instant::now();
+    for i in 0..RESIDENT {
+        q.push(Time::from_nanos(1 + rng.below(1 << 22) as u64), i as u64);
+        pushed += 1;
+    }
+    while (pushed as usize) < events {
+        // Packet service times and RTT-scale timers dominate; millisecond
+        // and second-scale (RTO max, reconvergence) deadlines are the tail.
+        let gap = match rng.below(16) {
+            0..=11 => rng.below(1 << 14) as u64,
+            12..=13 => rng.below(1 << 22) as u64,
+            14 => rng.below(1 << 30) as u64,
+            _ => (1u64 << 36) + rng.below(1 << 30) as u64,
+        };
+        let at = q.now() + Time::from_nanos(1 + gap);
+        // TCP re-arms its RTO on every ACK: half the pushes are timers,
+        // and cancels run at comparable rate.
+        if rng.below(2) == 0 {
+            tokens.push(q.push_cancellable(at, pushed));
+        } else {
+            q.push(at, pushed);
+        }
+        pushed += 1;
+        if let Some((_, p)) = q.pop() {
+            black_box(p);
+            fired += 1;
+        }
+        // Cancel an outstanding token; roughly half have already fired,
+        // so both cancel paths (pending and post-delivery) stay hot.
+        if rng.below(2) == 0 && !tokens.is_empty() {
+            let i = rng.below(tokens.len());
+            q.cancel(tokens.swap_remove(i));
+        }
+    }
+    while let Some((_, p)) = q.pop() {
+        black_box(p);
+        fired += 1;
+    }
+    (pushed + fired, start.elapsed().as_secs_f64())
+}
+
+/// One warmup, then the median of `runs` timed executions.
+fn median_of<F: FnMut() -> (u64, f64)>(mut f: F, runs: usize) -> (u64, f64) {
+    f(); // warmup
+    let mut timed: Vec<(u64, f64)> = (0..runs).map(|_| f()).collect();
+    timed.sort_by(|a, b| a.1.total_cmp(&b.1));
+    timed[runs / 2]
+}
+
+struct Cell {
+    workload: String,
+    queue: &'static str,
+    ops: u64,
+    secs: f64,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs
+    }
+}
+
+fn bench_pair<W: EventQ, H: EventQ>(
+    workload: &str,
+    runs: usize,
+    mut f: impl FnMut(bool) -> (u64, f64),
+    out: &mut Vec<Cell>,
+) {
+    let (ops, secs) = median_of(|| f(false), runs);
+    out.push(Cell {
+        workload: workload.into(),
+        queue: W::NAME,
+        ops,
+        secs,
+    });
+    let (ops, secs) = median_of(|| f(true), runs);
+    out.push(Cell {
+        workload: workload.into(),
+        queue: H::NAME,
+        ops,
+        secs,
+    });
+}
+
+fn micro() {
+    const RUNS: usize = 9;
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in &[64usize, 4096, 65536] {
+        let iters = 2_000_000;
+        bench_pair::<WheelQueue<u64>, HeapQueue<u64>>(
+            &format!("hold{n}"),
+            RUNS,
+            |heap| {
+                if heap {
+                    hold::<HeapQueue<u64>>(n, iters)
+                } else {
+                    hold::<WheelQueue<u64>>(n, iters)
+                }
+            },
+            &mut cells,
+        );
+    }
+    bench_pair::<WheelQueue<u64>, HeapQueue<u64>>(
+        "churn1M",
+        RUNS,
+        |heap| {
+            if heap {
+                churn::<HeapQueue<u64>>(1_000_000)
+            } else {
+                churn::<WheelQueue<u64>>(1_000_000)
+            }
+        },
+        &mut cells,
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"qbench\",");
+    println!("  \"runs_per_cell\": 9,");
+    println!("  \"results\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        println!(
+            "    {{\"workload\": \"{}\", \"queue\": \"{}\", \"ops\": {}, \"secs\": {:.6}, \"mops_per_sec\": {:.3}}}{comma}",
+            c.workload,
+            c.queue,
+            c.ops,
+            c.secs,
+            c.ops_per_sec() / 1e6
+        );
+    }
+    println!("  ],");
+    println!("  \"speedup_wheel_over_heap\": {{");
+    let workloads: Vec<String> = {
+        let mut w: Vec<String> = cells.iter().map(|c| c.workload.clone()).collect();
+        w.dedup();
+        w
+    };
+    for (i, w) in workloads.iter().enumerate() {
+        let wheel = cells
+            .iter()
+            .find(|c| &c.workload == w && c.queue == "wheel")
+            .unwrap();
+        let heap = cells
+            .iter()
+            .find(|c| &c.workload == w && c.queue == "heap")
+            .unwrap();
+        let comma = if i + 1 < workloads.len() { "," } else { "" };
+        println!(
+            "    \"{w}\": {:.3}{comma}",
+            wheel.ops_per_sec() / heap.ops_per_sec()
+        );
+    }
+    println!("  }}");
+    println!("}}");
+}
+
+/// One fig2-shaped run (open-loop packet trains, queue sampling) against
+/// the compiled-in `EventQueue`.
+fn e2e() {
+    let queue = if cfg!(feature = "heap-queue") {
+        "heap"
+    } else {
+        "wheel"
+    };
+    let n = 20;
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: n,
+        leaves: n,
+        hosts_per_leaf: n,
+        host_rate: 10_000_000_000,
+        core_rate: 10_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let mut cfg = ExperimentConfig::new(
+        topo,
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        },
+        0.8,
+    );
+    cfg.duration = Time::from_millis(4);
+    cfg.raw_packet_mode = true;
+    cfg.queue_limit_bytes = 20_000_000;
+    cfg.workload.burst_sigma = 2.0;
+    cfg.sample_queues = true;
+    cfg.drain = Time::from_millis(5);
+    cfg.engines = 4;
+    let start = Instant::now();
+    let stats = run(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{{\"workload\": \"e2e_fig2\", \"queue\": \"{queue}\", \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+        wall,
+        stats.events,
+        stats.events as f64 / wall
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--e2e") {
+        e2e();
+    } else {
+        micro();
+    }
+}

@@ -45,7 +45,12 @@ fn main() {
         Scale::Full => Time::from_millis(600),
     };
 
-    let schemes = [Scheme::Ecmp, Scheme::Conga, Scheme::presto(), Scheme::drill_default()];
+    let schemes = [
+        Scheme::Ecmp,
+        Scheme::Conga,
+        Scheme::presto(),
+        Scheme::drill_default(),
+    ];
     let patterns: [(&str, TrafficPattern); 3] = [
         ("Stride(8)", TrafficPattern::Stride(8)),
         ("Bijection", TrafficPattern::Bijection),
@@ -84,9 +89,24 @@ fn main() {
             let mut d = s.fct_mice_ms.clone();
             d.percentile(99.99) / base_tail
         });
-        t.row([format!("{name}: elephant throughput"), tput[0].clone(), tput[1].clone(), tput[2].clone()]);
-        t.row([format!("{name}: mice mean FCT"), mean[0].clone(), mean[1].clone(), mean[2].clone()]);
-        t.row([format!("{name}: mice 99.99p FCT"), tail[0].clone(), tail[1].clone(), tail[2].clone()]);
+        t.row([
+            format!("{name}: elephant throughput"),
+            tput[0].clone(),
+            tput[1].clone(),
+            tput[2].clone(),
+        ]);
+        t.row([
+            format!("{name}: mice mean FCT"),
+            mean[0].clone(),
+            mean[1].clone(),
+            mean[2].clone(),
+        ]);
+        t.row([
+            format!("{name}: mice 99.99p FCT"),
+            tail[0].clone(),
+            tail[1].clone(),
+            tail[2].clone(),
+        ]);
     }
     println!("{}", t.render());
     println!("paper values (throughput higher=better, FCT lower=better):");

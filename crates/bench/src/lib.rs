@@ -72,7 +72,10 @@ impl Scale {
 
 /// The RNG seed from `DRILL_SEED` (default 1).
 pub fn seed_from_env() -> u64 {
-    std::env::var("DRILL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    std::env::var("DRILL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
 }
 
 /// A base experiment config with harness scale and seed applied.
@@ -96,7 +99,11 @@ pub fn fct_schemes() -> Vec<Scheme> {
 
 /// Render a mean-FCT and tail-FCT table for a (scheme x load) result grid
 /// (results indexed `[load][scheme]`).
-pub fn fct_tables(loads: &[f64], schemes: &[Scheme], mut grid: Vec<Vec<RunStats>>) -> (String, String) {
+pub fn fct_tables(
+    loads: &[f64],
+    schemes: &[Scheme],
+    mut grid: Vec<Vec<RunStats>>,
+) -> (String, String) {
     let mut header = vec!["load %".to_string()];
     header.extend(schemes.iter().map(|s| s.name()));
     let mut mean = Table::new(header.clone());

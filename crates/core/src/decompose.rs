@@ -101,7 +101,10 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
 /// hashing step, exactly as in the symmetric design).
 pub fn install_symmetric_groups(topo: &Topology, routes: &mut RouteTable) -> GroupingReport {
     let quiver = Quiver::build(topo, routes);
-    let mut report = GroupingReport { paths_enumerated: quiver.paths_enumerated, ..Default::default() };
+    let mut report = GroupingReport {
+        paths_enumerated: quiver.paths_enumerated,
+        ..Default::default()
+    };
     for si in 0..topo.num_switches() {
         let s = SwitchId(si as u32);
         for dst_leaf in 0..topo.num_leaves() as u32 {
@@ -164,7 +167,10 @@ mod tests {
         assert_eq!(groups.len(), 2);
         // Identify the group containing the S0 port.
         let s0_ports = topo.ports_to_switch(l3, SwitchId(4));
-        let g_s0 = groups.iter().find(|g| g.ports == s0_ports).expect("S0 component");
+        let g_s0 = groups
+            .iter()
+            .find(|g| g.ports == s0_ports)
+            .expect("S0 component");
         let g_rest = groups.iter().find(|g| g.ports != s0_ports).unwrap();
         assert_eq!(g_s0.ports.len(), 1);
         assert_eq!(g_rest.ports.len(), 2);
@@ -190,7 +196,10 @@ mod tests {
         topo.fail_switch_link(l0, SwitchId(4), 0);
         let mut routes = RouteTable::compute(&topo);
         install_symmetric_groups(&topo, &mut routes);
-        assert!(routes.groups(l0, 1).is_empty(), "two symmetric paths, one group");
+        assert!(
+            routes.groups(l0, 1).is_empty(),
+            "two symmetric paths, one group"
+        );
         assert_eq!(routes.candidates(l0, 1).len(), 2);
     }
 
@@ -208,8 +217,7 @@ mod tests {
             prop: DEFAULT_PROP,
         };
         let topo = leaf_spine_custom(&s, |leaf, spine| {
-            let fat =
-                (leaf == 0 && spine <= 1) || (leaf == 1 && spine == 0);
+            let fat = (leaf == 0 && spine <= 1) || (leaf == 1 && spine == 0);
             vec![if fat { 40_000_000_000 } else { 10_000_000_000 }]
         });
         let mut routes = RouteTable::compute(&topo);
@@ -218,7 +226,10 @@ mod tests {
         let groups = decompose_groups(&topo, &routes, &quiver, l0, 1);
         assert_eq!(groups.len(), 2);
         let s1_ports = topo.ports_to_switch(l0, SwitchId(5));
-        let g_h1 = groups.iter().find(|g| g.ports == s1_ports).expect("S1 alone");
+        let g_h1 = groups
+            .iter()
+            .find(|g| g.ports == s1_ports)
+            .expect("S1 alone");
         let g_h02 = groups.iter().find(|g| g.ports != s1_ports).unwrap();
         assert_eq!(g_h02.ports.len(), 2);
         // Weights: (40+10) : 10 = 5 : 1.
@@ -265,7 +276,10 @@ mod tests {
         assert!(topo.fail_switch_link(tor0, SwitchId(16), 0));
         let mut routes = RouteTable::compute(&topo);
         let report = install_symmetric_groups(&topo, &mut routes);
-        assert!(report.asymmetric_entries > 0, "failure creates asymmetric entries");
+        assert!(
+            report.asymmetric_entries > 0,
+            "failure creates asymmetric entries"
+        );
         // Groups always partition candidates wherever installed.
         for si in 0..topo.num_switches() {
             let s = SwitchId(si as u32);
@@ -274,8 +288,10 @@ mod tests {
                 if groups.is_empty() {
                     continue;
                 }
-                let mut all: Vec<u16> =
-                    groups.iter().flat_map(|g| g.ports.iter().copied()).collect();
+                let mut all: Vec<u16> = groups
+                    .iter()
+                    .flat_map(|g| g.ports.iter().copied())
+                    .collect();
                 all.sort_unstable();
                 let mut cand = routes.candidates(s, leaf).to_vec();
                 cand.sort_unstable();

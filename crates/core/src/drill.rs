@@ -36,7 +36,12 @@ impl DrillPolicy {
     pub fn new(d: usize, m: usize, engines: usize) -> DrillPolicy {
         assert!(d >= 1, "DRILL needs at least one sample");
         assert!(engines >= 1);
-        DrillPolicy { d, m, mem: vec![Vec::with_capacity(m); engines], scratch: Vec::new() }
+        DrillPolicy {
+            d,
+            m,
+            mem: vec![Vec::with_capacity(m); engines],
+            scratch: Vec::new(),
+        }
     }
 
     /// The configured number of random samples `d`.
@@ -93,7 +98,8 @@ impl SwitchPolicy for DrillPolicy {
 
         // 4. Remember the m least-loaded ports observed this decision.
         if self.m > 0 {
-            self.scratch.sort_by_key(|&p| queues.visible_bytes_for(ctx.engine, p));
+            self.scratch
+                .sort_by_key(|&p| queues.visible_bytes_for(ctx.engine, p));
             mem.clear();
             mem.extend(self.scratch.iter().take(self.m));
         }
@@ -113,7 +119,10 @@ pub struct PerFlowDrill {
 impl PerFlowDrill {
     /// Per-flow DRILL using a DRILL(d, m) first-packet decision.
     pub fn new(d: usize, m: usize, engines: usize) -> PerFlowDrill {
-        PerFlowDrill { inner: DrillPolicy::new(d, m, engines), pins: HashMap::new() }
+        PerFlowDrill {
+            inner: DrillPolicy::new(d, m, engines),
+            pins: HashMap::new(),
+        }
     }
 
     /// Number of pinned flows (diagnostics).
@@ -156,7 +165,14 @@ mod tests {
     }
 
     fn ctx<'a>(candidates: &'a [u16], engine: usize) -> SelectCtx<'a> {
-        SelectCtx { now: Time::ZERO, engine, flow_hash: 42, flow: FlowId(7), dst_leaf: 1, candidates }
+        SelectCtx {
+            now: Time::ZERO,
+            engine,
+            flow_hash: 42,
+            flow: FlowId(7),
+            dst_leaf: 1,
+            candidates,
+        }
     }
 
     #[test]

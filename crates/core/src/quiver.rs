@@ -161,7 +161,11 @@ impl Quiver {
             .iter()
             .map(|(&lid, set)| (lid, hash_label_set(set)))
             .collect();
-        Quiver { labels, scores, paths_enumerated }
+        Quiver {
+            labels,
+            scores,
+            paths_enumerated,
+        }
     }
 
     /// The label set of a link (`None` if the link is on no shortest path).
@@ -184,9 +188,18 @@ impl Quiver {
     /// Score and capacity of a path (its per-link score list + bottleneck).
     pub fn path_info(&self, topo: &Topology, links: Vec<LinkId>) -> PathInfo {
         let first_port = topo.link(links[0]).src_port;
-        let cap_bps = links.iter().map(|&l| topo.link(l).rate_bps).min().unwrap_or(0);
+        let cap_bps = links
+            .iter()
+            .map(|&l| topo.link(l).rate_bps)
+            .min()
+            .unwrap_or(0);
         let score = links.iter().map(|&l| self.link_score(l)).collect();
-        PathInfo { links, first_port, cap_bps, score }
+        PathInfo {
+            links,
+            first_port,
+            cap_bps,
+            score,
+        }
     }
 }
 
@@ -320,7 +333,9 @@ mod tests {
         let routes = RouteTable::compute(&base);
         let q = Quiver::build(&base, &routes);
         let l0 = base.leaves()[0];
-        let scores: Vec<u64> = (0..3).map(|p| q.link_score(base.egress(l0, p).id)).collect();
+        let scores: Vec<u64> = (0..3)
+            .map(|p| q.link_score(base.egress(l0, p).id))
+            .collect();
         assert!(scores.windows(2).all(|w| w[0] == w[1]), "uplinks symmetric");
     }
 

@@ -165,7 +165,10 @@ mod tests {
     fn admissibility_check() {
         let cfg = theorem1_counterexample(1, 0, 10, 1);
         assert!(cfg.is_admissible(), "0.85 < 0.92 + 0.08");
-        let bad = StabilityConfig { arrival_prob: vec![1.0, 0.5], ..cfg };
+        let bad = StabilityConfig {
+            arrival_prob: vec![1.0, 0.5],
+            ..cfg
+        };
         assert!(!bad.is_admissible());
     }
 
@@ -180,7 +183,11 @@ mod tests {
         let q1 = out.trajectory[16];
         let q4 = out.trajectory[60];
         assert!(q4 > q1 * 2, "monotone growth: {q1} vs {q4}");
-        assert!(out.throughput() < 0.8, "lost throughput: {}", out.throughput());
+        assert!(
+            out.throughput() < 0.8,
+            "lost throughput: {}",
+            out.throughput()
+        );
     }
 
     #[test]
@@ -190,8 +197,16 @@ mod tests {
         let out = simulate(&theorem1_counterexample(1, 1, 100_000, 42));
         let total: u64 = out.final_queues.iter().sum();
         assert!(total < 100, "bounded backlog, got {total}");
-        assert!(out.max_total < 1_000, "max backlog bounded: {}", out.max_total);
-        assert!(out.throughput() > 0.99, "full throughput: {}", out.throughput());
+        assert!(
+            out.max_total < 1_000,
+            "max backlog bounded: {}",
+            out.max_total
+        );
+        assert!(
+            out.throughput() > 0.99,
+            "full throughput: {}",
+            out.throughput()
+        );
     }
 
     #[test]
@@ -212,7 +227,11 @@ mod tests {
         assert!(cfg.is_admissible());
         let out = simulate(&cfg);
         let slow_backlog = out.final_queues[1] + out.final_queues[2];
-        assert!(slow_backlog > 10_000, "slow queues diverge: {:?}", out.final_queues);
+        assert!(
+            slow_backlog > 10_000,
+            "slow queues diverge: {:?}",
+            out.final_queues
+        );
 
         // ... while one unit of memory fixes it.
         let fixed = simulate(&StabilityConfig { m: 1, ..cfg });
@@ -250,7 +269,11 @@ mod tests {
         };
         assert!(cfg.is_admissible());
         let out = simulate(&cfg);
-        assert!(out.final_queues.iter().sum::<u64>() < 500, "{:?}", out.final_queues);
+        assert!(
+            out.final_queues.iter().sum::<u64>() < 500,
+            "{:?}",
+            out.final_queues
+        );
         assert!(out.throughput() > 0.98);
     }
 

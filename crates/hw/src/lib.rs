@@ -30,7 +30,10 @@ impl Default for TechNode {
     fn default() -> Self {
         // 45 nm standard cell (~0.8 um^2/NAND2), 200 mm^2 reference die
         // (the minimum chip size estimate of [38] the paper uses).
-        TechNode { nand2_um2: 0.8, chip_mm2: 200.0 }
+        TechNode {
+            nand2_um2: 0.8,
+            chip_mm2: 200.0,
+        }
     }
 }
 
@@ -53,7 +56,13 @@ impl HwSpec {
     /// The paper's reference configuration: DRILL(2, 1) on a 48-port,
     /// single-engine switch with 16-bit queue counters.
     pub fn paper_default() -> HwSpec {
-        HwSpec { ports: 48, d: 2, m: 1, engines: 1, counter_bits: 16 }
+        HwSpec {
+            ports: 48,
+            d: 2,
+            m: 1,
+            engines: 1,
+            counter_bits: 16,
+        }
     }
 }
 
@@ -133,7 +142,11 @@ pub fn estimate(spec: &HwSpec, tech: &TechNode) -> AreaEstimate {
             gates_each: idx_bits * 4,
         },
         // Control FSM per engine.
-        InventoryLine { component: "control FSM", instances: e, gates_each: 120 },
+        InventoryLine {
+            component: "control FSM",
+            instances: e,
+            gates_each: 120,
+        },
     ];
     inventory.retain(|l| l.instances > 0);
 
@@ -154,23 +167,42 @@ mod tests {
     #[test]
     fn paper_config_is_under_one_percent() {
         let est = estimate(&HwSpec::paper_default(), &TechNode::default());
-        assert!(est.fraction_of_chip < 0.01, "fraction {}", est.fraction_of_chip);
+        assert!(
+            est.fraction_of_chip < 0.01,
+            "fraction {}",
+            est.fraction_of_chip
+        );
         assert!(est.area_mm2 < 0.05, "area {}", est.area_mm2);
         assert!(est.total_gates > 100, "non-trivial logic");
     }
 
     #[test]
     fn even_many_engine_switches_stay_cheap() {
-        let spec = HwSpec { engines: 48, ..HwSpec::paper_default() };
+        let spec = HwSpec {
+            engines: 48,
+            ..HwSpec::paper_default()
+        };
         let est = estimate(&spec, &TechNode::default());
-        assert!(est.fraction_of_chip < 0.01, "48 engines: {}", est.fraction_of_chip);
+        assert!(
+            est.fraction_of_chip < 0.01,
+            "48 engines: {}",
+            est.fraction_of_chip
+        );
     }
 
     #[test]
     fn area_grows_linearly_in_d_plus_m() {
         let t = TechNode::default();
         let base = estimate(&HwSpec::paper_default(), &t).total_gates;
-        let big = estimate(&HwSpec { d: 4, m: 2, ..HwSpec::paper_default() }, &t).total_gates;
+        let big = estimate(
+            &HwSpec {
+                d: 4,
+                m: 2,
+                ..HwSpec::paper_default()
+            },
+            &t,
+        )
+        .total_gates;
         assert!(big > base);
         assert!(big < base * 4, "sub-quadratic growth");
     }
@@ -187,7 +219,11 @@ mod tests {
     #[test]
     fn inventory_is_consistent() {
         let est = estimate(&HwSpec::paper_default(), &TechNode::default());
-        let sum: u64 = est.inventory.iter().map(|l| l.instances * l.gates_each).sum();
+        let sum: u64 = est
+            .inventory
+            .iter()
+            .map(|l| l.instances * l.gates_each)
+            .sum();
         assert_eq!(sum, est.total_gates);
         // DRILL(2,1) with one engine: 2 LFSRs, 1 memory reg, 2 comparators.
         let find = |name: &str| {
@@ -204,7 +240,10 @@ mod tests {
 
     #[test]
     fn memoryless_config_has_no_memory_register() {
-        let spec = HwSpec { m: 0, ..HwSpec::paper_default() };
+        let spec = HwSpec {
+            m: 0,
+            ..HwSpec::paper_default()
+        };
         let est = estimate(&spec, &TechNode::default());
         assert!(est
             .inventory

@@ -23,8 +23,8 @@
 
 use std::collections::HashMap;
 
-use drill_net::{HopClass, QueueView, SelectCtx, SwitchId, SwitchPolicy, Topology};
 use drill_net::Packet;
+use drill_net::{HopClass, QueueView, SelectCtx, SwitchId, SwitchPolicy, Topology};
 use drill_sim::{SimRng, Time};
 
 /// CONGA tuning parameters.
@@ -40,7 +40,11 @@ pub struct CongaConfig {
 
 impl Default for CongaConfig {
     fn default() -> Self {
-        CongaConfig { flowlet_gap: Time::from_micros(500), dre_tau: Time::from_micros(160), q_max: 7 }
+        CongaConfig {
+            flowlet_gap: Time::from_micros(500),
+            dre_tau: Time::from_micros(160),
+            q_max: 7,
+        }
     }
 }
 
@@ -165,7 +169,8 @@ impl SwitchPolicy for CongaPolicy {
     fn select(&mut self, ctx: &SelectCtx<'_>, _q: &dyn QueueView, rng: &mut SimRng) -> u16 {
         // Flowlet stickiness.
         if let Some(&(last, port)) = self.flowlets.get(&ctx.flow_hash) {
-            if ctx.now.saturating_sub(last) < self.cfg.flowlet_gap && ctx.candidates.contains(&port) {
+            if ctx.now.saturating_sub(last) < self.cfg.flowlet_gap && ctx.candidates.contains(&port)
+            {
                 self.flowlets.insert(ctx.flow_hash, (ctx.now, port));
                 return port;
             }
@@ -180,7 +185,11 @@ impl SwitchPolicy for CongaPolicy {
             // core applies ECMP-like decisions in the paper's footnote).
             let remote = if self.is_leaf {
                 self.uplink_index[p as usize]
-                    .and_then(|u| self.to_table[ctx.dst_leaf as usize].get(u as usize).copied())
+                    .and_then(|u| {
+                        self.to_table[ctx.dst_leaf as usize]
+                            .get(u as usize)
+                            .copied()
+                    })
                     .unwrap_or(0)
             } else {
                 0
@@ -280,7 +289,14 @@ mod tests {
     }
 
     fn ctx(candidates: &[u16], flow_hash: u64, now: Time) -> SelectCtx<'_> {
-        SelectCtx { now, engine: 0, flow_hash, flow: FlowId(0), dst_leaf: 1, candidates }
+        SelectCtx {
+            now,
+            engine: 0,
+            flow_hash,
+            flow: FlowId(0),
+            dst_leaf: 1,
+            candidates,
+        }
     }
 
     fn data_pkt(src: HostId, dst: HostId) -> Packet {
@@ -412,7 +428,11 @@ mod tests {
         for _ in 0..100_000 {
             c.dre[0].add(15_000, Time::from_micros(10), c.cfg.dre_tau);
         }
-        assert_eq!(c.quantize(0, Time::from_micros(10)), 7, "saturated port caps at 7");
+        assert_eq!(
+            c.quantize(0, Time::from_micros(10)),
+            7,
+            "saturated port caps at 7"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl PrestoHostPolicy {
                 continue;
             }
             for links in enumerate_shortest_paths(topo, routes, my_leaf_switch, dst_leaf, 1 << 14) {
-                let cap = links.iter().map(|&l| topo.link(l).rate_bps).min().unwrap_or(0);
+                let cap = links
+                    .iter()
+                    .map(|&l| topo.link(l).rate_bps)
+                    .min()
+                    .unwrap_or(0);
                 // Transit hops: destination switches of every link except
                 // the final one into the destination leaf.
                 let hops: Vec<u32> = links[..links.len() - 1]
@@ -90,7 +94,13 @@ impl PrestoHostPolicy {
         let leaf_of = (0..topo.num_hosts() as u32)
             .map(|h| topo.host_leaf_index(HostId(h)))
             .collect();
-        PrestoHostPolicy { paths, totals, offsets: HashMap::new(), leaf_of, my_leaf }
+        PrestoHostPolicy {
+            paths,
+            totals,
+            offsets: HashMap::new(),
+            leaf_of,
+            my_leaf,
+        }
     }
 
     /// Number of usable paths toward `dst_leaf` (diagnostics).
@@ -129,7 +139,10 @@ impl HostPolicy for PrestoHostPolicy {
             return; // never enters the fabric
         }
         let cell = pkt.seq / FLOWCELL_BYTES;
-        let offset = *self.offsets.entry(pkt.flow).or_insert_with(|| rng.next_u64() % 1024);
+        let offset = *self
+            .offsets
+            .entry(pkt.flow)
+            .or_insert_with(|| rng.next_u64() % 1024);
         if let Some(path) = self.pick(dst_leaf, offset.wrapping_add(cell)) {
             for &h in &path.hops {
                 pkt.push_route(h);
@@ -157,7 +170,16 @@ mod tests {
     }
 
     fn data_pkt(flow: u32, dst: HostId, seq: u64) -> Packet {
-        Packet::data(1, FlowId(flow), HostId(0), dst, 0xbeef, seq, 1460, Time::ZERO)
+        Packet::data(
+            1,
+            FlowId(flow),
+            HostId(0),
+            dst,
+            0xbeef,
+            seq,
+            1460,
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -196,7 +218,10 @@ mod tests {
         }
         let mut next_cell = data_pkt(1, HostId(2), FLOWCELL_BYTES);
         p.on_send(&mut next_cell, Time::ZERO, &mut rng);
-        assert_ne!(next_cell.srcroute[0], first.srcroute[0], "next cell moves on");
+        assert_ne!(
+            next_cell.srcroute[0], first.srcroute[0],
+            "next cell moves on"
+        );
     }
 
     #[test]
@@ -204,7 +229,8 @@ mod tests {
         let (topo, routes) = topo4();
         let mut p = PrestoHostPolicy::build(&topo, &routes, HostId(0));
         let mut rng = SimRng::seed_from(3);
-        let mut ack = Packet::pure_ack(1, FlowId(1), HostId(0), HostId(2), 0xbeef, 1460, Time::ZERO);
+        let mut ack =
+            Packet::pure_ack(1, FlowId(1), HostId(0), HostId(2), 0xbeef, 1460, Time::ZERO);
         p.on_send(&mut ack, Time::ZERO, &mut rng);
         assert_eq!(ack.srcroute_len, 0);
         // Host 1 is on our own leaf.
@@ -218,7 +244,9 @@ mod tests {
         let (mut topo, _) = topo4();
         let l1 = topo.leaves()[1];
         // Fail spine0 - leaf1: paths via spine 0 no longer reach leaf 1.
-        assert!(topo.fail_switch_link(SwitchId(2), l1, 0) || topo.fail_switch_link(l1, SwitchId(2), 0));
+        assert!(
+            topo.fail_switch_link(SwitchId(2), l1, 0) || topo.fail_switch_link(l1, SwitchId(2), 0)
+        );
         let routes = RouteTable::compute(&topo);
         let p = PrestoHostPolicy::build(&topo, &routes, HostId(0));
         assert_eq!(p.num_paths(1), 3, "pruned to three paths");
@@ -251,6 +279,9 @@ mod tests {
             p.on_send(&mut pkt, Time::ZERO, &mut rng);
             seen.insert(pkt.srcroute[0]);
         }
-        assert!(seen.len() >= 3, "first cells spread across spines: {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "first cells spread across spines: {seen:?}"
+        );
     }
 }

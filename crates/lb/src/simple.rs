@@ -34,7 +34,9 @@ impl RoundRobinPolicy {
     /// Round-robin state for `engines` forwarding engines.
     pub fn new(engines: usize) -> RoundRobinPolicy {
         assert!(engines >= 1);
-        RoundRobinPolicy { counters: vec![0; engines] }
+        RoundRobinPolicy {
+            counters: vec![0; engines],
+        }
     }
 }
 
@@ -67,7 +69,14 @@ mod tests {
     }
 
     fn ctx(candidates: &[u16], flow_hash: u64, engine: usize) -> SelectCtx<'_> {
-        SelectCtx { now: Time::ZERO, engine, flow_hash, flow: FlowId(0), dst_leaf: 0, candidates }
+        SelectCtx {
+            now: Time::ZERO,
+            engine,
+            flow_hash,
+            flow: FlowId(0),
+            dst_leaf: 0,
+            candidates,
+        }
     }
 
     #[test]
@@ -82,7 +91,11 @@ mod tests {
         // Different flows spread over candidates.
         let mut seen = std::collections::HashSet::new();
         for h in 0..64u64 {
-            seen.insert(p.select(&ctx(&cand, h.wrapping_mul(0x9e3779b97f4a7c15), 0), &NoQueues, &mut rng));
+            seen.insert(p.select(
+                &ctx(&cand, h.wrapping_mul(0x9e3779b97f4a7c15), 0),
+                &NoQueues,
+                &mut rng,
+            ));
         }
         assert_eq!(seen.len(), 3);
     }
@@ -105,7 +118,9 @@ mod tests {
         let mut p = RoundRobinPolicy::new(2);
         let mut rng = SimRng::seed_from(3);
         let cand = [10u16, 11, 12];
-        let seq0: Vec<u16> = (0..6).map(|_| p.select(&ctx(&cand, 1, 0), &NoQueues, &mut rng)).collect();
+        let seq0: Vec<u16> = (0..6)
+            .map(|_| p.select(&ctx(&cand, 1, 0), &NoQueues, &mut rng))
+            .collect();
         assert_eq!(seq0, vec![10, 11, 12, 10, 11, 12]);
         // Engine 1 has its own counter, starting fresh.
         let one = p.select(&ctx(&cand, 1, 1), &NoQueues, &mut rng);

@@ -28,7 +28,11 @@ impl WcmpPolicy {
             }
             let per_port: &mut HashMap<u16, u64> = &mut weights[dst_leaf as usize];
             for path in enumerate_shortest_paths(topo, routes, switch, dst_leaf, 1 << 16) {
-                let cap = path.iter().map(|&l| topo.link(l).rate_bps).min().unwrap_or(0);
+                let cap = path
+                    .iter()
+                    .map(|&l| topo.link(l).rate_bps)
+                    .min()
+                    .unwrap_or(0);
                 let port = topo.link(path[0]).src_port;
                 // Weigh in Gbps units to keep numbers small.
                 *per_port.entry(port).or_insert(0) += cap / 1_000_000_000;
@@ -39,14 +43,21 @@ impl WcmpPolicy {
 
     /// The weight of `port` toward `dst_leaf` (test access).
     pub fn weight(&self, dst_leaf: u32, port: u16) -> u64 {
-        self.weights[dst_leaf as usize].get(&port).copied().unwrap_or(0)
+        self.weights[dst_leaf as usize]
+            .get(&port)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
 impl SwitchPolicy for WcmpPolicy {
     fn select(&mut self, ctx: &SelectCtx<'_>, _q: &dyn QueueView, _rng: &mut SimRng) -> u16 {
         let table = &self.weights[ctx.dst_leaf as usize];
-        let total: u64 = ctx.candidates.iter().map(|p| table.get(p).copied().unwrap_or(1)).sum();
+        let total: u64 = ctx
+            .candidates
+            .iter()
+            .map(|p| table.get(p).copied().unwrap_or(1))
+            .sum();
         if total == 0 {
             return ctx.candidates[(ctx.flow_hash % ctx.candidates.len() as u64) as usize];
         }
@@ -97,7 +108,11 @@ mod tests {
             prop: DEFAULT_PROP,
         };
         let topo = leaf_spine_custom(&spec, |l, s| {
-            vec![if l == 0 && s == 0 { 40_000_000_000 } else { 10_000_000_000 }]
+            vec![if l == 0 && s == 0 {
+                40_000_000_000
+            } else {
+                10_000_000_000
+            }]
         });
         let routes = RouteTable::compute(&topo);
         (topo, routes)
@@ -133,7 +148,11 @@ mod tests {
             prop: DEFAULT_PROP,
         };
         let topo = leaf_spine_custom(&spec, |_l, s| {
-            vec![if s == 0 { 40_000_000_000 } else { 10_000_000_000 }]
+            vec![if s == 0 {
+                40_000_000_000
+            } else {
+                10_000_000_000
+            }]
         });
         let routes = RouteTable::compute(&topo);
         let l0 = topo.leaves()[0];

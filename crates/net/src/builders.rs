@@ -74,8 +74,12 @@ pub fn leaf_spine_custom(
     links: impl Fn(usize, usize) -> Vec<u64>,
 ) -> Topology {
     let mut t = Topology::new();
-    let leaves: Vec<SwitchId> = (0..spec.leaves).map(|_| t.add_switch(SwitchKind::Leaf)).collect();
-    let spines: Vec<SwitchId> = (0..spec.spines).map(|_| t.add_switch(SwitchKind::Spine)).collect();
+    let leaves: Vec<SwitchId> = (0..spec.leaves)
+        .map(|_| t.add_switch(SwitchKind::Leaf))
+        .collect();
+    let spines: Vec<SwitchId> = (0..spec.spines)
+        .map(|_| t.add_switch(SwitchKind::Spine))
+        .collect();
     for (li, &l) in leaves.iter().enumerate() {
         for (si, &s) in spines.iter().enumerate() {
             for rate in links(li, si) {
@@ -137,9 +141,15 @@ impl Vl2Spec {
 /// every aggregation switch connects to every intermediate switch.
 pub fn vl2(spec: &Vl2Spec) -> Topology {
     let mut t = Topology::new();
-    let tors: Vec<SwitchId> = (0..spec.tors).map(|_| t.add_switch(SwitchKind::Leaf)).collect();
-    let aggs: Vec<SwitchId> = (0..spec.aggs).map(|_| t.add_switch(SwitchKind::Agg)).collect();
-    let ints: Vec<SwitchId> = (0..spec.ints).map(|_| t.add_switch(SwitchKind::Spine)).collect();
+    let tors: Vec<SwitchId> = (0..spec.tors)
+        .map(|_| t.add_switch(SwitchKind::Leaf))
+        .collect();
+    let aggs: Vec<SwitchId> = (0..spec.aggs)
+        .map(|_| t.add_switch(SwitchKind::Agg))
+        .collect();
+    let ints: Vec<SwitchId> = (0..spec.ints)
+        .map(|_| t.add_switch(SwitchKind::Spine))
+        .collect();
     for (ti, &tor) in tors.iter().enumerate() {
         for u in 0..spec.tor_uplinks {
             let agg = aggs[(ti * spec.tor_uplinks + u) % spec.aggs];
@@ -170,10 +180,20 @@ pub fn fat_tree(k: usize, link_rate: u64, prop: Time) -> Topology {
     let mut edges = Vec::new();
     let mut aggs = Vec::new();
     for _pod in 0..k {
-        edges.push((0..half).map(|_| t.add_switch(SwitchKind::Leaf)).collect::<Vec<_>>());
-        aggs.push((0..half).map(|_| t.add_switch(SwitchKind::Agg)).collect::<Vec<_>>());
+        edges.push(
+            (0..half)
+                .map(|_| t.add_switch(SwitchKind::Leaf))
+                .collect::<Vec<_>>(),
+        );
+        aggs.push(
+            (0..half)
+                .map(|_| t.add_switch(SwitchKind::Agg))
+                .collect::<Vec<_>>(),
+        );
     }
-    let cores: Vec<SwitchId> = (0..half * half).map(|_| t.add_switch(SwitchKind::Spine)).collect();
+    let cores: Vec<SwitchId> = (0..half * half)
+        .map(|_| t.add_switch(SwitchKind::Spine))
+        .collect();
     for pod in 0..k {
         for &e in &edges[pod] {
             for &a in &aggs[pod] {
@@ -276,12 +296,8 @@ mod tests {
     fn vl2_tor_uplink_spread() {
         let t = vl2(&Vl2Spec::paper());
         // ToR 0 -> aggs {0,1}; ToR 1 -> aggs {2,3}; ... ToR 4 -> aggs {0,1}.
-        let tor0_up: Vec<_> = (0..2)
-            .map(|p| t.egress(t.leaves()[0], p).dst)
-            .collect();
-        let tor4_up: Vec<_> = (0..2)
-            .map(|p| t.egress(t.leaves()[4], p).dst)
-            .collect();
+        let tor0_up: Vec<_> = (0..2).map(|p| t.egress(t.leaves()[0], p).dst).collect();
+        let tor4_up: Vec<_> = (0..2).map(|p| t.egress(t.leaves()[4], p).dst).collect();
         assert_eq!(tor0_up, tor4_up, "striping wraps around");
     }
 

@@ -59,7 +59,10 @@ impl HostNic {
             self.in_flight = true;
             self.q.push_back(pkt);
             let size = self.q[0].size as u64;
-            out.push((now + Time::tx_time(size, link.rate_bps), NetEvent::HostTxDone { host: self.host }));
+            out.push((
+                now + Time::tx_time(size, link.rate_bps),
+                NetEvent::HostTxDone { host: self.host },
+            ));
         } else {
             if self.q_bytes + pkt.size as u64 > self.limit_bytes {
                 self.drops += 1;
@@ -78,15 +81,23 @@ impl HostNic {
         self.tx_pkts += 1;
         let arrive = now + link.prop;
         match link.dst {
-            NodeRef::Switch(s) => {
-                out.push((arrive, NetEvent::ArriveSwitch { switch: s, ingress: link.dst_port, pkt }))
-            }
+            NodeRef::Switch(s) => out.push((
+                arrive,
+                NetEvent::ArriveSwitch {
+                    switch: s,
+                    ingress: link.dst_port,
+                    pkt,
+                },
+            )),
             NodeRef::Host(h) => out.push((arrive, NetEvent::ArriveHost { host: h, pkt })),
         }
         if let Some(next) = self.q.front() {
             self.q_bytes -= next.size as u64;
             let size = next.size as u64;
-            out.push((now + Time::tx_time(size, link.rate_bps), NetEvent::HostTxDone { host: self.host }));
+            out.push((
+                now + Time::tx_time(size, link.rate_bps),
+                NetEvent::HostTxDone { host: self.host },
+            ));
         } else {
             self.in_flight = false;
         }
@@ -111,7 +122,16 @@ mod tests {
     }
 
     fn pkt(payload: u32) -> Packet {
-        Packet::data(0, FlowId(0), HostId(0), HostId(1), 0, 0, payload, Time::ZERO)
+        Packet::data(
+            0,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            0,
+            0,
+            payload,
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -125,7 +145,14 @@ mod tests {
         out.clear();
         nic.on_tx_done(&t, Time::from_nanos(1200), &mut out);
         match &out[0] {
-            (t_arrive, NetEvent::ArriveSwitch { switch, ingress, pkt }) => {
+            (
+                t_arrive,
+                NetEvent::ArriveSwitch {
+                    switch,
+                    ingress,
+                    pkt,
+                },
+            ) => {
                 assert_eq!(*t_arrive, Time::from_nanos(1700));
                 assert_eq!(*switch, t.host_leaf(HostId(0)));
                 assert_eq!(*ingress, t.host_uplink(HostId(0)).dst_port);

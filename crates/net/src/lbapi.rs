@@ -135,7 +135,10 @@ mod tests {
         weights
             .iter()
             .enumerate()
-            .map(|(i, &w)| PortGroup { ports: vec![i as u16], weight: w })
+            .map(|(i, &w)| PortGroup {
+                ports: vec![i as u16],
+                weight: w,
+            })
             .collect()
     }
 
@@ -157,7 +160,10 @@ mod tests {
     fn weighted_pick_is_deterministic_per_hash() {
         let gs = groups(&[3, 1, 5]);
         for h in [0u64, 1, 42, u64::MAX] {
-            assert_eq!(weighted_group_pick(&gs, h).ports, weighted_group_pick(&gs, h).ports);
+            assert_eq!(
+                weighted_group_pick(&gs, h).ports,
+                weighted_group_pick(&gs, h).ports
+            );
         }
     }
 

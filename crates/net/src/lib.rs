@@ -33,13 +33,15 @@ mod routing;
 mod switch;
 mod topology;
 
-pub use builders::{fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Vl2Spec, DEFAULT_PROP};
+pub use builders::{
+    fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Vl2Spec, DEFAULT_PROP,
+};
 pub use host::{HostNic, HOST_NIC_BUF_BYTES};
 pub use ids::{FlowId, HostId, LinkId, NodeRef, SwitchId};
 pub use lbapi::{
     weighted_group_pick, HostPolicy, NullHostPolicy, PortGroup, QueueView, SelectCtx, SwitchPolicy,
 };
-pub use packet::{flags, CongaTag, Packet, ACK_WIRE_BYTES, HEADER_BYTES};
+pub use packet::{flags, CongaTag, Packet, PacketBufPool, ACK_WIRE_BYTES, HEADER_BYTES};
 pub use routing::{RouteTable, UNREACHABLE};
 pub use switch::{PortQueues, PortStats, Switch, SwitchConfig};
 pub use topology::{HopClass, Link, SwitchKind, Topology};

@@ -178,7 +178,10 @@ impl Packet {
 
     /// Push a source-route hop (panics if the route is full).
     pub fn push_route(&mut self, switch: u32) {
-        assert!((self.srcroute_len as usize) < self.srcroute.len(), "source route full");
+        assert!(
+            (self.srcroute_len as usize) < self.srcroute.len(),
+            "source route full"
+        );
         self.srcroute[self.srcroute_len as usize] = switch;
         self.srcroute_len += 1;
     }
@@ -195,13 +198,65 @@ impl Packet {
     }
 }
 
+/// A recycling pool of packet batch buffers.
+///
+/// The event loop repeatedly collects small bursts of packets (TCP
+/// transmissions, ACK batches, retransmissions) into a `Vec<Packet>`,
+/// hands each packet onward by value, and discards the vector. Allocating
+/// a fresh vector per event dominated the allocator profile of long runs;
+/// the pool keeps emptied buffers (capacity intact) for reuse, so the
+/// steady-state hot path performs no allocation at all.
+///
+/// Buffers are returned cleared; `get` on an empty pool falls back to a
+/// fresh `Vec`, so the pool is always safe to use and never a correctness
+/// concern — only a recycling hint.
+#[derive(Default)]
+pub struct PacketBufPool {
+    bufs: Vec<Vec<Packet>>,
+}
+
+impl PacketBufPool {
+    /// An empty pool.
+    pub const fn new() -> PacketBufPool {
+        PacketBufPool { bufs: Vec::new() }
+    }
+
+    /// Take an empty buffer from the pool (or allocate one).
+    #[inline]
+    pub fn get(&mut self) -> Vec<Packet> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool for reuse. Contents are dropped.
+    #[inline]
+    pub fn put(&mut self, mut buf: Vec<Packet>) {
+        buf.clear();
+        self.bufs.push(buf);
+    }
+
+    /// Number of idle buffers currently pooled.
+    #[inline]
+    pub fn idle(&self) -> usize {
+        self.bufs.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn data_packet_fields() {
-        let p = Packet::data(1, FlowId(2), HostId(3), HostId(4), 0xdead, 1460, 1460, Time::from_micros(5));
+        let p = Packet::data(
+            1,
+            FlowId(2),
+            HostId(3),
+            HostId(4),
+            0xdead,
+            1460,
+            1460,
+            Time::from_micros(5),
+        );
         assert!(p.is_data());
         assert!(!p.is_ack());
         assert_eq!(p.size, 1460 + HEADER_BYTES);
@@ -243,6 +298,35 @@ mod tests {
     #[test]
     fn packet_is_reasonably_small() {
         // Packets move by value through the event queue; keep them compact.
-        assert!(std::mem::size_of::<Packet>() <= 112, "{}", std::mem::size_of::<Packet>());
+        assert!(
+            std::mem::size_of::<Packet>() <= 112,
+            "{}",
+            std::mem::size_of::<Packet>()
+        );
+    }
+
+    #[test]
+    fn buf_pool_recycles_capacity() {
+        let mut pool = PacketBufPool::new();
+        let mut buf = pool.get();
+        for i in 0..32 {
+            buf.push(Packet::data(
+                i,
+                FlowId(0),
+                HostId(0),
+                HostId(1),
+                0,
+                0,
+                100,
+                Time::ZERO,
+            ));
+        }
+        let cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.idle(), 1);
+        let buf = pool.get();
+        assert!(buf.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(buf.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.idle(), 0);
     }
 }

@@ -89,7 +89,11 @@ impl RouteTable {
             }
         }
 
-        RouteTable { next_hops, groups: vec![vec![Vec::new(); l_count]; s_count], dist }
+        RouteTable {
+            next_hops,
+            groups: vec![vec![Vec::new(); l_count]; s_count],
+            dist,
+        }
     }
 
     /// Candidate egress ports at `s` toward leaf `dst_leaf`.
@@ -108,7 +112,10 @@ impl RouteTable {
     /// Install symmetric components for `(s, dst_leaf)`.
     pub fn set_groups(&mut self, s: SwitchId, dst_leaf: u32, groups: Vec<PortGroup>) {
         if !groups.is_empty() {
-            let mut all: Vec<u16> = groups.iter().flat_map(|g| g.ports.iter().copied()).collect();
+            let mut all: Vec<u16> = groups
+                .iter()
+                .flat_map(|g| g.ports.iter().copied())
+                .collect();
             all.sort_unstable();
             let mut cand: Vec<u16> = self.next_hops[s.index()][dst_leaf as usize].clone();
             cand.sort_unstable();
@@ -191,7 +198,11 @@ mod tests {
         // (their direct 2-hop paths are shorter), so this entry is inert,
         // but it must be loop-free and present.
         assert_eq!(rt.dist(s0, 0), Some(3));
-        assert_eq!(rt.candidates(s0, 0).len(), 3, "detours via the other leaves");
+        assert_eq!(
+            rt.candidates(s0, 0).len(),
+            3,
+            "detours via the other leaves"
+        );
     }
 
     #[test]
@@ -232,7 +243,11 @@ mod tests {
         });
         let rt = RouteTable::compute(&topo);
         let l0 = topo.leaves()[0];
-        assert_eq!(rt.candidates(l0, 1).len(), 5, "4 spines + 1 extra parallel link");
+        assert_eq!(
+            rt.candidates(l0, 1).len(),
+            5,
+            "4 spines + 1 extra parallel link"
+        );
     }
 
     #[test]
@@ -243,8 +258,14 @@ mod tests {
         assert!(rt.groups(l0, 1).is_empty());
         let ports = rt.candidates(l0, 1).to_vec();
         let g = vec![
-            PortGroup { ports: ports[..1].to_vec(), weight: 1 },
-            PortGroup { ports: ports[1..].to_vec(), weight: 3 },
+            PortGroup {
+                ports: ports[..1].to_vec(),
+                weight: 1,
+            },
+            PortGroup {
+                ports: ports[1..].to_vec(),
+                weight: 3,
+            },
         ];
         rt.set_groups(l0, 1, g.clone());
         assert_eq!(rt.groups(l0, 1), &g[..]);

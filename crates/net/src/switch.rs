@@ -149,7 +149,12 @@ pub struct Switch {
 
 impl Switch {
     /// A switch with `num_ports` output ports running `policy`.
-    pub fn new(id: SwitchId, num_ports: usize, cfg: SwitchConfig, policy: Box<dyn SwitchPolicy>) -> Switch {
+    pub fn new(
+        id: SwitchId,
+        num_ports: usize,
+        cfg: SwitchConfig,
+        policy: Box<dyn SwitchPolicy>,
+    ) -> Switch {
         assert!(cfg.engines > 0, "at least one forwarding engine");
         let engines = cfg.engines;
         Switch {
@@ -227,7 +232,8 @@ impl Switch {
             }
         };
 
-        self.policy.on_forward(&mut pkt, port, now, topo, self.id, from_host);
+        self.policy
+            .on_forward(&mut pkt, port, now, topo, self.id, from_host);
         let engine = ingress as usize % self.cfg.engines;
         self.enqueue_from_engine(topo, port, pkt, engine, now, out);
     }
@@ -282,7 +288,10 @@ impl Switch {
             dst_leaf,
             candidates: subset,
         };
-        let view = PortQueues { ports: &self.ports, pending: &self.pending };
+        let view = PortQueues {
+            ports: &self.ports,
+            pending: &self.pending,
+        };
         let chosen = self.policy.select(&ctx, &view, rng);
         debug_assert!(subset.contains(&chosen), "policy must choose a candidate");
         Some(chosen)
@@ -290,7 +299,14 @@ impl Switch {
 
     /// Append a packet to `port`'s queue (tail drop), starting transmission
     /// if the port is idle. Attributed to engine 0.
-    pub fn enqueue(&mut self, topo: &Topology, port: u16, pkt: Packet, now: Time, out: &mut EventSink) {
+    pub fn enqueue(
+        &mut self,
+        topo: &Topology,
+        port: u16,
+        pkt: Packet,
+        now: Time,
+        out: &mut EventSink,
+    ) {
         self.enqueue_from_engine(topo, port, pkt, 0, now, out)
     }
 
@@ -321,7 +337,12 @@ impl Switch {
                 let commit_at = now + Time::tx_time(size as u64, link.rate_bps);
                 out.push((
                     commit_at,
-                    NetEvent::EnqueueCommit { switch: self.id, port, bytes: size, engine: engine as u16 },
+                    NetEvent::EnqueueCommit {
+                        switch: self.id,
+                        port,
+                        bytes: size,
+                        engine: engine as u16,
+                    },
                 ));
                 self.pending[engine * self.ports.len() + port as usize] += size as u64;
             } else {
@@ -333,7 +354,10 @@ impl Switch {
             p.stats.wait_count += 1; // zero wait
             out.push((
                 now + Time::tx_time(size as u64, link.rate_bps),
-                NetEvent::SwitchTxDone { switch: self.id, port },
+                NetEvent::SwitchTxDone {
+                    switch: self.id,
+                    port,
+                },
             ));
         } else {
             if p.q_bytes + size as u64 > self.cfg.queue_limit_bytes {
@@ -345,7 +369,12 @@ impl Switch {
                 let commit_at = now + Time::tx_time(size as u64, link.rate_bps);
                 out.push((
                     commit_at,
-                    NetEvent::EnqueueCommit { switch: self.id, port, bytes: size, engine: engine as u16 },
+                    NetEvent::EnqueueCommit {
+                        switch: self.id,
+                        port,
+                        bytes: size,
+                        engine: engine as u16,
+                    },
                 ));
                 self.pending[engine * self.ports.len() + port as usize] += size as u64;
             } else {
@@ -375,7 +404,10 @@ impl Switch {
     pub fn on_tx_done(&mut self, topo: &Topology, port: u16, now: Time, out: &mut EventSink) {
         let link = topo.egress(self.id, port);
         let p = &mut self.ports[port as usize];
-        let (pkt, _enq) = p.in_flight.take().expect("tx-done with no packet in flight");
+        let (pkt, _enq) = p
+            .in_flight
+            .take()
+            .expect("tx-done with no packet in flight");
         debug_assert!(p.visible_pkts > 0, "departing packet must have committed");
         p.visible_bytes -= pkt.size as u64;
         p.visible_pkts -= 1;
@@ -385,7 +417,14 @@ impl Switch {
             let arrive = now + link.prop;
             match link.dst {
                 NodeRef::Switch(s) => {
-                    out.push((arrive, NetEvent::ArriveSwitch { switch: s, ingress: link.dst_port, pkt }));
+                    out.push((
+                        arrive,
+                        NetEvent::ArriveSwitch {
+                            switch: s,
+                            ingress: link.dst_port,
+                            pkt,
+                        },
+                    ));
                 }
                 NodeRef::Host(h) => {
                     out.push((arrive, NetEvent::ArriveHost { host: h, pkt }));
@@ -402,7 +441,10 @@ impl Switch {
             p.stats.wait_count += 1;
             out.push((
                 now + Time::tx_time(next.size as u64, link.rate_bps),
-                NetEvent::SwitchTxDone { switch: self.id, port },
+                NetEvent::SwitchTxDone {
+                    switch: self.id,
+                    port,
+                },
             ));
             p.in_flight = Some((next, enq));
         }
@@ -435,12 +477,26 @@ mod tests {
         let topo = leaf_spine(&spec);
         let routes = RouteTable::compute(&topo);
         let l0 = topo.leaves()[0];
-        let sw = Switch::new(l0, topo.num_ports(l0), SwitchConfig::default(), Box::new(FirstPort));
+        let sw = Switch::new(
+            l0,
+            topo.num_ports(l0),
+            SwitchConfig::default(),
+            Box::new(FirstPort),
+        );
         (topo, routes, sw)
     }
 
     fn pkt(dst: HostId, size_payload: u32) -> Packet {
-        Packet::data(1, FlowId(0), HostId(0), dst, 0x1234, 0, size_payload, Time::ZERO)
+        Packet::data(
+            1,
+            FlowId(0),
+            HostId(0),
+            dst,
+            0x1234,
+            0,
+            size_payload,
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -465,7 +521,15 @@ mod tests {
         let mut out = Vec::new();
         let p = pkt(HostId(2), 1000); // on leaf 1: must go via a spine
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, p, host_ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+        );
         // FirstPort picks candidate 0 = port 0 (first spine).
         assert_eq!(sw.queue_pkts(0), 1);
         assert_eq!(sw.forwarded, 1);
@@ -491,7 +555,12 @@ mod tests {
         let commits: Vec<(u16, u32, u16)> = out
             .iter()
             .filter_map(|(_, e)| match e {
-                NetEvent::EnqueueCommit { port, bytes, engine, .. } => Some((*port, *bytes, *engine)),
+                NetEvent::EnqueueCommit {
+                    port,
+                    bytes,
+                    engine,
+                    ..
+                } => Some((*port, *bytes, *engine)),
                 _ => None,
             })
             .collect();
@@ -512,7 +581,15 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, pkt(HostId(2), 1000), host_ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            pkt(HostId(2), 1000),
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+        );
         // Actual occupancy 1, visible 0 until the commit event fires.
         assert_eq!(sw.queue_pkts(0), 1);
         assert_eq!(sw.visible_pkts(0), 0);
@@ -541,12 +618,23 @@ mod tests {
         let topo = leaf_spine(&spec);
         let routes = RouteTable::compute(&topo);
         let l0 = topo.leaves()[0];
-        let cfg = SwitchConfig { model_enqueue_commit: false, ..Default::default() };
+        let cfg = SwitchConfig {
+            model_enqueue_commit: false,
+            ..Default::default()
+        };
         let mut sw = Switch::new(l0, topo.num_ports(l0), cfg, Box::new(FirstPort));
         let mut rng = SimRng::seed_from(1);
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, pkt(HostId(1), 1000), host_ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            pkt(HostId(1), 1000),
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+        );
         assert_eq!(sw.visible_pkts(0), 1, "visible immediately");
         // Only a TxDone was scheduled, no commit event.
         assert_eq!(out.len(), 1);
@@ -562,13 +650,24 @@ mod tests {
         // waiting fills it (141*1058 = 149_178; next would exceed).
         let mut sent = 0;
         for _ in 0..200 {
-            sw.receive(&topo, &routes, pkt(HostId(2), 1000), host_ingress, Time::ZERO, &mut rng, &mut out);
+            sw.receive(
+                &topo,
+                &routes,
+                pkt(HostId(2), 1000),
+                host_ingress,
+                Time::ZERO,
+                &mut rng,
+                &mut out,
+            );
             sent += 1;
         }
         let stats = sw.port_stats(0);
         assert!(stats.drops > 0, "must tail-drop");
         assert_eq!(sw.queue_pkts(0) as u64 + stats.drops, sent);
-        assert!(sw.queue_bytes(0) - 1058 <= 150_000, "waiting bytes within limit");
+        assert!(
+            sw.queue_bytes(0) - 1058 <= 150_000,
+            "waiting bytes within limit"
+        );
     }
 
     #[test]
@@ -585,11 +684,24 @@ mod tests {
         let l0 = topo.leaves()[0];
         topo.fail_switch_link(l0, SwitchId(2), 0); // sole spine link
         let routes = RouteTable::compute(&topo);
-        let mut sw = Switch::new(l0, topo.num_ports(l0), SwitchConfig::default(), Box::new(FirstPort));
+        let mut sw = Switch::new(
+            l0,
+            topo.num_ports(l0),
+            SwitchConfig::default(),
+            Box::new(FirstPort),
+        );
         let mut rng = SimRng::seed_from(1);
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, pkt(HostId(1), 500), host_ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            pkt(HostId(1), 500),
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+        );
         assert_eq!(sw.blackholed, 1);
         assert!(out.is_empty());
     }
@@ -604,7 +716,15 @@ mod tests {
         // policy would pick port 0.
         p.push_route(3);
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, p, host_ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+        );
         assert_eq!(sw.queue_pkts(1), 1);
         assert_eq!(sw.queue_pkts(0), 0);
     }
@@ -620,7 +740,15 @@ mod tests {
         let mut p = pkt(HostId(2), 1000);
         p.push_route(3); // spine 3 is now unreachable from l0
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, p, host_ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+        );
         // Fell back to the remaining candidate (port 0 -> spine 2).
         assert_eq!(sw.queue_pkts(0), 1);
         assert_eq!(sw.blackholed, 0);
@@ -635,14 +763,27 @@ mod tests {
         for i in 0..3u64 {
             let mut p = pkt(HostId(2), 1000);
             p.id = i;
-            sw.receive(&topo, &routes, p, host_ingress, Time::ZERO, &mut rng, &mut out);
+            sw.receive(
+                &topo,
+                &routes,
+                p,
+                host_ingress,
+                Time::ZERO,
+                &mut rng,
+                &mut out,
+            );
         }
         // Deliver the pending commits, as the event loop would before any
         // of the later tx-dones.
         let commits: Vec<(u16, u32, u16)> = out
             .iter()
             .filter_map(|(_, e)| match e {
-                NetEvent::EnqueueCommit { port, bytes, engine, .. } => Some((*port, *bytes, *engine)),
+                NetEvent::EnqueueCommit {
+                    port,
+                    bytes,
+                    engine,
+                    ..
+                } => Some((*port, *bytes, *engine)),
                 _ => None,
             })
             .collect();
@@ -672,8 +813,14 @@ mod tests {
             l0,
             1,
             vec![
-                crate::lbapi::PortGroup { ports: vec![0], weight: 0 },
-                crate::lbapi::PortGroup { ports: vec![1], weight: 1 },
+                crate::lbapi::PortGroup {
+                    ports: vec![0],
+                    weight: 0,
+                },
+                crate::lbapi::PortGroup {
+                    ports: vec![1],
+                    weight: 1,
+                },
             ],
         );
         let mut rng = SimRng::seed_from(1);
@@ -682,7 +829,15 @@ mod tests {
         for i in 0..20u64 {
             let mut p = pkt(HostId(2), 500);
             p.flow_hash = i.wrapping_mul(0x9e3779b97f4a7c15);
-            sw.receive(&topo, &routes, p, host_ingress, Time::ZERO, &mut rng, &mut out);
+            sw.receive(
+                &topo,
+                &routes,
+                p,
+                host_ingress,
+                Time::ZERO,
+                &mut rng,
+                &mut out,
+            );
         }
         assert_eq!(sw.queue_pkts(0), 0, "zero-weight group unused");
         assert!(sw.queue_pkts(1) > 0);

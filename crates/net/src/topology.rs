@@ -107,14 +107,23 @@ impl Topology {
             self.leaves.push(id);
             (self.leaves.len() - 1) as u32
         });
-        self.switches.push(SwitchMeta { kind, ports: Vec::new(), ingress: Vec::new(), leaf_index });
+        self.switches.push(SwitchMeta {
+            kind,
+            ports: Vec::new(),
+            ingress: Vec::new(),
+            leaf_index,
+        });
         id
     }
 
     /// Add a host attached to `leaf` with a bidirectional link of `rate_bps`
     /// and `prop` propagation delay.
     pub fn add_host(&mut self, leaf: SwitchId, rate_bps: u64, prop: Time) -> HostId {
-        assert_eq!(self.switches[leaf.index()].kind, SwitchKind::Leaf, "hosts attach to leaves");
+        assert_eq!(
+            self.switches[leaf.index()].kind,
+            SwitchKind::Leaf,
+            "hosts attach to leaves"
+        );
         let host = HostId(self.hosts.len() as u32);
         let (up, _down) = self.add_link_pair(
             NodeRef::Host(host),
@@ -126,7 +135,11 @@ impl Topology {
             HopClass::ToHost,
         );
         let leaf_port = self.links[up.index()].dst_port;
-        self.hosts.push(HostMeta { leaf, uplink: up, leaf_port });
+        self.hosts.push(HostMeta {
+            leaf,
+            uplink: up,
+            leaf_port,
+        });
         host
     }
 
@@ -152,7 +165,15 @@ impl Topology {
             (SwitchKind::Spine, SwitchKind::Agg) => (HopClass::SpineDown, HopClass::AggUp),
             _ => panic!("unsupported switch adjacency {ka:?}-{kb:?}"),
         };
-        self.add_link_pair(NodeRef::Switch(a), NodeRef::Switch(b), rate_ab, rate_ba, prop, hop_ab, hop_ba)
+        self.add_link_pair(
+            NodeRef::Switch(a),
+            NodeRef::Switch(b),
+            rate_ab,
+            rate_ba,
+            prop,
+            hop_ab,
+            hop_ba,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -222,10 +243,7 @@ impl Topology {
         let mut seen = 0;
         for i in 0..self.links.len() {
             let l = &self.links[i];
-            if l.up
-                && l.src == NodeRef::Switch(a)
-                && l.dst == NodeRef::Switch(b)
-            {
+            if l.up && l.src == NodeRef::Switch(a) && l.dst == NodeRef::Switch(b) {
                 if seen == nth {
                     let peer = l.peer;
                     self.links[i].up = false;
@@ -376,7 +394,10 @@ impl Topology {
             assert_eq!(up.src, NodeRef::Host(HostId(h as u32)));
             assert_eq!(up.dst, NodeRef::Switch(meta.leaf));
             let down = &self.links[up.peer.index()];
-            assert_eq!(down.src_port, meta.leaf_port, "leaf port points back at host");
+            assert_eq!(
+                down.src_port, meta.leaf_port,
+                "leaf port points back at host"
+            );
         }
     }
 }
@@ -391,8 +412,20 @@ mod tests {
         let l0 = t.add_switch(SwitchKind::Leaf);
         let l1 = t.add_switch(SwitchKind::Leaf);
         let s0 = t.add_switch(SwitchKind::Spine);
-        t.connect_switches(l0, s0, 40_000_000_000, 40_000_000_000, Time::from_nanos(500));
-        t.connect_switches(l1, s0, 40_000_000_000, 40_000_000_000, Time::from_nanos(500));
+        t.connect_switches(
+            l0,
+            s0,
+            40_000_000_000,
+            40_000_000_000,
+            Time::from_nanos(500),
+        );
+        t.connect_switches(
+            l1,
+            s0,
+            40_000_000_000,
+            40_000_000_000,
+            Time::from_nanos(500),
+        );
         t.add_host(l0, 10_000_000_000, Time::from_nanos(500));
         t.add_host(l1, 10_000_000_000, Time::from_nanos(500));
         t.validate();
@@ -433,11 +466,7 @@ mod tests {
         assert!(t.fail_switch_link(l0, s0, 0));
         assert!(t.ports_to_switch(l0, s0).is_empty());
         // Both directions failed.
-        let down = t
-            .links()
-            .iter()
-            .filter(|l| !l.up)
-            .count();
+        let down = t.links().iter().filter(|l| !l.up).count();
         assert_eq!(down, 2);
         // Failing again finds nothing.
         assert!(!t.fail_switch_link(l0, s0, 0));

@@ -1,6 +1,8 @@
 //! Experiment configuration.
 
-use drill_net::{fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Topology, Vl2Spec, DEFAULT_PROP};
+use drill_net::{
+    fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Topology, Vl2Spec, DEFAULT_PROP,
+};
 use drill_sim::Time;
 use drill_transport::TcpConfig;
 use drill_workload::{FlowSizeDist, IncastSpec, TrafficPattern};
@@ -211,7 +213,10 @@ mod tests {
         assert_eq!(so.core_capacity_bps(), 2_560_000_000_000);
         let v = TopoSpec::Vl2(Vl2Spec::paper());
         assert_eq!(v.build().num_hosts(), 320);
-        let f = TopoSpec::FatTree { k: 4, rate: 1_000_000_000 };
+        let f = TopoSpec::FatTree {
+            k: 4,
+            rate: 1_000_000_000,
+        };
         assert_eq!(f.build().num_hosts(), 16);
     }
 
@@ -225,7 +230,11 @@ mod tests {
             core_rate: 10_000_000_000,
             prop: DEFAULT_PROP,
         };
-        let t = TopoSpec::HeteroStriped { base, extra_links: 2 }.build();
+        let t = TopoSpec::HeteroStriped {
+            base,
+            extra_links: 2,
+        }
+        .build();
         let l0 = t.leaves()[0];
         // Leaf 0: 2 links each to spines 0 and 1, 1 link to spines 2, 3.
         assert_eq!(t.ports_to_switch(l0, drill_net::SwitchId(4)).len(), 2);

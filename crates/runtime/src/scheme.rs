@@ -1,7 +1,10 @@
 //! Load-balancing scheme registry.
 
 use drill_core::{DrillPolicy, PerFlowDrill};
-use drill_lb::{CongaConfig, CongaPolicy, EcmpPolicy, PrestoHostPolicy, RandomPolicy, RoundRobinPolicy, WcmpPolicy};
+use drill_lb::{
+    CongaConfig, CongaPolicy, EcmpPolicy, PrestoHostPolicy, RandomPolicy, RoundRobinPolicy,
+    WcmpPolicy,
+};
 use drill_net::{HostId, HostPolicy, NullHostPolicy, RouteTable, SwitchId, SwitchPolicy, Topology};
 
 fn drill_transport_shim_timeout() -> drill_sim::Time {
@@ -43,12 +46,20 @@ pub enum Scheme {
 impl Scheme {
     /// DRILL at the paper's recommended operating point, with the shim.
     pub fn drill_default() -> Scheme {
-        Scheme::Drill { d: 2, m: 1, shim: true }
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: true,
+        }
     }
 
     /// DRILL(2,1) without the shim ("DRILL w/o shim" in the figures).
     pub fn drill_no_shim() -> Scheme {
-        Scheme::Drill { d: 2, m: 1, shim: false }
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        }
     }
 
     /// Presto as deployed (with its shim).
@@ -74,7 +85,10 @@ impl Scheme {
 
     /// Whether receivers run the reordering shim for this scheme.
     pub fn uses_shim(&self) -> bool {
-        matches!(self, Scheme::Drill { shim: true, .. } | Scheme::Presto { shim: true })
+        matches!(
+            self,
+            Scheme::Drill { shim: true, .. } | Scheme::Presto { shim: true }
+        )
     }
 
     /// Shim parameters `(flush threshold in packets, hold timeout)`.

@@ -33,7 +33,14 @@ pub fn hop_index(h: HopClass) -> usize {
 
 /// Human name for a hop-class index.
 pub fn hop_name(i: usize) -> &'static str {
-    ["host-up", "hop1 leaf-up", "agg-up", "hop2 spine-down", "agg-down", "hop3 to-host"][i]
+    [
+        "host-up",
+        "hop1 leaf-up",
+        "agg-up",
+        "hop2 spine-down",
+        "agg-down",
+        "hop3 to-host",
+    ][i]
 }
 
 impl HopReport {

@@ -6,7 +6,9 @@ use crate::{run, ExperimentConfig, RunStats};
 /// Run every configuration, in order, spreading runs across OS threads
 /// (bounded by available parallelism). Results come back in input order.
 pub fn run_many(cfgs: &[ExperimentConfig]) -> Vec<RunStats> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<RunStats>> = (0..cfgs.len()).map(|_| None).collect();
     let slot_refs: Vec<std::sync::Mutex<&mut Option<RunStats>>> =
@@ -24,7 +26,10 @@ pub fn run_many(cfgs: &[ExperimentConfig]) -> Vec<RunStats> {
         }
     });
     drop(slot_refs);
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -53,7 +58,11 @@ mod tests {
             cfg.drain = Time::from_millis(50);
             cfg
         };
-        let cfgs = vec![mk(Scheme::Ecmp), mk(Scheme::drill_default()), mk(Scheme::Random)];
+        let cfgs = vec![
+            mk(Scheme::Ecmp),
+            mk(Scheme::drill_default()),
+            mk(Scheme::Random),
+        ];
         let par = run_many(&cfgs);
         assert_eq!(par.len(), 3);
         for (cfg, stats) in cfgs.iter().zip(&par) {

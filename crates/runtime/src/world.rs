@@ -2,8 +2,8 @@
 
 use drill_core::install_symmetric_groups;
 use drill_net::{
-    EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, RouteTable, Switch,
-    SwitchConfig, SwitchId, Topology,
+    EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, PacketBufPool, RouteTable,
+    Switch, SwitchConfig, SwitchId, Topology,
 };
 use drill_sim::{EventQueue, SimRng, Time};
 use drill_stats::stdev_of;
@@ -58,6 +58,10 @@ struct World {
     pending_flow: Option<FlowSpec>,
     synth_pattern: Option<TrafficPattern>,
     net_buf: EventSink,
+    /// Recycled `Vec<Packet>` buffers for TCP/ACK emission batches.
+    pkt_pool: PacketBufPool,
+    /// Scratch for per-sample queue lengths in `sample_queues`.
+    lens_scratch: Vec<f64>,
     stats: RunStats,
     arrivals_end: Time,
     leaf_of: Vec<u32>,
@@ -119,24 +123,31 @@ impl World {
         let switches: Vec<Switch> = (0..topo.num_switches())
             .map(|i| {
                 let id = SwitchId(i as u32);
-                let policy = cfg.scheme.make_switch_policy(&topo, &routes, id, cfg.engines);
+                let policy = cfg
+                    .scheme
+                    .make_switch_policy(&topo, &routes, id, cfg.engines);
                 Switch::new(id, topo.num_ports(id), sw_cfg.clone(), policy)
             })
             .collect();
-        let nics: Vec<HostNic> = (0..topo.num_hosts() as u32).map(|h| HostNic::new(HostId(h))).collect();
+        let nics: Vec<HostNic> = (0..topo.num_hosts() as u32)
+            .map(|h| HostNic::new(HostId(h)))
+            .collect();
         let host_policies: Vec<Box<dyn HostPolicy>> = (0..topo.num_hosts() as u32)
             .map(|h| cfg.scheme.make_host_policy(&topo, &routes, HostId(h)))
             .collect();
 
-        let leaf_of: Vec<u32> =
-            (0..topo.num_hosts() as u32).map(|h| topo.host_leaf_index(HostId(h))).collect();
+        let leaf_of: Vec<u32> = (0..topo.num_hosts() as u32)
+            .map(|h| topo.host_leaf_index(HostId(h)))
+            .collect();
 
         // Queue-STDV sampling port lists.
         let n_leaves = topo.num_leaves();
         let mut leaf_up_ports = vec![Vec::new(); n_leaves];
         let mut spine_down_ports = vec![Vec::new(); n_leaves];
         for l in topo.links() {
-            if let (drill_net::NodeRef::Switch(src), drill_net::NodeRef::Switch(dst)) = (l.src, l.dst) {
+            if let (drill_net::NodeRef::Switch(src), drill_net::NodeRef::Switch(dst)) =
+                (l.src, l.dst)
+            {
                 if l.hop == HopClass::LeafUp {
                     let li = topo.leaf_index(src).expect("leaf-up from a leaf") as usize;
                     leaf_up_ports[li].push((src.index(), l.src_port));
@@ -178,10 +189,12 @@ impl World {
         } else {
             None
         };
-        let synth_pattern = cfg
-            .synthetic
-            .as_ref()
-            .map(|_| cfg.workload.pattern.clone().bind(leaf_of.clone(), &mut rng_wl));
+        let synth_pattern = cfg.synthetic.as_ref().map(|_| {
+            cfg.workload
+                .pattern
+                .clone()
+                .bind(leaf_of.clone(), &mut rng_wl)
+        });
 
         let stats = RunStats::new(cfg.scheme.name());
         let shim_enabled = cfg.scheme.uses_shim();
@@ -206,6 +219,8 @@ impl World {
             pending_flow: None,
             synth_pattern,
             net_buf: Vec::new(),
+            pkt_pool: PacketBufPool::new(),
+            lens_scratch: Vec::new(),
             stats,
             arrivals_end,
             leaf_of,
@@ -224,7 +239,8 @@ impl World {
             self.pending_flow = Some(spec);
         }
         if let Some(incast) = &self.cfg.workload.incast {
-            self.queue.push(self.cfg.warmup + incast.epoch_gap, Event::IncastEpoch);
+            self.queue
+                .push(self.cfg.warmup + incast.epoch_gap, Event::IncastEpoch);
         }
         if let Some(synth) = self.cfg.synthetic.clone() {
             // One elephant per host, started immediately.
@@ -234,7 +250,13 @@ impl World {
                     .as_mut()
                     .expect("synthetic mode has a bound pattern")
                     .pick_dst(src, &mut self.rng_wl);
-                self.start_flow(src, dst, synth.elephant_bytes, FlowClass::Elephant, Time::ZERO);
+                self.start_flow(
+                    src,
+                    dst,
+                    synth.elephant_bytes,
+                    FlowClass::Elephant,
+                    Time::ZERO,
+                );
             }
             self.queue.push(synth.mice_period, Event::MiceTick);
         }
@@ -264,7 +286,11 @@ impl World {
 
     fn dispatch(&mut self, now: Time, ev: Event) {
         match ev {
-            Event::Net(NetEvent::ArriveSwitch { switch, ingress, pkt }) => {
+            Event::Net(NetEvent::ArriveSwitch {
+                switch,
+                ingress,
+                pkt,
+            }) => {
                 self.switches[switch.index()].receive(
                     &self.topo,
                     &self.routes,
@@ -285,7 +311,12 @@ impl World {
                 self.nics[host.index()].on_tx_done(&self.topo, now, &mut self.net_buf);
                 self.drain_net();
             }
-            Event::Net(NetEvent::EnqueueCommit { switch, port, bytes, engine }) => {
+            Event::Net(NetEvent::EnqueueCommit {
+                switch,
+                port,
+                bytes,
+                engine,
+            }) => {
                 self.switches[switch.index()].on_enqueue_commit(port, bytes, engine);
             }
             Event::FlowArrival => {
@@ -323,15 +354,17 @@ impl World {
                 }
             }
             Event::TcpTimer { flow, gen } => {
-                let mut out = Vec::new();
-                let fired = self.flows[flow as usize].on_timer(gen, now, &mut self.pkt_ids, &mut out);
+                let mut out = self.pkt_pool.get();
+                let fired =
+                    self.flows[flow as usize].on_timer(gen, now, &mut self.pkt_ids, &mut out);
                 if fired {
                     let src = self.flows[flow as usize].src;
-                    for p in out {
+                    for p in out.drain(..) {
                         self.host_send(src, p, now);
                     }
                     self.schedule_rto(flow, now);
                 }
+                self.pkt_pool.put(out);
             }
             Event::ShimTimer { flow, gen } => {
                 if let Some(shim) = self.shims[flow as usize].as_mut() {
@@ -352,7 +385,8 @@ impl World {
                     let _ = self.topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
                         || self.topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
                 }
-                self.queue.push(now + self.cfg.ospf_delay, Event::RecomputeRoutes);
+                self.queue
+                    .push(now + self.cfg.ospf_delay, Event::RecomputeRoutes);
             }
             Event::RecomputeRoutes => {
                 self.routes = RouteTable::compute(&self.topo);
@@ -369,13 +403,17 @@ impl World {
                             id,
                             self.cfg.engines,
                         );
-                        self.switches[i] = rebuild_switch(&self.topo, &self.switches[i], p, &self.cfg);
+                        self.switches[i] =
+                            rebuild_switch(&self.topo, &self.switches[i], p, &self.cfg);
                     }
                 }
                 if matches!(self.cfg.scheme, Scheme::Presto { .. }) {
                     for h in 0..self.host_policies.len() {
-                        self.host_policies[h] =
-                            self.cfg.scheme.make_host_policy(&self.topo, &self.routes, HostId(h as u32));
+                        self.host_policies[h] = self.cfg.scheme.make_host_policy(
+                            &self.topo,
+                            &self.routes,
+                            HostId(h as u32),
+                        );
                     }
                 }
             }
@@ -407,11 +445,19 @@ impl World {
         }
         let id = drill_net::FlowId(self.flows.len() as u32);
         let flow_hash = self.rng_wl.next_u64();
-        let flow = TcpFlow::new(id, HostId(src), HostId(dst), flow_hash, bytes, now, self.cfg.tcp);
+        let flow = TcpFlow::new(
+            id,
+            HostId(src),
+            HostId(dst),
+            flow_hash,
+            bytes,
+            now,
+            self.cfg.tcp,
+        );
         // Elephants are the measured subject wherever they appear (they
         // start at t=0 by design); other classes honour the warmup window.
-        let measured = class == FlowClass::Elephant
-            || (now >= self.cfg.warmup && now <= self.arrivals_end);
+        let measured =
+            class == FlowClass::Elephant || (now >= self.cfg.warmup && now <= self.arrivals_end);
         self.flows.push(flow);
         self.classes.push(class);
         self.measured.push(measured);
@@ -429,19 +475,29 @@ impl World {
             while off < bytes {
                 let payload = (bytes - off).min(mss) as u32;
                 self.pkt_ids += 1;
-                let p = Packet::data(self.pkt_ids, id, HostId(src), HostId(dst), flow_hash, off, payload, now);
+                let p = Packet::data(
+                    self.pkt_ids,
+                    id,
+                    HostId(src),
+                    HostId(dst),
+                    flow_hash,
+                    off,
+                    payload,
+                    now,
+                );
                 self.host_send(HostId(src), p, now);
                 off += payload as u64;
             }
             return;
         }
 
-        let mut out = Vec::new();
+        let mut out = self.pkt_pool.get();
         let idx = id.0;
         self.flows[idx as usize].start_sending(now, &mut self.pkt_ids, &mut out);
-        for p in out {
+        for p in out.drain(..) {
             self.host_send(HostId(src), p, now);
         }
+        self.pkt_pool.put(out);
         self.schedule_rto(idx, now);
     }
 
@@ -469,13 +525,15 @@ impl World {
         if pkt.is_ack() {
             // Sender side.
             debug_assert_eq!(self.flows[flow as usize].src, host);
-            let mut out = Vec::new();
+            let mut out = self.pkt_pool.get();
             self.flows[flow as usize].on_ack(&pkt, now, &mut self.pkt_ids, &mut out);
-            for p in out {
+            for p in out.drain(..) {
                 self.host_send(host, p, now);
             }
+            self.pkt_pool.put(out);
             self.schedule_rto(flow, now);
-            if self.flows[flow as usize].is_done() && self.classes[flow as usize] == FlowClass::Elephant
+            if self.flows[flow as usize].is_done()
+                && self.classes[flow as usize] == FlowClass::Elephant
             {
                 self.chain_elephant(flow, now);
             }
@@ -484,7 +542,8 @@ impl World {
             if self.shim_enabled {
                 if self.shims[flow as usize].is_none() {
                     let (threshold, timeout) = self.cfg.scheme.shim_params();
-                    self.shims[flow as usize] = Some(ShimBuffer::with_threshold(timeout, threshold));
+                    self.shims[flow as usize] =
+                        Some(ShimBuffer::with_threshold(timeout, threshold));
                 }
                 let shim = self.shims[flow as usize].as_mut().expect("just created");
                 let (deliver, timer) = shim.on_packet(pkt, now);
@@ -503,11 +562,12 @@ impl World {
     fn recv_data(&mut self, flow: u32, pkt: Packet, now: Time) {
         self.data_delivered += 1;
         let receiver = self.flows[flow as usize].dst;
-        let mut acks = Vec::new();
+        let mut acks = self.pkt_pool.get();
         self.flows[flow as usize].on_data(&pkt, now, &mut self.pkt_ids, &mut acks);
-        for a in acks {
+        for a in acks.drain(..) {
             self.host_send(receiver, a, now);
         }
+        self.pkt_pool.put(acks);
     }
 
     fn chain_elephant(&mut self, flow: u32, now: Time) {
@@ -527,23 +587,20 @@ impl World {
     }
 
     fn sample_queues(&mut self) {
-        let mut lens: Vec<f64> = Vec::new();
-        for ports in &self.leaf_up_ports {
+        let mut lens = std::mem::take(&mut self.lens_scratch);
+        for ports in self.leaf_up_ports.iter().chain(&self.spine_down_ports) {
             if ports.len() < 2 {
                 continue;
             }
             lens.clear();
-            lens.extend(ports.iter().map(|&(s, p)| self.switches[s].queue_pkts(p) as f64));
+            lens.extend(
+                ports
+                    .iter()
+                    .map(|&(s, p)| self.switches[s].queue_pkts(p) as f64),
+            );
             self.stats.queue_stdv.add(stdev_of(&lens));
         }
-        for ports in &self.spine_down_ports {
-            if ports.len() < 2 {
-                continue;
-            }
-            lens.clear();
-            lens.extend(ports.iter().map(|&(s, p)| self.switches[s].queue_pkts(p) as f64));
-            self.stats.queue_stdv.add(stdev_of(&lens));
-        }
+        self.lens_scratch = lens;
     }
 
     fn finalize(mut self) -> RunStats {
@@ -654,7 +711,11 @@ mod tests {
     fn ecmp_run_completes_flows() {
         let stats = run(&quick_cfg(Scheme::Ecmp, 0.3));
         assert!(stats.flows_started > 50, "{}", stats.flows_started);
-        assert!(stats.completion_rate() > 0.95, "{}", stats.completion_rate());
+        assert!(
+            stats.completion_rate() > 0.95,
+            "{}",
+            stats.completion_rate()
+        );
         assert!(stats.mean_fct_ms() > 0.0);
         assert!(stats.events > 1000);
     }
@@ -705,7 +766,11 @@ mod tests {
         cfg.sample_queues = true;
         cfg.raw_packet_mode = true;
         let stats = run(&cfg);
-        assert!(stats.queue_stdv.count() > 100, "{}", stats.queue_stdv.count());
+        assert!(
+            stats.queue_stdv.count() > 100,
+            "{}",
+            stats.queue_stdv.count()
+        );
     }
 
     #[test]

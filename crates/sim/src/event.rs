@@ -1,42 +1,93 @@
-//! The event queue at the heart of the simulator.
+//! The event queue at the heart of the simulator: a hierarchical timing
+//! wheel (Varghese & Lauck 1987) with an allocation-free hot path.
+//!
+//! The previous implementation was a `BinaryHeap` + `HashSet` of cancelled
+//! tokens (kept as [`crate::HeapQueue`] for A/B benchmarking); the wheel
+//! replaces O(log n) sift operations with O(1) amortized slot pushes and
+//! bitmap scans, and replaces the cancellation hash set with generation
+//! stamped slab slots so `cancel` is O(1) and leaves no residue — even when
+//! a token is cancelled after its event already fired.
+//!
+//! # Structure
+//!
+//! * [`LEVELS`] wheel levels of 64 slots each. Level `k` slots are
+//!   `2^BASE_SHIFT * 64^k` ns wide: level 0 slots are 64 ns delivery
+//!   windows (drained as one sorted batch, which amortizes staging
+//!   bookkeeping across every event in the window) and the whole wheel
+//!   spans `2^36` ns ≈ 68.7 simulated seconds ahead of the cursor.
+//! * Deadlines beyond the wheel horizon live in a sorted overflow heap
+//!   keyed by `(time, seq)` and are migrated into the wheel as the cursor
+//!   advances (each migration is itself O(1) amortized).
+//! * Entries live in a slab (`Vec` arena) threaded with intrusive singly
+//!   linked lists; freed slots go on a free list and are reused, so a
+//!   steady-state simulation performs no per-event allocation at all.
+//! * Every entry carries the monotone `seq` stamped at push time. When a
+//!   level-0 slot is drained for delivery the (usually tiny) batch is
+//!   sorted by `(time, seq)`, which restores global FIFO order for
+//!   simultaneous events regardless of which level or path each entry
+//!   took through the wheel. See DESIGN.md for the ordering proof sketch.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::Time;
 
 /// Handle for a cancellable event, returned by
 /// [`EventQueue::push_cancellable`].
+///
+/// Packs a slab index and a generation stamp; a token whose generation no
+/// longer matches its slot (because the event fired or was already
+/// cancelled) is ignored, so stale cancels are harmless and cost O(1).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventToken(u64);
+pub struct EventToken(pub(crate) u64);
 
-struct Entry<P> {
-    time: Time,
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// log2 of the level-0 slot width in ns. A level-0 slot is a 64 ns
+/// delivery window: staging drains the whole window as one batch and the
+/// `(time, seq)` sort restores exact order, which amortizes the bitmap
+/// scan and cascade bookkeeping over every event in the window instead of
+/// paying it per nanosecond-wide slot. It also shortens cascades: a
+/// deadline `d` ns ahead sits `BASE_SHIFT` bits lower in the hierarchy
+/// than it would with 1 ns slots.
+const BASE_SHIFT: u32 = 6;
+/// Number of wheel levels; deadlines within
+/// `2^(BASE_SHIFT + LEVEL_BITS * LEVELS)` ns of the cursor are
+/// wheel-resident, the rest overflow.
+const LEVELS: usize = 5;
+/// First deadline distance that no longer fits in the wheel (2^36 ns,
+/// ≈ 68.7 simulated seconds).
+const HORIZON: u64 = 1 << (BASE_SHIFT + LEVEL_BITS * LEVELS as u32);
+/// Null link in the intrusive slot lists.
+const NIL: u32 = u32::MAX;
+
+/// Lifecycle of a slab slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// On the free list.
+    Free,
+    /// Scheduled and deliverable.
+    Live,
+    /// Cancelled; storage reclaimed lazily when next encountered.
+    Cancelled,
+}
+
+struct Node<P> {
+    /// Absolute deadline in nanoseconds.
+    time: u64,
+    /// Global push order; the FIFO tie-break at equal timestamps.
     seq: u64,
-    token: u64, // 0 = not cancellable
-    payload: P,
+    /// Next entry in the slot list this node is threaded on (or the free
+    /// list when `state == Free`).
+    next: u32,
+    /// Generation stamp; bumped every time the slot is freed so stale
+    /// [`EventToken`]s can never touch a reused slot.
+    gen: u32,
+    state: SlotState,
+    payload: Option<P>,
 }
-
-// BinaryHeap is a max-heap; invert the ordering to pop the earliest
-// (time, seq) first. `seq` is a monotone counter, so two events scheduled
-// for the same instant pop in the order they were pushed (FIFO). That
-// tie-break is what makes simulations deterministic.
-impl<P> Ord for Entry<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-impl<P> PartialOrd for Entry<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> PartialEq for Entry<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<P> Eq for Entry<P> {}
 
 /// A deterministic future-event list.
 ///
@@ -47,11 +98,32 @@ impl<P> Eq for Entry<P> {}
 /// for a time earlier than the last popped time are a logic error in the
 /// caller and panic in debug builds.
 pub struct EventQueue<P> {
-    heap: BinaryHeap<Entry<P>>,
-    seq: u64,
-    next_token: u64,
-    cancelled: HashSet<u64>,
+    /// Slab of event entries; never shrinks, recycled through `free_head`.
+    arena: Vec<Node<P>>,
+    /// Head of the free list threaded through `arena` (NIL if empty).
+    free_head: u32,
+    /// Intrusive list heads, `levels[level][slot]`.
+    levels: [[u32; SLOTS]; LEVELS],
+    /// One occupancy bit per slot, for O(1) next-slot scans.
+    occupied: [u64; LEVELS],
+    /// Far-future entries (≥ HORIZON ns ahead), sorted by `(time, seq)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Delivery staging: the current level-0 batch as `(time, seq, idx)`
+    /// tuples sorted ascending, consumed from `ready_pos`. Keys are held
+    /// inline so the batch sort and splice searches never chase arena
+    /// pointers.
+    ready: Vec<(u64, u64, u32)>,
+    ready_pos: usize,
+    /// Reused permutation buffer for the staging counting sort.
+    scratch: Vec<(u64, u64, u32)>,
+    /// Internal wheel cursor in ns. Invariant: at every public API
+    /// boundary, `now.as_nanos() == elapsed` or every pending event is at
+    /// or after `elapsed` (the cursor never passes a live event).
+    elapsed: u64,
     now: Time,
+    seq: u64,
+    /// Scheduled-but-undelivered, excluding cancelled entries.
+    live: usize,
     popped: u64,
 }
 
@@ -65,11 +137,18 @@ impl<P> EventQueue<P> {
     /// An empty queue positioned at `Time::ZERO`.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            next_token: 1,
-            cancelled: HashSet::new(),
+            arena: Vec::new(),
+            free_head: NIL,
+            levels: [[NIL; SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            ready: Vec::new(),
+            ready_pos: 0,
+            scratch: Vec::new(),
+            elapsed: 0,
             now: Time::ZERO,
+            seq: 0,
+            live: 0,
             popped: 0,
         }
     }
@@ -87,26 +166,31 @@ impl<P> EventQueue<P> {
         self.popped
     }
 
-    /// Number of events still pending (including cancelled ones not yet
-    /// drained).
+    /// Number of pending (scheduled, not yet delivered or cancelled)
+    /// events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+
+    /// Number of slab slots ever allocated. Bounded by the high-water mark
+    /// of concurrently pending events — *not* by the total event count —
+    /// which the no-leak regression test asserts.
+    #[inline]
+    pub fn allocated_slots(&self) -> usize {
+        self.arena.len()
     }
 
     /// Schedule `payload` at absolute time `at`.
     #[inline]
     pub fn push(&mut self, at: Time, payload: P) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry { time: at, seq, token: 0, payload });
+        self.push_cancellable(at, payload);
     }
 
     /// Schedule `payload` at `delay` after the current clock.
@@ -119,49 +203,385 @@ impl<P> EventQueue<P> {
     ///
     /// [`cancel`]: EventQueue::cancel
     pub fn push_cancellable(&mut self, at: Time, payload: P) -> EventToken {
-        debug_assert!(at >= self.now, "scheduling into the past");
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        let token = self.next_token;
-        self.next_token += 1;
-        self.heap.push(Entry { time: at, seq, token, payload });
-        EventToken(token)
+        let idx = self.alloc(at.as_nanos(), seq, payload);
+        self.live += 1;
+        self.insert(idx);
+        EventToken(((self.arena[idx as usize].gen as u64) << 32) | idx as u64)
     }
 
-    /// Cancel a previously scheduled cancellable event. Cancelling an
-    /// already-delivered or already-cancelled event is a no-op.
+    /// Cancel a previously scheduled cancellable event in O(1). Cancelling
+    /// an already-delivered or already-cancelled event is a no-op (the
+    /// token's generation stamp no longer matches), and unlike the old
+    /// `HashSet` design it leaves no residue behind.
     pub fn cancel(&mut self, token: EventToken) {
-        self.cancelled.insert(token.0);
+        let idx = (token.0 & u32::MAX as u64) as usize;
+        let gen = (token.0 >> 32) as u32;
+        if let Some(node) = self.arena.get_mut(idx) {
+            if node.gen == gen && node.state == SlotState::Live {
+                node.state = SlotState::Cancelled;
+                node.payload = None;
+                self.live -= 1;
+            }
+        }
     }
 
     /// Deliver the next event, advancing the clock. Cancelled events are
-    /// skipped silently.
+    /// skipped silently (and their slots reclaimed).
     pub fn pop(&mut self) -> Option<(Time, P)> {
-        while let Some(e) = self.heap.pop() {
-            if e.token != 0 && self.cancelled.remove(&e.token) {
+        loop {
+            // 1. Drain the staged level-0 batch first.
+            while self.ready_pos < self.ready.len() {
+                let (time, _, idx) = self.ready[self.ready_pos];
+                self.ready_pos += 1;
+                if self.arena[idx as usize].state == SlotState::Cancelled {
+                    self.free(idx);
+                    continue;
+                }
+                let t = Time::from_nanos(time);
+                let payload = self.arena[idx as usize].payload.take().expect("live entry");
+                self.free(idx);
+                debug_assert!(t >= self.now);
+                self.now = t;
+                self.popped += 1;
+                self.live -= 1;
+                return Some((t, payload));
+            }
+            self.ready.clear();
+            self.ready_pos = 0;
+
+            // 2. Pull any overflow entries that now fit in the wheel.
+            self.replenish();
+
+            // 3. Find the lowest level with an occupied slot at/after the
+            // cursor; by construction it holds the earliest deadline.
+            let mut found = None;
+            for level in 0..LEVELS {
+                if let Some(slot) = self.next_occupied(level) {
+                    found = Some((level, slot));
+                    break;
+                }
+            }
+            match found {
+                None => {
+                    // Wheel empty; jump the cursor to the overflow head so
+                    // the next replenish can migrate it in.
+                    match self.overflow.peek() {
+                        Some(&Reverse((t, _, _))) => {
+                            self.elapsed = t;
+                            continue;
+                        }
+                        None => return None,
+                    }
+                }
+                Some((0, slot)) => {
+                    // Stage the whole 64 ns window for delivery.
+                    let window = 1u64 << BASE_SHIFT;
+                    let t0 = (self.elapsed & !((window * SLOTS as u64) - 1))
+                        | ((slot as u64) << BASE_SHIFT);
+                    // The staged slot is at/after the cursor slot, so the
+                    // window end never moves the cursor backwards (it may
+                    // re-stage the cursor slot itself when an overdue push
+                    // parked there after the previous batch drained).
+                    debug_assert!(t0 + window > self.elapsed);
+                    let mut idx = self.levels[0][slot];
+                    self.levels[0][slot] = NIL;
+                    self.occupied[0] &= !(1u64 << slot);
+                    while idx != NIL {
+                        let node = &self.arena[idx as usize];
+                        let next = node.next;
+                        if node.state == SlotState::Cancelled {
+                            self.free(idx);
+                        } else {
+                            self.ready.push((node.time, node.seq, idx));
+                        }
+                        idx = next;
+                    }
+                    // Committing to the window: later pushes that land
+                    // inside it take the overdue path and splice into the
+                    // live batch, so advancing to the window end jumps no
+                    // live entry.
+                    self.elapsed = t0 + window - 1;
+                    if self.ready.is_empty() {
+                        continue; // everything in the slot was cancelled
+                    }
+                    // FIFO restoration: order by (time, seq). Equal-time
+                    // entries deliver in push order; overdue entries parked
+                    // onto the cursor slot (time < t0) order first.
+                    self.sort_batch(t0);
+                    continue;
+                }
+                Some((level, slot)) => {
+                    // Cascade: advance the cursor to the slot's start and
+                    // re-distribute its entries into lower levels.
+                    //
+                    // The occupancy bit may be *stale*: the cursor jumps
+                    // straight to the next live deadline (staging, overflow
+                    // jumps), skipping slots whose entries were all
+                    // cancelled, and such a bit resurfaces one rotation
+                    // later where `slot_start` computed from the current
+                    // high cursor bits would overshoot pending earlier
+                    // events. Live entries are never skipped, so the slot
+                    // is current — and the cursor may advance — only if a
+                    // live entry is found in it.
+                    let shift = BASE_SHIFT + LEVEL_BITS * level as u32;
+                    let span = 1u64 << (shift + LEVEL_BITS);
+                    let slot_start = (self.elapsed & !(span - 1)) | ((slot as u64) << shift);
+                    let mut idx = self.levels[level][slot];
+                    self.levels[level][slot] = NIL;
+                    self.occupied[level] &= !(1u64 << slot);
+                    let mut live = NIL;
+                    while idx != NIL {
+                        let next = self.arena[idx as usize].next;
+                        if self.arena[idx as usize].state == SlotState::Cancelled {
+                            self.free(idx);
+                        } else {
+                            self.arena[idx as usize].next = live;
+                            live = idx;
+                        }
+                        idx = next;
+                    }
+                    if live != NIL && slot_start > self.elapsed {
+                        self.elapsed = slot_start;
+                    }
+                    while live != NIL {
+                        let next = self.arena[live as usize].next;
+                        debug_assert!(
+                            self.arena[live as usize].time >= slot_start,
+                            "live entry behind its slot start"
+                        );
+                        self.insert(live);
+                        live = next;
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the next (non-cancelled) pending event without
+    /// delivering it. Does not advance the clock; lazily reclaims any
+    /// cancelled entries it walks past.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while self.ready_pos < self.ready.len() {
+            let (time, _, idx) = self.ready[self.ready_pos];
+            if self.arena[idx as usize].state == SlotState::Cancelled {
+                self.free(idx);
+                self.ready_pos += 1;
                 continue;
             }
-            debug_assert!(e.time >= self.now);
-            self.now = e.time;
-            self.popped += 1;
-            return Some((e.time, e.payload));
+            return Some(Time::from_nanos(time));
+        }
+        self.ready.clear();
+        self.ready_pos = 0;
+
+        self.replenish();
+        for level in 0..LEVELS {
+            while let Some(slot) = self.next_occupied(level) {
+                // Walk the first occupied slot: its minimum live deadline
+                // is the global minimum (lower levels are empty, higher
+                // levels and later slots hold strictly later deadlines).
+                let mut idx = self.levels[level][slot];
+                let mut kept = NIL;
+                let mut min_time = None;
+                while idx != NIL {
+                    let next = self.arena[idx as usize].next;
+                    if self.arena[idx as usize].state == SlotState::Cancelled {
+                        self.free(idx);
+                    } else {
+                        let t = self.arena[idx as usize].time;
+                        min_time = Some(min_time.map_or(t, |m: u64| m.min(t)));
+                        self.arena[idx as usize].next = kept;
+                        kept = idx;
+                    }
+                    idx = next;
+                }
+                self.levels[level][slot] = kept;
+                if kept == NIL {
+                    self.occupied[level] &= !(1u64 << slot);
+                    continue; // slot was all-cancelled; rescan this level
+                }
+                return min_time.map(Time::from_nanos);
+            }
+        }
+        // Wheel empty: the overflow head (after shedding cancelled
+        // entries) is the answer.
+        while let Some(&Reverse((t, _, idx))) = self.overflow.peek() {
+            if self.arena[idx as usize].state == SlotState::Cancelled {
+                self.overflow.pop();
+                self.free(idx);
+                continue;
+            }
+            return Some(Time::from_nanos(t));
         }
         None
     }
 
-    /// Timestamp of the next (non-cancelled) pending event without
-    /// delivering it.
-    pub fn peek_time(&mut self) -> Option<Time> {
-        // Drain cancelled entries off the top so the answer is accurate.
-        while let Some(e) = self.heap.peek() {
-            if e.token != 0 && self.cancelled.contains(&e.token) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.token);
-            } else {
-                return Some(e.time);
-            }
+    /// Take a slab slot off the free list (or grow the arena) and fill it.
+    fn alloc(&mut self, time: u64, seq: u64, payload: P) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.arena[idx as usize];
+            self.free_head = node.next;
+            node.time = time;
+            node.seq = seq;
+            node.next = NIL;
+            node.state = SlotState::Live;
+            node.payload = Some(payload);
+            idx
+        } else {
+            let idx = u32::try_from(self.arena.len()).expect("event arena exceeds u32 slots");
+            assert!(idx != NIL, "event arena exceeds u32 slots");
+            self.arena.push(Node {
+                time,
+                seq,
+                next: NIL,
+                gen: 0,
+                state: SlotState::Live,
+                payload: Some(payload),
+            });
+            idx
         }
-        None
+    }
+
+    /// Return a slab slot to the free list, bumping its generation so
+    /// outstanding tokens for it become inert.
+    fn free(&mut self, idx: u32) {
+        let node = &mut self.arena[idx as usize];
+        node.state = SlotState::Free;
+        node.payload = None;
+        node.gen = node.gen.wrapping_add(1);
+        node.next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Sort the freshly staged batch in `ready` by `(time, seq)`.
+    ///
+    /// A window holds at most `1 << BASE_SHIFT` distinct time values, so
+    /// large batches take a two-pass counting sort over the time offset
+    /// `t - t0` (bucket 0 also absorbs pre-window parked entries via the
+    /// saturating subtraction) followed by tiny per-bucket tie-break
+    /// sorts. This is the hottest loop in a packed simulation — the e2e
+    /// fig2 run stages ~70 events per window — and the counting sort cuts
+    /// the per-event delivery cost well below a comparison sort's.
+    fn sort_batch(&mut self, t0: u64) {
+        const WINDOW: usize = 1 << BASE_SHIFT;
+        if self.ready.len() <= 32 {
+            // Below std's small-sort threshold a comparison sort wins over
+            // two passes of 64-bucket bookkeeping.
+            self.ready.sort_unstable();
+            return;
+        }
+        let mut pos = [0u32; WINDOW];
+        for &(t, _, _) in &self.ready {
+            debug_assert!(t < t0 + WINDOW as u64);
+            pos[t.saturating_sub(t0) as usize] += 1;
+        }
+        let mut acc = 0u32;
+        let mut counts = [0u32; WINDOW];
+        for (count, start) in counts.iter_mut().zip(pos.iter_mut()) {
+            *count = *start;
+            *start = acc;
+            acc += *count;
+        }
+        self.scratch.clear();
+        self.scratch.resize(self.ready.len(), (0, 0, 0));
+        for &e in &self.ready {
+            let o = e.0.saturating_sub(t0) as usize;
+            self.scratch[pos[o] as usize] = e;
+            pos[o] += 1;
+        }
+        std::mem::swap(&mut self.ready, &mut self.scratch);
+        let mut start = 0usize;
+        for &count in &counts {
+            let end = start + count as usize;
+            if count > 1 {
+                // One time value per bucket (bucket 0 may mix parked
+                // pre-window times), so this is the seq tie-break.
+                self.ready[start..end].sort_unstable();
+            }
+            start = end;
+        }
+    }
+
+    /// Thread a live entry onto the wheel (or the overflow heap).
+    fn insert(&mut self, idx: u32) {
+        let t = self.arena[idx as usize].time;
+        let (level, slot) = if t <= self.elapsed {
+            // Overdue relative to the internal cursor (legal: the cursor
+            // may sit ahead of `now` after a jump to a far-off deadline).
+            if self.ready_pos < self.ready.len() {
+                // A staged batch is mid-delivery and this entry belongs
+                // inside it: splice it in at its `(time, seq)` position so
+                // it is not deferred behind later-timed staged entries.
+                let seq = self.arena[idx as usize].seq;
+                let pos = self.ready_pos
+                    + self.ready[self.ready_pos..]
+                        .partition_point(|&(bt, bs, _)| (bt, bs) < (t, seq));
+                self.ready.insert(pos, (t, seq, idx));
+                return;
+            }
+            // Otherwise park it on the cursor slot; the next staging pass
+            // picks it up first and sorts the batch by (time, seq).
+            (
+                0,
+                ((self.elapsed >> BASE_SHIFT) & (SLOTS as u64 - 1)) as usize,
+            )
+        } else {
+            let dist = t ^ self.elapsed;
+            if dist >= HORIZON {
+                let seq = self.arena[idx as usize].seq;
+                self.overflow.push(Reverse((t, seq, idx)));
+                return;
+            }
+            let top = u64::BITS - 1 - dist.leading_zeros();
+            let level = (top.saturating_sub(BASE_SHIFT) / LEVEL_BITS) as usize;
+            let slot =
+                ((t >> (BASE_SHIFT + LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            (level, slot)
+        };
+        self.arena[idx as usize].next = self.levels[level][slot];
+        self.levels[level][slot] = idx;
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    /// Migrate overflow entries that now fit inside the wheel horizon;
+    /// also sheds cancelled entries surfacing at the overflow head.
+    fn replenish(&mut self) {
+        while let Some(&Reverse((t, _, idx))) = self.overflow.peek() {
+            if self.arena[idx as usize].state == SlotState::Cancelled {
+                self.overflow.pop();
+                self.free(idx);
+                continue;
+            }
+            if (t ^ self.elapsed) < HORIZON || t <= self.elapsed {
+                self.overflow.pop();
+                self.insert(idx);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// First occupied slot at/after the cursor position of `level`.
+    fn next_occupied(&self, level: usize) -> Option<usize> {
+        let cursor =
+            (self.elapsed >> (BASE_SHIFT + LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1);
+        // Bits behind the cursor may exist but are always stale (their
+        // entries were all cancelled before the cursor jumped past them);
+        // they are reclaimed when a later rotation scans them.
+        let masked = self.occupied[level] & (!0u64 << cursor);
+        if masked != 0 {
+            Some(masked.trailing_zeros() as usize)
+        } else {
+            None
+        }
     }
 }
 
@@ -259,5 +679,190 @@ mod tests {
             seen.push(v);
         }
         assert_eq!(seen, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = EventQueue::new();
+        // Far beyond the 2^36 ns ≈ 68.7 s wheel horizon.
+        q.push(Time::from_secs(1000), "far");
+        q.push(Time::from_nanos(1), "near");
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(1)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(1), "near")));
+        assert_eq!(q.pop(), Some((Time::from_secs(1000), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_events_interleave_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(500);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        // A cancelled overflow entry in the middle.
+        let tok = q.push_cancellable(t, 99);
+        q.cancel(tok);
+        for i in 10..20 {
+            q.push(t, i);
+        }
+        for i in 0..20 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_in_every_region() {
+        let mut q = EventQueue::new();
+        let near = q.push_cancellable(Time::from_nanos(3), "near");
+        let mid = q.push_cancellable(Time::from_micros(50), "mid");
+        let far = q.push_cancellable(Time::from_secs(200), "far");
+        q.push(Time::from_millis(1), "kept");
+        q.cancel(near);
+        q.cancel(mid);
+        q.cancel(far);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_millis(1), "kept")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_staged_entry_before_delivery() {
+        // Two events at the same instant: deliver the first, then cancel
+        // the second while it is already staged in the ready batch.
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(7);
+        q.push(t, "first");
+        let tok = q.push_cancellable(t, "second");
+        q.push(Time::from_nanos(8), "third");
+        assert_eq!(q.pop(), Some((t, "first")));
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((Time::from_nanos(8), "third")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_at_now_during_same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(100);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop(), Some((t, 0)));
+        // Pushed at the current instant, after two same-time events were
+        // already staged: must still come out last (largest seq).
+        q.push(t, 2);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_residue() {
+        // Regression test for the old HashSet design, where cancelling a
+        // token after its event was delivered grew `cancelled` forever
+        // (e.g. TCP RTO timers cancelled post-fire in long runs). The slab
+        // must stay at its high-water mark of *concurrent* events.
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for _ in 0..100_000 {
+            t += 10;
+            let tok = q.push_cancellable(Time::from_nanos(t), 0u8);
+            let popped = q.pop();
+            assert!(popped.is_some());
+            q.cancel(tok); // after delivery: must be a no-op, not residue
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.allocated_slots() <= 2,
+            "slab grew to {} slots across cancel-after-fire cycles",
+            q.allocated_slots()
+        );
+    }
+
+    #[test]
+    fn cancel_before_fire_reuses_slots() {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for _ in 0..10_000 {
+            t += 10;
+            let tok = q.push_cancellable(Time::from_nanos(t), 0u8);
+            q.cancel(tok);
+            assert_eq!(q.pop(), None);
+        }
+        assert!(
+            q.allocated_slots() <= 2,
+            "slab grew to {} slots across cancel cycles",
+            q.allocated_slots()
+        );
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let tok = q.push_cancellable(Time::from_nanos(1), 1);
+        assert_eq!(q.pop(), Some((Time::from_nanos(1), 1)));
+        // The slot is recycled for a new event; the old token must not
+        // touch it.
+        q.push(Time::from_nanos(2), 2);
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((Time::from_nanos(2), 2)));
+    }
+
+    #[test]
+    fn wide_time_spread_pops_sorted() {
+        // Deadlines scattered across every wheel level and the overflow.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = (0..200)
+            .map(|i: u64| {
+                let bucket = i % 8;
+                1 + i + (1u64 << (4 * bucket)) // 1ns .. ~268s spread
+            })
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_nanos(t), i);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(
+                t.as_nanos() >= last,
+                "out of order: {} after {last}",
+                t.as_nanos()
+            );
+            last = t.as_nanos();
+            n += 1;
+        }
+        assert_eq!(n, times.len());
+        assert_eq!(last, *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn peek_matches_pop_under_churn() {
+        let mut q = EventQueue::new();
+        let mut toks = Vec::new();
+        for i in 0..500u64 {
+            let t = Time::from_nanos(1 + (i * 7919) % 100_000);
+            if i % 3 == 0 {
+                toks.push(q.push_cancellable(t, i));
+            } else {
+                q.push(t, i);
+            }
+        }
+        for tok in toks.iter().step_by(2) {
+            q.cancel(*tok);
+        }
+        loop {
+            let peeked = q.peek_time();
+            let popped = q.pop();
+            match (peeked, popped) {
+                (Some(pt), Some((t, _))) => assert_eq!(pt, t),
+                (None, None) => break,
+                (p, q) => panic!("peek {p:?} disagrees with pop {q:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,221 @@
+//! The pre-timing-wheel event queue: a `BinaryHeap` with a `HashSet` of
+//! cancelled tokens.
+//!
+//! Kept in-tree as the baseline the `qbench` harness and the differential
+//! tests compare the timing wheel against. Building the workspace with the
+//! `heap-queue` feature swaps this implementation back in as
+//! `drill_sim::EventQueue` for A/B end-to-end runs (`scripts/qbench.sh`
+//! does exactly that for the fig2 wall-clock comparison).
+//!
+//! Known deficiency, by design left unfixed here: cancelling a token
+//! *after* its event was delivered inserts into `cancelled` a token id
+//! that no pop will ever remove, so long cancel-after-fire workloads grow
+//! the set without bound. The timing wheel's generation-stamped slots fix
+//! this; `qbench`'s churn workload makes the cost visible.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::event::EventToken;
+use crate::Time;
+
+struct Entry<P> {
+    time: Time,
+    seq: u64,
+    token: u64, // 0 = not cancellable
+    payload: P,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first. `seq` is a monotone counter, so two events scheduled
+// for the same instant pop in the order they were pushed (FIFO). That
+// tie-break is what makes simulations deterministic.
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Entry<P> {}
+
+/// The legacy binary-heap future-event list (see the module docs).
+///
+/// API-compatible with [`crate::EventQueue`]; events at equal timestamps
+/// are delivered in push order.
+pub struct HeapQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+    seq: u64,
+    next_token: u64,
+    cancelled: HashSet<u64>,
+    now: Time,
+    popped: u64,
+}
+
+impl<P> Default for HeapQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> HeapQueue<P> {
+    /// An empty queue positioned at `Time::ZERO`.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_token: 1,
+            cancelled: HashSet::new(),
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the simulation
+    /// clock).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// drained).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Heap entries plus cancellation-set residue; the counterpart of
+    /// [`crate::EventQueue::allocated_slots`] for memory-growth
+    /// comparisons.
+    #[inline]
+    pub fn allocated_slots(&self) -> usize {
+        self.heap.len() + self.cancelled.len()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: Time, payload: P) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            token: 0,
+            payload,
+        });
+    }
+
+    /// Schedule `payload` at `delay` after the current clock.
+    #[inline]
+    pub fn push_after(&mut self, delay: Time, payload: P) {
+        self.push(self.now + delay, payload);
+    }
+
+    /// Schedule a cancellable event; keep the token to [`cancel`] it.
+    ///
+    /// [`cancel`]: HeapQueue::cancel
+    pub fn push_cancellable(&mut self, at: Time, payload: P) -> EventToken {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            token,
+            payload,
+        });
+        EventToken(token)
+    }
+
+    /// Cancel a previously scheduled cancellable event. Cancelling an
+    /// already-delivered or already-cancelled event is a no-op (but see
+    /// the module docs: it leaks a set entry).
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Deliver the next event, advancing the clock. Cancelled events are
+    /// skipped silently.
+    pub fn pop(&mut self) -> Option<(Time, P)> {
+        while let Some(e) = self.heap.pop() {
+            if e.token != 0 && self.cancelled.remove(&e.token) {
+                continue;
+            }
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            self.popped += 1;
+            return Some((e.time, e.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next (non-cancelled) pending event without
+    /// delivering it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Drain cancelled entries off the top so the answer is accurate.
+        while let Some(e) = self.heap.peek() {
+            if e.token != 0 && self.cancelled.contains(&e.token) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.token);
+            } else {
+                return Some(e.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_fifo_at_ties() {
+        let mut q = HeapQueue::new();
+        q.push(Time::from_nanos(30), 3);
+        q.push(Time::from_nanos(10), 1);
+        q.push(Time::from_nanos(10), 2);
+        assert_eq!(q.pop(), Some((Time::from_nanos(10), 1)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(10), 2)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = HeapQueue::new();
+        let tok = q.push_cancellable(Time::from_nanos(10), "cancelled");
+        q.push(Time::from_nanos(20), "kept");
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((Time::from_nanos(20), "kept")));
+        assert_eq!(q.pop(), None);
+    }
+}

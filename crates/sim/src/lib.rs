@@ -1,12 +1,16 @@
 //! Deterministic discrete-event simulation (DES) kernel.
 //!
 //! This crate is the substrate every other `drill-*` crate runs on. It is
-//! deliberately tiny and dependency-free (apart from `rand`):
+//! deliberately tiny and dependency-free (std only, so the workspace
+//! builds with zero network access):
 //!
 //! * [`Time`] — a nanosecond-resolution simulated clock value.
-//! * [`EventQueue`] — a priority queue of `(Time, payload)` entries with
-//!   FIFO ordering for simultaneous events, which makes whole simulations
-//!   reproducible bit-for-bit given a seed.
+//! * [`EventQueue`] — a hierarchical timing wheel of `(Time, payload)`
+//!   entries with FIFO ordering for simultaneous events, which makes
+//!   whole simulations reproducible bit-for-bit given a seed. The legacy
+//!   binary-heap implementation survives as [`HeapQueue`] for baseline
+//!   benchmarking, and the off-by-default `heap-queue` cargo feature
+//!   swaps it back in as `EventQueue` for A/B end-to-end runs.
 //! * [`SimRng`] — a seedable, splittable random number generator so that
 //!   independent components (switches, hosts, workload generators) each get
 //!   their own deterministic stream.
@@ -36,9 +40,17 @@
 #![warn(missing_docs)]
 
 mod event;
+mod heap;
 mod rng;
 mod time;
 
-pub use event::{EventQueue, EventToken};
+#[cfg(not(feature = "heap-queue"))]
+pub use event::EventQueue;
+#[cfg(feature = "heap-queue")]
+pub use heap::HeapQueue as EventQueue;
+
+pub use event::EventQueue as WheelQueue;
+pub use event::EventToken;
+pub use heap::HeapQueue;
 pub use rng::SimRng;
 pub use time::Time;

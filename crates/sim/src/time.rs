@@ -95,8 +95,8 @@ impl Time {
     /// Scale a duration by an integer factor.
     #[inline]
     #[allow(clippy::should_implement_trait)] // deliberate: a `Mul<u64>` impl
-    // would invite `Time * Time` confusion; an explicit method keeps call
-    // sites self-documenting.
+                                             // would invite `Time * Time` confusion; an explicit method keeps call
+                                             // sites self-documenting.
     pub fn mul(self, k: u64) -> Time {
         Time(self.0 * k)
     }

@@ -15,7 +15,11 @@ pub struct Histogram {
 impl Histogram {
     /// A histogram with bins `0..max_value` plus an overflow bin.
     pub fn new(max_value: usize) -> Histogram {
-        Histogram { bins: vec![0; max_value + 1], overflow: 0, total: 0 }
+        Histogram {
+            bins: vec![0; max_value + 1],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Count one observation of `value`.
@@ -57,8 +61,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let above: u64 =
-            self.bins.iter().skip(value).sum::<u64>() + self.overflow;
+        let above: u64 = self.bins.iter().skip(value).sum::<u64>() + self.overflow;
         above as f64 / self.total as f64
     }
 

@@ -15,7 +15,13 @@ pub struct Moments {
 impl Moments {
     /// An empty accumulator.
     pub fn new() -> Moments {
-        Moments { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Observe one value.
@@ -149,7 +155,9 @@ mod tests {
 
     #[test]
     fn merge_equals_single_stream() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut whole = Moments::new();
         for &x in &xs {
             whole.add(x);

@@ -18,12 +18,20 @@ pub struct Distribution {
 impl Distribution {
     /// An empty distribution.
     pub fn new() -> Distribution {
-        Distribution { samples: Vec::new(), sorted: true, sum: 0.0 }
+        Distribution {
+            samples: Vec::new(),
+            sorted: true,
+            sum: 0.0,
+        }
     }
 
     /// Pre-allocate space for `n` samples.
     pub fn with_capacity(n: usize) -> Distribution {
-        Distribution { samples: Vec::with_capacity(n), sorted: true, sum: 0.0 }
+        Distribution {
+            samples: Vec::with_capacity(n),
+            sorted: true,
+            sum: 0.0,
+        }
     }
 
     /// Observe one value. Non-finite values are a caller bug and panic in
@@ -66,7 +74,8 @@ impl Distribution {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
     }
@@ -204,7 +213,11 @@ mod tests {
 
     #[test]
     fn cdf_is_monotone_and_ends_at_one() {
-        let mut d = dist(&(0..1000).map(|i| (i as f64 * 7919.0) % 100.0).collect::<Vec<_>>());
+        let mut d = dist(
+            &(0..1000)
+                .map(|i| (i as f64 * 7919.0) % 100.0)
+                .collect::<Vec<_>>(),
+        );
         let cdf = d.cdf(50);
         assert_eq!(cdf.len(), 50);
         for w in cdf.windows(2) {

@@ -157,7 +157,16 @@ mod tests {
     use drill_net::{FlowId, HostId};
 
     fn pkt(seq: u64, payload: u32) -> Packet {
-        Packet::data(seq, FlowId(0), HostId(0), HostId(1), 7, seq, payload, Time::ZERO)
+        Packet::data(
+            seq,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            7,
+            seq,
+            payload,
+            Time::ZERO,
+        )
     }
 
     #[test]
@@ -240,8 +249,14 @@ mod tests {
         // Default threshold 3: the third held packet flushes everything.
         let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
         s.on_packet(pkt(0, 100), Time::ZERO);
-        assert!(s.on_packet(pkt(200, 100), Time::from_micros(1)).0.is_empty());
-        assert!(s.on_packet(pkt(300, 100), Time::from_micros(2)).0.is_empty());
+        assert!(s
+            .on_packet(pkt(200, 100), Time::from_micros(1))
+            .0
+            .is_empty());
+        assert!(s
+            .on_packet(pkt(300, 100), Time::from_micros(2))
+            .0
+            .is_empty());
         let (d, t) = s.on_packet(pkt(400, 100), Time::from_micros(3));
         assert_eq!(d.len(), 3, "threshold reached: all held packets flush");
         assert!(t.is_none());

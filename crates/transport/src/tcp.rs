@@ -217,7 +217,16 @@ impl TcpFlow {
         let payload = (self.size - seq).min(self.cfg.mss as u64) as u32;
         debug_assert!(payload > 0);
         *pkt_ids += 1;
-        let mut p = Packet::data(*pkt_ids, self.id, self.src, self.dst, self.flow_hash, seq, payload, now);
+        let mut p = Packet::data(
+            *pkt_ids,
+            self.id,
+            self.src,
+            self.dst,
+            self.flow_hash,
+            seq,
+            payload,
+            now,
+        );
         if seq + payload as u64 >= self.size {
             p.flags |= flags::FIN;
         }
@@ -297,8 +306,15 @@ impl TcpFlow {
         }
 
         *pkt_ids += 1;
-        let mut ack =
-            Packet::pure_ack(*pkt_ids, self.id, self.dst, self.src, self.flow_hash, self.rcv_nxt, now);
+        let mut ack = Packet::pure_ack(
+            *pkt_ids,
+            self.id,
+            self.dst,
+            self.src,
+            self.flow_hash,
+            self.rcv_nxt,
+            now,
+        );
         // Echo the segment's send timestamp for RTT sampling, unless it is
         // a retransmission (Karn's rule).
         if !pkt.is_retx() {
@@ -377,8 +393,8 @@ impl TcpFlow {
                         self.retransmissions += 1;
                         out.push(p);
                     }
-                    self.cwnd = (self.cwnd - newly as f64 + self.cfg.mss as f64)
-                        .max(self.cfg.mss as f64);
+                    self.cwnd =
+                        (self.cwnd - newly as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
                 }
             } else if self.cwnd < self.ssthresh {
                 // Slow start.
@@ -427,12 +443,20 @@ impl TcpFlow {
             }
         }
         let rto_ns = self.srtt_ns.unwrap() + 4.0 * self.rttvar_ns;
-        self.rto = Time::from_nanos(rto_ns as u64).max(self.cfg.rto_min).min(self.cfg.rto_max);
+        self.rto = Time::from_nanos(rto_ns as u64)
+            .max(self.cfg.rto_min)
+            .min(self.cfg.rto_max);
     }
 
     /// An RTO timer fired. Returns `true` if it was current and handled
     /// (the caller should then reschedule via [`TcpFlow::rto_deadline`]).
-    pub fn on_timer(&mut self, generation: u64, now: Time, pkt_ids: &mut u64, out: &mut Vec<Packet>) -> bool {
+    pub fn on_timer(
+        &mut self,
+        generation: u64,
+        now: Time,
+        pkt_ids: &mut u64,
+        out: &mut Vec<Packet>,
+    ) -> bool {
         if generation != self.timer_gen || self.done.is_some() || self.flight() == 0 {
             return false;
         }
@@ -455,14 +479,33 @@ mod tests {
     use super::*;
 
     fn flow(size: u64) -> TcpFlow {
-        TcpFlow::new(FlowId(0), HostId(0), HostId(1), 0xfeed, size, Time::ZERO, TcpConfig::default())
+        TcpFlow::new(
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            0xfeed,
+            size,
+            Time::ZERO,
+            TcpConfig::default(),
+        )
     }
 
     /// A flow with a large initial window (several tests need many
     /// segments in flight at once).
     fn flow_iw10(size: u64) -> TcpFlow {
-        let cfg = TcpConfig { init_cwnd: 10, ..Default::default() };
-        TcpFlow::new(FlowId(0), HostId(0), HostId(1), 0xfeed, size, Time::ZERO, cfg)
+        let cfg = TcpConfig {
+            init_cwnd: 10,
+            ..Default::default()
+        };
+        TcpFlow::new(
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            0xfeed,
+            size,
+            Time::ZERO,
+            cfg,
+        )
     }
 
     /// Drive sender + receiver over a perfect in-order pipe with fixed
@@ -530,7 +573,11 @@ mod tests {
 
     #[test]
     fn nagle_off_sends_runt_immediately() {
-        let cfg = TcpConfig { nagle: false, init_cwnd: 10, ..Default::default() };
+        let cfg = TcpConfig {
+            nagle: false,
+            init_cwnd: 10,
+            ..Default::default()
+        };
         let mut f = TcpFlow::new(FlowId(0), HostId(0), HostId(1), 1, 3_000, Time::ZERO, cfg);
         let mut ids = 0;
         let mut out = Vec::new();
@@ -577,7 +624,12 @@ mod tests {
             f.on_ack(a, Time::from_micros(100), &mut ids, &mut out);
         }
         // Each ACK grows cwnd by one MSS and releases ~2 segments.
-        assert!(out.len() >= 2 * w0 - 2, "slow start: {} vs {}", out.len(), w0);
+        assert!(
+            out.len() >= 2 * w0 - 2,
+            "slow start: {} vs {}",
+            out.len(),
+            w0
+        );
     }
 
     #[test]
@@ -609,13 +661,21 @@ mod tests {
             f.on_ack(a, now + Time::from_micros(50), &mut ids, &mut retx);
         }
         assert_eq!(f.retransmissions, 1);
-        let r = retx.iter().find(|p| p.is_retx()).expect("retransmission emitted");
+        let r = retx
+            .iter()
+            .find(|p| p.is_retx())
+            .expect("retransmission emitted");
         assert_eq!(r.seq, sent[1].seq);
         assert!(f.in_recovery);
         // The late packet 1 finally arrives: receiver jumps rcv_nxt to
         // cover the buffered OOO segments.
         let mut late_acks = Vec::new();
-        f.on_data(&sent[1], now + Time::from_micros(60), &mut ids, &mut late_acks);
+        f.on_data(
+            &sent[1],
+            now + Time::from_micros(60),
+            &mut ids,
+            &mut late_acks,
+        );
         assert_eq!(late_acks[0].ack, sent[4].seq_end());
     }
 
@@ -639,11 +699,13 @@ mod tests {
         let recover_point = f.recover;
         // ACK everything up to the recovery point.
         ids += 1;
-        let full =
-            Packet::pure_ack(ids, f.id, f.dst, f.src, f.flow_hash, recover_point, now);
+        let full = Packet::pure_ack(ids, f.id, f.dst, f.src, f.flow_hash, recover_point, now);
         f.on_ack(&full, now + Time::from_micros(10), &mut ids, &mut out);
         assert!(!f.in_recovery);
-        assert!((f.cwnd - f.ssthresh).abs() < 1.0, "cwnd deflates to ssthresh");
+        assert!(
+            (f.cwnd - f.ssthresh).abs() < 1.0,
+            "cwnd deflates to ssthresh"
+        );
     }
 
     #[test]
@@ -670,13 +732,19 @@ mod tests {
     #[test]
     fn timer_deadline_only_when_outstanding() {
         let mut f = flow(10_000);
-        assert!(f.rto_deadline(Time::ZERO).is_none(), "nothing in flight yet");
+        assert!(
+            f.rto_deadline(Time::ZERO).is_none(),
+            "nothing in flight yet"
+        );
         let mut ids = 0;
         let mut out = Vec::new();
         f.start_sending(Time::ZERO, &mut ids, &mut out);
         assert!(f.rto_deadline(Time::ZERO).is_some());
         let f2 = run_perfect_pipe(flow(10_000), Time::from_micros(5));
-        assert!(f2.rto_deadline(Time::from_millis(1)).is_none(), "done flow needs no timer");
+        assert!(
+            f2.rto_deadline(Time::from_millis(1)).is_none(),
+            "done flow needs no timer"
+        );
     }
 
     #[test]
@@ -717,7 +785,16 @@ mod tests {
         let mut sink = Vec::new();
         let mk = |seq: u64, ids: &mut u64| {
             *ids += 1;
-            Packet::data(*ids, FlowId(0), HostId(0), HostId(1), 1, seq, 1442, Time::ZERO)
+            Packet::data(
+                *ids,
+                FlowId(0),
+                HostId(0),
+                HostId(1),
+                1,
+                seq,
+                1442,
+                Time::ZERO,
+            )
         };
         for i in 0..100u64 {
             let p = mk(i * 1442, &mut ids);
@@ -734,7 +811,11 @@ mod tests {
             g.on_data(&a, Time::ZERO, &mut ids, &mut sink);
             g.on_data(&b, Time::ZERO, &mut ids, &mut sink);
         }
-        assert!(g.gro_batches > 20, "reordering multiplies batches: {}", g.gro_batches);
+        assert!(
+            g.gro_batches > 20,
+            "reordering multiplies batches: {}",
+            g.gro_batches
+        );
     }
 
     #[test]
@@ -758,8 +839,19 @@ mod tests {
 
     #[test]
     fn cwnd_respects_receive_window_cap() {
-        let cfg = TcpConfig { max_cwnd_bytes: 20_000, ..Default::default() };
-        let mut f = TcpFlow::new(FlowId(0), HostId(0), HostId(1), 1, u64::MAX, Time::ZERO, cfg);
+        let cfg = TcpConfig {
+            max_cwnd_bytes: 20_000,
+            ..Default::default()
+        };
+        let mut f = TcpFlow::new(
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            1,
+            u64::MAX,
+            Time::ZERO,
+            cfg,
+        );
         let mut ids = 0;
         let mut out = Vec::new();
         f.start_sending(Time::ZERO, &mut ids, &mut out);

@@ -25,7 +25,9 @@ impl ArrivalProcess {
     /// Poisson arrivals at `rate` flows/second.
     pub fn poisson(rate: f64) -> ArrivalProcess {
         assert!(rate > 0.0);
-        ArrivalProcess::Poisson { mean_gap_ns: 1e9 / rate }
+        ArrivalProcess::Poisson {
+            mean_gap_ns: 1e9 / rate,
+        }
     }
 
     /// Lognormal arrivals with mean rate `rate` flows/second and shape
@@ -87,14 +89,19 @@ mod tests {
         // Compare squared coefficient of variation.
         let cv2 = |p: &ArrivalProcess, seed| {
             let mut rng = SimRng::seed_from(seed);
-            let xs: Vec<f64> = (0..100_000).map(|_| p.sample_gap(&mut rng).as_nanos() as f64).collect();
+            let xs: Vec<f64> = (0..100_000)
+                .map(|_| p.sample_gap(&mut rng).as_nanos() as f64)
+                .collect();
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
             var / (mean * mean)
         };
         let poisson = cv2(&ArrivalProcess::poisson(10_000.0), 3);
         let bursty = cv2(&ArrivalProcess::lognormal(10_000.0, 1.5), 3);
-        assert!((poisson - 1.0).abs() < 0.1, "exponential cv^2 = 1: {poisson}");
+        assert!(
+            (poisson - 1.0).abs() < 0.1,
+            "exponential cv^2 = 1: {poisson}"
+        );
         assert!(bursty > 3.0, "lognormal(sigma=1.5) much burstier: {bursty}");
     }
 

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn servers_are_distinct_per_requester() {
-        let spec = IncastSpec { frac_servers: 0.5, ..Default::default() };
+        let spec = IncastSpec {
+            frac_servers: 0.5,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from(3);
         let flows = spec.epoch_flows(20, &mut rng);
         let mut by_req: std::collections::HashMap<u32, Vec<u32>> = Default::default();

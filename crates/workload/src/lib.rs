@@ -69,7 +69,12 @@ impl WorkloadGen {
     ) -> WorkloadGen {
         let hosts = leaf_of.len() as u32;
         let pattern = pattern.bind(leaf_of, rng);
-        WorkloadGen { sizes, arrivals, pattern, hosts }
+        WorkloadGen {
+            sizes,
+            arrivals,
+            pattern,
+            hosts,
+        }
     }
 
     /// Draw the next flow arrival.
@@ -78,7 +83,12 @@ impl WorkloadGen {
         let src = rng.below(self.hosts as usize) as u32;
         let dst = self.pattern.pick_dst(src, rng);
         let bytes = self.sizes.sample(rng).max(1);
-        FlowSpec { gap, src, dst, bytes }
+        FlowSpec {
+            gap,
+            src,
+            dst,
+            bytes,
+        }
     }
 }
 
@@ -109,7 +119,10 @@ mod tests {
         for _ in 0..1000 {
             let f = gen.next_flow(&mut rng);
             assert!(f.src < 16 && f.dst < 16);
-            assert_ne!(leaf_of[f.src as usize], leaf_of[f.dst as usize], "inter-leaf only");
+            assert_ne!(
+                leaf_of[f.src as usize], leaf_of[f.dst as usize],
+                "inter-leaf only"
+            );
             assert!(f.bytes >= 1);
         }
     }

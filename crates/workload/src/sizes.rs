@@ -187,7 +187,10 @@ mod tests {
         let mut xs: Vec<u64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
         xs.sort_unstable();
         let median = xs[25_000];
-        assert!((1_500..2_600).contains(&median), "median near 2KB: {median}");
+        assert!(
+            (1_500..2_600).contains(&median),
+            "median near 2KB: {median}"
+        );
     }
 
     #[test]

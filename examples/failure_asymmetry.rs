@@ -58,7 +58,10 @@ fn main() {
     // host NICs) must be the bottleneck to expose the effect, so this part
     // uses 20G core links against 10G hosts: into-L1 capacity is 60G
     // (3 spines x 20G), of which the S0 path is reachable only from L3.
-    let spec2 = LeafSpineSpec { core_rate: 20_000_000_000, ..spec };
+    let spec2 = LeafSpineSpec {
+        core_rate: 20_000_000_000,
+        ..spec
+    };
     let topo_spec = TopoSpec::LeafSpine(spec2);
     // Hosts are numbered leaf-major: leaf0 = 0..8, leaf1 = 8..16, leaf3 = 24..32.
     let mut static_flows = Vec::new();
@@ -77,7 +80,10 @@ fn main() {
     };
     let res = run_many(&[mk(true), mk(false)]);
     println!("persistent L0->L1 and L3->L1 flows (the paper's Figure 4 traffic):");
-    for (label, stats) in ["with §3.4 handling", "without (naive ESF)"].into_iter().zip(res) {
+    for (label, stats) in ["with §3.4 handling", "without (naive ESF)"]
+        .into_iter()
+        .zip(res)
+    {
         println!(
             "  {label:<22} aggregate goodput into L1: {:>6.2} Gbps (per flow mean {:>5.2})",
             stats.elephant_gbps.mean() * 16.0,

@@ -23,16 +23,22 @@ fn main() {
         core_rate: 40_000_000_000,
         prop: DEFAULT_PROP,
     });
-    let schemes =
-        [Scheme::Ecmp, Scheme::Conga, Scheme::presto(), Scheme::drill_default()];
+    let schemes = [
+        Scheme::Ecmp,
+        Scheme::Conga,
+        Scheme::presto(),
+        Scheme::drill_default(),
+    ];
 
     let cfgs: Vec<ExperimentConfig> = schemes
         .iter()
         .map(|&scheme| {
             let mut cfg = ExperimentConfig::new(topo.clone(), scheme, 0.2);
             cfg.duration = Time::from_millis(20);
-            cfg.workload.incast =
-                Some(IncastSpec { epoch_gap: Time::from_millis(2), ..Default::default() });
+            cfg.workload.incast = Some(IncastSpec {
+                epoch_gap: Time::from_millis(2),
+                ..Default::default()
+            });
             cfg
         })
         .collect();

@@ -23,10 +23,26 @@ fn main() {
         Scheme::Random,
         Scheme::RoundRobin,
         Scheme::PerFlowDrill,
-        Scheme::Drill { d: 1, m: 0, shim: false },
-        Scheme::Drill { d: 2, m: 0, shim: false },
-        Scheme::Drill { d: 2, m: 1, shim: false },
-        Scheme::Drill { d: 3, m: 2, shim: false },
+        Scheme::Drill {
+            d: 1,
+            m: 0,
+            shim: false,
+        },
+        Scheme::Drill {
+            d: 2,
+            m: 0,
+            shim: false,
+        },
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        },
+        Scheme::Drill {
+            d: 3,
+            m: 2,
+            shim: false,
+        },
     ];
     println!("8x8x8 fabric, open-loop bursty traffic at 80% load; queue-length STDV");
     println!("across each leaf's uplinks and each leaf's spine downlinks, sampled");

@@ -43,10 +43,19 @@ fn main() {
         slots: 200_000,
         seed: 42,
     };
-    show("DRILL(1, 0) — Theorem 1: memoryless sampling diverges", &unstable);
+    show(
+        "DRILL(1, 0) — Theorem 1: memoryless sampling diverges",
+        &unstable,
+    );
 
-    let stable = StabilityConfig { m: 1, ..unstable.clone() };
-    show("DRILL(1, 1) — Theorem 2: one memory unit restores stability", &stable);
+    let stable = StabilityConfig {
+        m: 1,
+        ..unstable.clone()
+    };
+    show(
+        "DRILL(1, 1) — Theorem 2: one memory unit restores stability",
+        &stable,
+    );
 
     let multi = StabilityConfig {
         arrival_prob: vec![0.2; 4],
@@ -56,7 +65,10 @@ fn main() {
         slots: 200_000,
         seed: 7,
     };
-    show("DRILL(2, 1), 4 engines, heterogeneous service — still stable", &multi);
+    show(
+        "DRILL(2, 1), 4 engines, heterogeneous service — still stable",
+        &multi,
+    );
 
     println!("The theorem's intuition: without memory, a queue receives d/N of the");
     println!("load whenever it is sampled and short, regardless of its service rate;");

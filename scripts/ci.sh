@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint, all offline-safe (the workspace has no external
+# dependencies; see the note in the root Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

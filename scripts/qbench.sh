@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Event-queue perf harness: in-process micro A/B (wheel vs heap) plus an
+# end-to-end fig2-style wall-clock A/B across the two queue builds.
+# Writes results/qbench.json. Offline-safe: no external deps.
+#
+# Both queue builds are compiled up front and their binaries copied aside,
+# then the e2e runs alternate wheel/heap so background-load drift on the
+# host hits both sides evenly instead of biasing whichever ran last.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+E2E_RUNS="${E2E_RUNS:-5}"
+
+mkdir -p results
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== building (heap-queue) =="
+cargo build --release -p drill-bench --features heap-queue
+cp target/release/qbench "$tmp/qbench-heap"
+
+echo "== building (wheel, default) =="
+cargo build --release -p drill-bench
+cp target/release/qbench "$tmp/qbench-wheel"
+
+echo "== micro: hold + churn, wheel vs heap in-process =="
+"$tmp/qbench-wheel" | tee "$tmp/micro.json"
+
+echo "== e2e, interleaved wheel/heap x $E2E_RUNS each =="
+: > "$tmp/e2e-wheel.jsonl"
+: > "$tmp/e2e-heap.jsonl"
+for i in $(seq "$E2E_RUNS"); do
+  "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-wheel.jsonl"
+  "$tmp/qbench-heap" --e2e | tee -a "$tmp/e2e-heap.jsonl"
+done
+
+python3 - "$tmp" <<'EOF'
+import json, sys
+
+tmp = sys.argv[1]
+doc = json.load(open(f"{tmp}/micro.json"))
+
+def median_run(path):
+    runs = [json.loads(l) for l in open(path) if l.strip()]
+    runs.sort(key=lambda r: r["wall_secs"])
+    med = runs[len(runs) // 2]
+    med["runs"] = len(runs)
+    return med
+
+wheel = median_run(f"{tmp}/e2e-wheel.jsonl")
+heap = median_run(f"{tmp}/e2e-heap.jsonl")
+assert wheel["events"] == heap["events"], "queue swap changed the simulation!"
+doc["e2e_fig2"] = {
+    "wheel": wheel,
+    "heap": heap,
+    "wall_clock_improvement": round(1 - wheel["wall_secs"] / heap["wall_secs"], 3),
+}
+json.dump(doc, open("results/qbench.json", "w"), indent=2)
+print("wrote results/qbench.json")
+print(f"e2e wall-clock improvement: {doc['e2e_fig2']['wall_clock_improvement']:.1%}")
+EOF

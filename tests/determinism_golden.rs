@@ -1,0 +1,54 @@
+//! Determinism goldens: a fixed seed must reproduce bit-identical run
+//! outcomes across machines, runs, *and refactors of the event core*.
+//!
+//! The constants below were captured from a run of this configuration; if
+//! a change breaks them it has changed simulation behaviour — event
+//! delivery order, RNG streams, or the TCP/switch models — and is not a
+//! pure refactor. Update the constants only when a behaviour change is
+//! intended, and say so in the commit.
+
+use drill::net::{LeafSpineSpec, DEFAULT_PROP};
+use drill::runtime::{run, ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill::sim::Time;
+
+fn golden_run(scheme: Scheme) -> RunStats {
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves: 4,
+        hosts_per_leaf: 2,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let mut cfg = ExperimentConfig::new(topo, scheme, 0.4);
+    cfg.seed = 0xD211;
+    cfg.duration = Time::from_millis(3);
+    cfg.drain = Time::from_millis(50);
+    cfg.warmup = Time::from_micros(100);
+    run(&cfg)
+}
+
+fn assert_golden(scheme: Scheme, events: u64, flows_started: u64, flows_completed: u64) {
+    let stats = golden_run(scheme);
+    assert_eq!(
+        (stats.events, stats.flows_started, stats.flows_completed),
+        (events, flows_started, flows_completed),
+        "{} diverged from its golden trace",
+        scheme.name()
+    );
+}
+
+#[test]
+fn ecmp_replays_golden_trace() {
+    assert_golden(Scheme::Ecmp, 1_282_646, 1060, 1058);
+}
+
+#[test]
+fn drill_2_1_replays_golden_trace() {
+    assert_golden(Scheme::drill_default(), 1_283_055, 1060, 1058);
+}
+
+#[test]
+fn random_replays_golden_trace() {
+    assert_golden(Scheme::Random, 1_294_326, 1060, 1060);
+}

@@ -40,17 +40,28 @@ fn every_scheme_completes_on_leaf_spine() {
         Scheme::Conga,
         Scheme::Wcmp,
     ];
-    let cfgs: Vec<ExperimentConfig> =
-        schemes.iter().map(|&s| quick(small_leaf_spine(), s, 0.4)).collect();
+    let cfgs: Vec<ExperimentConfig> = schemes
+        .iter()
+        .map(|&s| quick(small_leaf_spine(), s, 0.4))
+        .collect();
     for stats in run_many(&cfgs) {
-        assert!(stats.flows_started > 100, "{}: {}", stats.scheme, stats.flows_started);
+        assert!(
+            stats.flows_started > 100,
+            "{}: {}",
+            stats.scheme,
+            stats.flows_started
+        );
         assert!(
             stats.completion_rate() > 0.97,
             "{}: completion {}",
             stats.scheme,
             stats.completion_rate()
         );
-        assert_eq!(stats.blackholed, 0, "{}: no blackholes in a healthy fabric", stats.scheme);
+        assert_eq!(
+            stats.blackholed, 0,
+            "{}: no blackholes in a healthy fabric",
+            stats.scheme
+        );
         assert_eq!(stats.nic_drops, 0, "{}: no NIC drops", stats.scheme);
     }
 }
@@ -68,11 +79,24 @@ fn three_stage_topologies_work() {
             tor_uplinks: 2,
             prop: DEFAULT_PROP,
         }),
-        TopoSpec::FatTree { k: 4, rate: 1_000_000_000 },
+        TopoSpec::FatTree {
+            k: 4,
+            rate: 1_000_000_000,
+        },
     ] {
-        for scheme in [Scheme::Ecmp, Scheme::drill_default(), Scheme::presto(), Scheme::Conga] {
+        for scheme in [
+            Scheme::Ecmp,
+            Scheme::drill_default(),
+            Scheme::presto(),
+            Scheme::Conga,
+        ] {
             let stats = run(&quick(topo.clone(), scheme, 0.3));
-            assert!(stats.flows_started > 20, "{}: {}", stats.scheme, stats.flows_started);
+            assert!(
+                stats.flows_started > 20,
+                "{}: {}",
+                stats.scheme,
+                stats.flows_started
+            );
             assert!(
                 stats.completion_rate() > 0.95,
                 "{}: completion {} on {:?}",
@@ -114,7 +138,12 @@ fn packet_conservation_no_drops_low_load() {
 fn pre_applied_failure_reroutes_cleanly() {
     let topo = small_leaf_spine();
     let failures = random_leaf_spine_failures(&topo.build(), 2, 3);
-    for scheme in [Scheme::Ecmp, Scheme::drill_default(), Scheme::Wcmp, Scheme::presto()] {
+    for scheme in [
+        Scheme::Ecmp,
+        Scheme::drill_default(),
+        Scheme::Wcmp,
+        Scheme::presto(),
+    ] {
         let mut cfg = quick(topo.clone(), scheme, 0.3);
         cfg.failed_links = failures.clone();
         let stats = run(&cfg);
@@ -124,7 +153,11 @@ fn pre_applied_failure_reroutes_cleanly() {
             stats.scheme,
             stats.completion_rate()
         );
-        assert_eq!(stats.blackholed, 0, "{}: reconverged routing has no blackholes", stats.scheme);
+        assert_eq!(
+            stats.blackholed, 0,
+            "{}: reconverged routing has no blackholes",
+            stats.scheme
+        );
     }
 }
 
@@ -141,7 +174,11 @@ fn mid_run_failure_with_ospf_delay_recovers() {
     // Packets in flight on the dying link are lost (blackholes/drops may
     // occur in the outage window), but TCP recovers everything that
     // matters: the vast majority of flows still complete.
-    assert!(stats.completion_rate() > 0.9, "completion {}", stats.completion_rate());
+    assert!(
+        stats.completion_rate() > 0.9,
+        "completion {}",
+        stats.completion_rate()
+    );
 }
 
 #[test]
@@ -178,9 +215,8 @@ fn burstier_arrivals_increase_queueing() {
         cfg.queue_limit_bytes = 20_000_000;
         run(&cfg)
     };
-    let avg_max = |sigma: f64| -> f64 {
-        (1..=3).map(|s| mk(sigma, s).queue_stdv.max()).sum::<f64>() / 3.0
-    };
+    let avg_max =
+        |sigma: f64| -> f64 { (1..=3).map(|s| mk(sigma, s).queue_stdv.max()).sum::<f64>() / 3.0 };
     let poisson = avg_max(0.0);
     let bursty = avg_max(2.0);
     assert!(bursty > poisson, "bursty {bursty} vs poisson {poisson}");

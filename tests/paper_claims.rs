@@ -38,9 +38,16 @@ fn queue_stdv_ordering() {
         c.workload.burst_sigma = 2.0;
         c
     };
-    let res = run_many(&[mk(Scheme::Ecmp), mk(Scheme::Random), mk(Scheme::drill_no_shim())]);
-    let (ecmp, random, drill) =
-        (res[0].queue_stdv.mean(), res[1].queue_stdv.mean(), res[2].queue_stdv.mean());
+    let res = run_many(&[
+        mk(Scheme::Ecmp),
+        mk(Scheme::Random),
+        mk(Scheme::drill_no_shim()),
+    ]);
+    let (ecmp, random, drill) = (
+        res[0].queue_stdv.mean(),
+        res[1].queue_stdv.mean(),
+        res[2].queue_stdv.mean(),
+    );
     assert!(ecmp > 3.0 * random, "ECMP {ecmp} >> Random {random}");
     assert!(drill < random, "DRILL {drill} < Random {random}");
 }
@@ -58,7 +65,11 @@ fn reordering_ordering() {
         cfg(Scheme::drill_default(), 0.8),
     ]);
     assert_eq!(res[0].reorders.frac_at_least(1), 0.0, "ECMP never reorders");
-    assert_eq!(res[1].reorders.frac_at_least(1), 0.0, "CONGA flowlets never reorder");
+    assert_eq!(
+        res[1].reorders.frac_at_least(1),
+        0.0,
+        "CONGA flowlets never reorder"
+    );
     let random = res[2].reorders.frac_at_least(1);
     let drill = res[3].reorders.frac_at_least(1);
     assert!(drill < random, "DRILL {drill} < Random {random}");
@@ -82,7 +93,10 @@ fn drill_cuts_upstream_queueing() {
     // Hop 3 (no path choice) is roughly unaffected (within 2x of ECMP).
     let ecmp_h3 = res[0].hops.mean_wait_us(HopClass::ToHost);
     let drill_h3 = res[1].hops.mean_wait_us(HopClass::ToHost);
-    assert!(drill_h3 < ecmp_h3 * 2.0 + 1.0, "hop 3 similar: {drill_h3} vs {ecmp_h3}");
+    assert!(
+        drill_h3 < ecmp_h3 * 2.0 + 1.0,
+        "hop 3 similar: {drill_h3} vs {ecmp_h3}"
+    );
 }
 
 /// Figure 14: under incast, DRILL's tail is no worse than ECMP's and its
@@ -101,7 +115,10 @@ fn incast_tail_and_upstream_loss() {
     let mut res = run_many(&[mk(Scheme::Ecmp), mk(Scheme::drill_default())]);
     let ecmp_drops = res[0].hops.drops[1]; // leaf-up
     let drill_drops = res[1].hops.drops[1];
-    assert!(drill_drops <= ecmp_drops, "hop-1 drops: DRILL {drill_drops} <= ECMP {ecmp_drops}");
+    assert!(
+        drill_drops <= ecmp_drops,
+        "hop-1 drops: DRILL {drill_drops} <= ECMP {ecmp_drops}"
+    );
     let ecmp_tail = res[0].fct_incast_ms.percentile(99.0);
     let drill_tail = res[1].fct_incast_ms.percentile(99.0);
     assert!(
@@ -117,11 +134,23 @@ fn hardware_overhead_under_one_percent() {
     let tech = TechNode::default();
     for spec in [
         HwSpec::paper_default(),
-        HwSpec { engines: 48, ..HwSpec::paper_default() },
-        HwSpec { d: 20, m: 20, engines: 48, ..HwSpec::paper_default() },
+        HwSpec {
+            engines: 48,
+            ..HwSpec::paper_default()
+        },
+        HwSpec {
+            d: 20,
+            m: 20,
+            engines: 48,
+            ..HwSpec::paper_default()
+        },
     ] {
         let est = estimate(&spec, &tech);
-        assert!(est.fraction_of_chip < 0.01, "{spec:?}: {}", est.fraction_of_chip);
+        assert!(
+            est.fraction_of_chip < 0.01,
+            "{spec:?}: {}",
+            est.fraction_of_chip
+        );
     }
 }
 
@@ -131,7 +160,10 @@ fn stability_dichotomy() {
     use drill::core::stability::{simulate, theorem1_counterexample};
     let unstable = simulate(&theorem1_counterexample(1, 0, 60_000, 9));
     let stable = simulate(&theorem1_counterexample(1, 1, 60_000, 9));
-    assert!(unstable.final_queues.iter().sum::<u64>() > 50 * stable.final_queues.iter().sum::<u64>().max(1));
+    assert!(
+        unstable.final_queues.iter().sum::<u64>()
+            > 50 * stable.final_queues.iter().sum::<u64>().max(1)
+    );
     assert!(stable.throughput() > 0.99);
 }
 
@@ -143,5 +175,8 @@ fn gro_batches_close_to_ecmp() {
     let per_pkt =
         |s: &drill::runtime::RunStats| s.gro_batches as f64 / s.data_pkts_delivered.max(1) as f64;
     let (e, d) = (per_pkt(&res[0]), per_pkt(&res[1]));
-    assert!(d < e * 1.15, "GRO batches per packet: DRILL {d} vs ECMP {e}");
+    assert!(
+        d < e * 1.15,
+        "GRO batches per packet: DRILL {d} vs ECMP {e}"
+    );
 }

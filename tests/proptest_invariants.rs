@@ -1,4 +1,11 @@
 //! Property-based invariants across the crates.
+//!
+//! Compiled only with `--features proptest`, which additionally needs the
+//! `proptest` dev-dependency restored on a networked machine (see the
+//! feature's note in the root Cargo.toml). The std-only suites cover the
+//! same invariants deterministically; this file widens them to random
+//! topologies when available.
+#![cfg(feature = "proptest")]
 
 use drill::core::{decompose_groups, DrillPolicy, Quiver};
 use drill::net::{
