@@ -11,7 +11,7 @@
 
 use drill_bench::{banner, base_config, Scale};
 use drill_net::{HopClass, LeafSpineSpec};
-use drill_runtime::{random_leaf_spine_failures, run_many, ExperimentConfig, Scheme, TopoSpec};
+use drill_runtime::{random_leaf_spine_failures, Scheme, SweepSpec, TopoSpec};
 use drill_stats::{f3, Table};
 
 fn main() {
@@ -32,38 +32,39 @@ fn main() {
     // ---- 1. Delayed queue information vs engines ------------------------
     println!("(1) queue-visibility lag x forwarding engines, DRILL(2,1), 80% load");
     println!("    (raw packet mode, queue-length STDV metric)\n");
-    let engines_axis = [1usize, 4, 16];
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &engines in &engines_axis {
-        for commit in [true, false] {
-            let mut cfg = base_config(topo.clone(), Scheme::drill_no_shim(), 0.8, scale);
-            cfg.engines = engines;
-            cfg.model_commit = commit;
-            cfg.raw_packet_mode = true;
-            cfg.sample_queues = true;
-            cfg.queue_limit_bytes = 20_000_000;
-            cfg.workload.burst_sigma = 2.0;
-            cfg.drain = drill_sim::Time::from_millis(5);
-            cfgs.push(cfg);
-        }
-    }
-    let res = run_many(&cfgs);
+    let engines_axis = vec![1usize, 4, 16];
+    let mut lag_base = base_config(topo.clone(), Scheme::drill_no_shim(), 0.8, scale);
+    lag_base.raw_packet_mode = true;
+    lag_base.sample_queues = true;
+    lag_base.queue_limit_bytes = 20_000_000;
+    lag_base.workload.burst_sigma = 2.0;
+    lag_base.drain = drill_sim::Time::from_millis(5);
+    let res = SweepSpec::new(lag_base)
+        .engines(engines_axis.clone())
+        .variants(vec!["lagged", "perfect"])
+        .configure(|cfg, p| cfg.model_commit = p.variant == "lagged")
+        .run();
     let mut t = Table::new(["engines", "lagged info (paper model)", "perfect info"]);
-    for (i, &e) in engines_axis.iter().enumerate() {
+    for (ei, &e) in engines_axis.iter().enumerate() {
         t.row([
             e.to_string(),
-            f3(res[2 * i].queue_stdv.mean()),
-            f3(res[2 * i + 1].queue_stdv.mean()),
+            f3(res.get(0, 0, ei, 0, 0).queue_stdv.mean()),
+            f3(res.get(0, 0, ei, 1, 0).queue_stdv.mean()),
         ]);
     }
     println!("{}", t.render());
 
     // ---- 2. Shim on/off --------------------------------------------------
     println!("(2) the reordering shim, 80% load TCP workload\n");
-    let res = run_many(&[
-        base_config(topo.clone(), Scheme::drill_default(), 0.8, scale),
-        base_config(topo.clone(), Scheme::drill_no_shim(), 0.8, scale),
-    ]);
+    let res = SweepSpec::new(base_config(
+        topo.clone(),
+        Scheme::drill_default(),
+        0.8,
+        scale,
+    ))
+    .schemes(vec![Scheme::drill_default(), Scheme::drill_no_shim()])
+    .run()
+    .into_stats();
     let mut t = Table::new(["variant", "mean FCT [ms]", "flows w/ dupACK", "retx"]);
     for s in &res {
         t.row([
@@ -78,13 +79,13 @@ fn main() {
     // ---- 3. Asymmetry handling under failures ---------------------------
     println!("(3) symmetric decomposition under 2 link failures, 70% load\n");
     let failures = random_leaf_spine_failures(&topo.build(), 2, drill_bench::seed_from_env());
-    let mk = |handling: bool| {
-        let mut cfg = base_config(topo.clone(), Scheme::drill_default(), 0.7, scale);
-        cfg.failed_links = failures.clone();
-        cfg.asymmetry_handling = handling;
-        cfg
-    };
-    let res = run_many(&[mk(true), mk(false)]);
+    let mut asym_base = base_config(topo, Scheme::drill_default(), 0.7, scale);
+    asym_base.failed_links = failures;
+    let res = SweepSpec::new(asym_base)
+        .variants(vec!["groups", "naive"])
+        .configure(|cfg, p| cfg.asymmetry_handling = p.variant == "groups")
+        .run()
+        .into_stats();
     let mut t = Table::new([
         "variant",
         "mean FCT [ms]",

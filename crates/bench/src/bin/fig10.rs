@@ -2,9 +2,9 @@
 //! Intermediate switches, 10G core) under (a) 20% and (b) 70% load — FCT
 //! CDFs.
 
-use drill_bench::{banner, base_config, cdf_table, fct_schemes, Scale};
+use drill_bench::{banner, base_config, cdf_table, fct_schemes, sweep_grid, Scale};
 use drill_net::Vl2Spec;
-use drill_runtime::{run_many, ExperimentConfig, TopoSpec};
+use drill_runtime::TopoSpec;
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,18 +27,16 @@ fn main() {
     let topo = TopoSpec::Vl2(spec);
 
     let schemes = fct_schemes();
-    for &load in &[0.2, 0.7] {
-        let cfgs: Vec<ExperimentConfig> = schemes
-            .iter()
-            .map(|&s| base_config(topo.clone(), s, load, scale))
-            .collect();
-        let mut res = run_many(&cfgs);
+    let loads = [0.2, 0.7];
+    let base = base_config(topo, schemes[0], loads[0], scale);
+    let mut grid = sweep_grid(base, &schemes, &loads);
+    for (li, &load) in loads.iter().enumerate() {
         println!(
             "({}) {}% load — FCT [ms] at CDF fractions",
             if load < 0.5 { "a" } else { "b" },
             (load * 100.0) as u32
         );
-        println!("{}", cdf_table(&schemes, &mut res, 12));
+        println!("{}", cdf_table(&schemes, &mut grid[li], 12));
     }
     println!("expected shape (paper): DRILL keeps FCT short in 3-stage Clos networks;");
     println!("the ordering matches the 2-stage results, with larger gaps at 70% load.");

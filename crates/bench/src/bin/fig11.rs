@@ -5,11 +5,9 @@
 //! Also reports the §4 GRO-batch claim (DRILL increases receiver GRO
 //! batches by <0.5% vs ECMP at 80% load).
 
-use drill_bench::{banner, base_config, fct_schemes, fct_tables, Scale};
+use drill_bench::{banner, base_config, fct_schemes, fct_tables, sweep_grid, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{
-    random_leaf_spine_failures, run_many, ExperimentConfig, RunStats, Scheme, TopoSpec,
-};
+use drill_runtime::{random_leaf_spine_failures, Scheme, SweepSpec, TopoSpec};
 use drill_stats::Table;
 
 fn main() {
@@ -40,11 +38,10 @@ fn main() {
         Scheme::drill_no_shim(),
         Scheme::drill_default(),
     ];
-    let cfgs: Vec<ExperimentConfig> = reorder_schemes
-        .iter()
-        .map(|&s| base_config(topo.clone(), s, 0.8, scale))
-        .collect();
-    let res = run_many(&cfgs);
+    let res = SweepSpec::new(base_config(topo.clone(), reorder_schemes[0], 0.8, scale))
+        .schemes(reorder_schemes.clone())
+        .run()
+        .into_stats();
 
     let mut t = Table::new([
         "scheme".to_string(),
@@ -82,25 +79,10 @@ fn main() {
     );
     let schemes = fct_schemes();
     let loads = scale.loads();
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &load in &loads {
-        for &scheme in &schemes {
-            let mut cfg = base_config(topo.clone(), scheme, load, scale);
-            cfg.failed_links = failure.clone();
-            cfgs.push(cfg);
-        }
-    }
-    let flat = run_many(&cfgs);
-    let mut grid: Vec<Vec<RunStats>> = Vec::new();
-    let mut it = flat.into_iter();
-    for _ in &loads {
-        grid.push(
-            (0..schemes.len())
-                .map(|_| it.next().expect("result"))
-                .collect(),
-        );
-    }
-    let (mean, tail) = fct_tables(&loads, &schemes, grid);
+    let mut base = base_config(topo, schemes[0], loads[0], scale);
+    base.failed_links = failure;
+    let mut grid = sweep_grid(base, &schemes, &loads);
+    let (mean, tail) = fct_tables(&loads, &schemes, &mut grid);
     println!("(b) mean FCT [ms] vs load, 1 link failure");
     println!("{mean}");
     println!("(c) 99.99th percentile FCT [ms] vs load, 1 link failure");

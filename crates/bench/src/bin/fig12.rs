@@ -3,11 +3,9 @@
 //! note comparing "ideal DRILL" (instant reconvergence) with OSPF-delayed
 //! reaction under 5 failures at 70% load.
 
-use drill_bench::{banner, base_config, fct_schemes, fct_tables, Scale};
+use drill_bench::{banner, base_config, fct_schemes, fct_tables, sweep_grid, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{
-    random_leaf_spine_failures, run_many, ExperimentConfig, RunStats, Scheme, TopoSpec,
-};
+use drill_runtime::{random_leaf_spine_failures, Scheme, SweepSpec, TopoSpec};
 use drill_sim::Time;
 
 fn main() {
@@ -34,25 +32,10 @@ fn main() {
 
     let schemes = fct_schemes();
     let loads = scale.loads();
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &load in &loads {
-        for &scheme in &schemes {
-            let mut cfg = base_config(topo.clone(), scheme, load, scale);
-            cfg.failed_links = failures.clone();
-            cfgs.push(cfg);
-        }
-    }
-    let flat = run_many(&cfgs);
-    let mut grid: Vec<Vec<RunStats>> = Vec::new();
-    let mut it = flat.into_iter();
-    for _ in &loads {
-        grid.push(
-            (0..schemes.len())
-                .map(|_| it.next().expect("result"))
-                .collect(),
-        );
-    }
-    let (mean, tail) = fct_tables(&loads, &schemes, grid);
+    let mut base = base_config(topo.clone(), schemes[0], loads[0], scale);
+    base.failed_links = failures.clone();
+    let mut grid = sweep_grid(base, &schemes, &loads);
+    let (mean, tail) = fct_tables(&loads, &schemes, &mut grid);
     println!("(a) mean FCT [ms] vs load, {} failures", failures.len());
     println!("{mean}");
     println!(
@@ -67,12 +50,18 @@ fn main() {
         n_failures.min(5),
         drill_bench::seed_from_env() + 1,
     );
-    let mut ideal = base_config(topo.clone(), Scheme::drill_default(), 0.7, scale);
-    ideal.failed_links = five.clone();
-    let mut delayed = ideal.clone();
-    delayed.fail_at = Some(Time::from_millis(1));
-    delayed.ospf_delay = Time::from_millis(1);
-    let res = run_many(&[ideal, delayed]);
+    let mut pair_base = base_config(topo, Scheme::drill_default(), 0.7, scale);
+    pair_base.failed_links = five.clone();
+    let res = SweepSpec::new(pair_base)
+        .variants(vec!["ideal", "ospf-delayed"])
+        .configure(|cfg, p| {
+            if p.variant == "ospf-delayed" {
+                cfg.fail_at = Some(Time::from_millis(1));
+                cfg.ospf_delay = Time::from_millis(1);
+            }
+        })
+        .run()
+        .into_stats();
     let ideal_med = {
         let mut f = res[0].fct_ms.clone();
         f.percentile(50.0)

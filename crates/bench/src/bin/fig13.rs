@@ -3,9 +3,9 @@
 //! other spine. Mean and 99.99th-percentile FCT vs load for Presto, WCMP,
 //! CONGA, DRILL w/o shim, DRILL.
 
-use drill_bench::{banner, base_config, fct_tables, Scale};
+use drill_bench::{banner, base_config, fct_tables, sweep_grid, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{run_many, ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill_runtime::{Scheme, TopoSpec};
 
 fn main() {
     let scale = Scale::from_env();
@@ -40,23 +40,9 @@ fn main() {
         Scheme::drill_default(),
     ];
     let loads = scale.loads();
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &load in &loads {
-        for &scheme in &schemes {
-            cfgs.push(base_config(topo.clone(), scheme, load, scale));
-        }
-    }
-    let flat = run_many(&cfgs);
-    let mut grid: Vec<Vec<RunStats>> = Vec::new();
-    let mut it = flat.into_iter();
-    for _ in &loads {
-        grid.push(
-            (0..schemes.len())
-                .map(|_| it.next().expect("result"))
-                .collect(),
-        );
-    }
-    let (mean, tail) = fct_tables(&loads, &schemes, grid);
+    let base = base_config(topo, schemes[0], loads[0], scale);
+    let mut grid = sweep_grid(base, &schemes, &loads);
+    let (mean, tail) = fct_tables(&loads, &schemes, &mut grid);
     println!("(a) mean FCT [ms] vs load");
     println!("{mean}");
     println!("(b) 99.99th percentile FCT [ms] vs load");

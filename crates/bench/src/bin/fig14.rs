@@ -5,9 +5,9 @@
 //! Incast model (following the paper / Vasudevan et al.): every epoch, 10%
 //! of hosts each simultaneously fetch 10 KB from 10% of the other hosts.
 
-use drill_bench::{banner, base_config, fct_schemes, Scale};
+use drill_bench::{banner, base_config, fct_schemes, sweep_grid, Scale};
 use drill_net::{HopClass, LeafSpineSpec};
-use drill_runtime::{run_many, ExperimentConfig, RunStats, TopoSpec};
+use drill_runtime::TopoSpec;
 use drill_sim::Time;
 use drill_stats::{f3, Table};
 use drill_workload::IncastSpec;
@@ -34,19 +34,13 @@ fn main() {
         epoch_gap: Time::from_millis(2),
         ..Default::default()
     };
+    let loads = [0.2, 0.3];
+    let mut base = base_config(topo, schemes[0], loads[0], scale);
+    base.workload.incast = Some(incast);
+    let mut grid = sweep_grid(base, &schemes, &loads);
 
-    let mut keep_for_c: Vec<RunStats> = Vec::new();
-    for &load in &[0.2, 0.3] {
-        let cfgs: Vec<ExperimentConfig> = schemes
-            .iter()
-            .map(|&s| {
-                let mut cfg = base_config(topo.clone(), s, load, scale);
-                cfg.workload.incast = Some(incast.clone());
-                cfg
-            })
-            .collect();
-        let mut res = run_many(&cfgs);
-
+    for (li, &load) in loads.iter().enumerate() {
+        let res = &mut grid[li];
         let mut header = vec!["metric".to_string()];
         header.extend(schemes.iter().map(|s| s.name()));
         let mut t = Table::new(header);
@@ -73,12 +67,10 @@ fn main() {
             (load * 100.0) as u32
         );
         println!("{}", t.render());
-        if load < 0.25 {
-            keep_for_c = res;
-        }
     }
 
-    // (c) queueing and loss per hop at 20% load.
+    // (c) queueing and loss per hop at 20% load — row 0 of the grid.
+    let keep_for_c = &grid[0];
     let mut t = Table::new([
         "scheme",
         "q hop1 [us]",
@@ -88,7 +80,7 @@ fn main() {
         "loss hop2 %",
         "loss hop3 %",
     ]);
-    for (s, st) in schemes.iter().zip(&keep_for_c) {
+    for (s, st) in schemes.iter().zip(keep_for_c) {
         t.row([
             s.name(),
             f3(st.hops.mean_wait_us(HopClass::LeafUp)),

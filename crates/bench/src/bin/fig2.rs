@@ -10,9 +10,9 @@
 //! Paper scale: 48 spines x 48 leaves x 48 hosts. The series are ECMP,
 //! per-packet Random, per-packet RR, DRILL(2,1), DRILL(12,1), DRILL(2,11).
 
-use drill_bench::{banner, base_config, seed_from_env, Scale};
+use drill_bench::{banner, base_config, Scale};
 use drill_net::{LeafSpineSpec, DEFAULT_PROP};
-use drill_runtime::{run_many, ExperimentConfig, Scheme, TopoSpec};
+use drill_runtime::{Scheme, SweepSpec, TopoSpec};
 use drill_stats::{f3, Table};
 
 fn schemes() -> Vec<Scheme> {
@@ -61,31 +61,27 @@ fn main() {
     });
     println!("topology: {n} spines x {n} leaves x {n} hosts/leaf (paper: 48x48x48)\n");
 
-    for &load in &[0.8, 0.3] {
-        let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-        for &engines in &engines_axis {
-            for &scheme in &schemes() {
-                let mut cfg = base_config(topo.clone(), scheme, load, scale);
-                cfg.engines = engines;
-                cfg.raw_packet_mode = true;
-                cfg.queue_limit_bytes = 20_000_000;
-                cfg.workload.burst_sigma = 2.0;
-                cfg.sample_queues = true;
-                cfg.drain = drill_sim::Time::from_millis(5);
-                cfg.seed = seed_from_env();
-                cfgs.push(cfg);
-            }
-        }
-        let results = run_many(&cfgs);
+    let loads = [0.8, 0.3];
+    let mut base = base_config(topo, Scheme::Ecmp, loads[0], scale);
+    base.raw_packet_mode = true;
+    base.queue_limit_bytes = 20_000_000;
+    base.workload.burst_sigma = 2.0;
+    base.sample_queues = true;
+    base.drain = drill_sim::Time::from_millis(5);
+    let res = SweepSpec::new(base)
+        .schemes(schemes())
+        .loads(loads.to_vec())
+        .engines(engines_axis.clone())
+        .run();
 
+    for (li, &load) in loads.iter().enumerate() {
         let mut header = vec!["engines".to_string()];
         header.extend(schemes().iter().map(|s| s.name()));
         let mut t = Table::new(header);
         for (ei, &engines) in engines_axis.iter().enumerate() {
             let mut row = vec![engines.to_string()];
             for si in 0..schemes().len() {
-                let stats = &results[ei * schemes().len() + si];
-                row.push(f3(stats.queue_stdv.mean()));
+                row.push(f3(res.get(0, li, ei, 0, si).queue_stdv.mean()));
             }
             t.row(row);
         }

@@ -6,7 +6,7 @@
 
 use drill_bench::{banner, base_config, Scale};
 use drill_net::{LeafSpineSpec, DEFAULT_PROP};
-use drill_runtime::{run_many, ExperimentConfig, Scheme, TopoSpec};
+use drill_runtime::{Scheme, SweepSpec, TopoSpec};
 use drill_stats::{f3, Table};
 
 fn main() {
@@ -33,29 +33,51 @@ fn main() {
     });
     println!("topology: {n}x{n}x{n}, {engines}-engine switches (paper: 48x48x48, 48 engines)\n");
 
-    let mk = |d: usize, m: usize| {
-        let mut cfg = base_config(
-            topo.clone(),
-            Scheme::Drill { d, m, shim: false },
-            0.8,
-            scale,
-        );
-        cfg.engines = engines;
-        cfg.raw_packet_mode = true;
-        cfg.queue_limit_bytes = 20_000_000;
-        cfg.workload.burst_sigma = 2.0;
-        cfg.sample_queues = true;
-        cfg.drain = drill_sim::Time::from_millis(5);
-        cfg
+    let mut base = base_config(
+        topo,
+        Scheme::Drill {
+            d: 1,
+            m: 1,
+            shim: false,
+        },
+        0.8,
+        scale,
+    );
+    base.engines = engines;
+    base.raw_packet_mode = true;
+    base.queue_limit_bytes = 20_000_000;
+    base.workload.burst_sigma = 2.0;
+    base.sample_queues = true;
+    base.drain = drill_sim::Time::from_millis(5);
+
+    // The scheme axis carries the (d, m) pairs: pairs per axis value, so
+    // the flat results interleave exactly like the old config list.
+    let sweep = |pairs: Vec<Scheme>| {
+        SweepSpec::new(base.clone())
+            .schemes(pairs)
+            .run()
+            .into_stats()
     };
 
     // Left panel: sweep d for m in {1, 2}.
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &d in &axis {
-        cfgs.push(mk(d, 1));
-        cfgs.push(mk(d, 2));
-    }
-    let res = run_many(&cfgs);
+    let res = sweep(
+        axis.iter()
+            .flat_map(|&d| {
+                [
+                    Scheme::Drill {
+                        d,
+                        m: 1,
+                        shim: false,
+                    },
+                    Scheme::Drill {
+                        d,
+                        m: 2,
+                        shim: false,
+                    },
+                ]
+            })
+            .collect(),
+    );
     let mut t = Table::new(["samples d", "DRILL(d,1)", "DRILL(d,2)"]);
     for (i, &d) in axis.iter().enumerate() {
         t.row([
@@ -68,12 +90,24 @@ fn main() {
     println!("{}", t.render());
 
     // Right panel: sweep m for d in {1, 2}.
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &m in &axis {
-        cfgs.push(mk(1, m));
-        cfgs.push(mk(2, m));
-    }
-    let res = run_many(&cfgs);
+    let res = sweep(
+        axis.iter()
+            .flat_map(|&m| {
+                [
+                    Scheme::Drill {
+                        d: 1,
+                        m,
+                        shim: false,
+                    },
+                    Scheme::Drill {
+                        d: 2,
+                        m,
+                        shim: false,
+                    },
+                ]
+            })
+            .collect(),
+    );
     let mut t = Table::new(["memory m", "DRILL(1,m)", "DRILL(2,m)"]);
     for (i, &m) in axis.iter().enumerate() {
         t.row([

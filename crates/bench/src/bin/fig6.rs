@@ -5,9 +5,9 @@
 //! trace-driven workload. Schemes: ECMP, CONGA, Presto, DRILL w/o shim,
 //! DRILL.
 
-use drill_bench::{banner, base_config, cdf_table, fct_schemes, fct_tables, Scale};
+use drill_bench::{banner, base_config, cdf_table, fct_schemes, fct_tables, sweep_grid, Scale};
 use drill_net::{HopClass, LeafSpineSpec};
-use drill_runtime::{run_many, ExperimentConfig, RunStats, TopoSpec};
+use drill_runtime::TopoSpec;
 use drill_stats::{f3, Table};
 
 fn main() {
@@ -29,22 +29,8 @@ fn main() {
 
     let schemes = fct_schemes();
     let loads = scale.loads();
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &load in &loads {
-        for &scheme in &schemes {
-            cfgs.push(base_config(topo.clone(), scheme, load, scale));
-        }
-    }
-    let flat = run_many(&cfgs);
-    let mut grid: Vec<Vec<RunStats>> = Vec::new();
-    let mut it = flat.into_iter();
-    for _ in &loads {
-        grid.push(
-            (0..schemes.len())
-                .map(|_| it.next().expect("result"))
-                .collect(),
-        );
-    }
+    let base = base_config(topo, schemes[0], loads[0], scale);
+    let mut grid = sweep_grid(base, &schemes, &loads);
 
     // (c) uses the 10/50/80% rows of the same grid where available.
     let mut hop_rows: Vec<(f64, Vec<String>)> = Vec::new();
@@ -66,7 +52,7 @@ fn main() {
         }
     }
 
-    let (mean, tail) = fct_tables(&loads, &schemes, grid);
+    let (mean, tail) = fct_tables(&loads, &schemes, &mut grid);
     println!("(a) mean FCT [ms] vs offered core load");
     println!("{mean}");
     println!("(b) 99.99th percentile FCT [ms] vs offered core load");
@@ -84,24 +70,15 @@ fn main() {
     println!("(c) mean queueing time per hop");
     println!("{}", t.render());
 
-    // Bonus: FCT CDF at the highest load, for shape inspection.
-    let mut at_high: Vec<RunStats> = {
-        let mut cfgs = Vec::new();
-        for &scheme in &schemes {
-            cfgs.push(base_config(
-                topo.clone(),
-                scheme,
-                *loads.last().expect("loads"),
-                scale,
-            ));
-        }
-        run_many(&cfgs)
-    };
+    // Bonus: FCT CDF at the highest load, for shape inspection. The grid's
+    // last row already ran exactly this configuration (determinism means a
+    // re-run would be bit-identical), so reuse it.
+    let at_high = grid.last_mut().expect("loads");
     println!(
         "FCT CDF at {:.0}% load [ms]:",
         loads.last().unwrap() * 100.0
     );
-    println!("{}", cdf_table(&schemes, &mut at_high, 10));
+    println!("{}", cdf_table(&schemes, at_high, 10));
 
     println!("expected shape (paper): DRILL < Presto < CONGA < ECMP in mean FCT under");
     println!("load (1.3x/1.4x/1.6x at 80%); the benefit comes from hop-1 (leaf-up)");

@@ -2,9 +2,9 @@
 //! slower switches (16 spines x 16 leaves, all links 10G). Mean and
 //! 99.99th-percentile FCT vs load.
 
-use drill_bench::{banner, base_config, fct_schemes, fct_tables, Scale};
+use drill_bench::{banner, base_config, fct_schemes, fct_tables, sweep_grid, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{run_many, ExperimentConfig, RunStats, TopoSpec};
+use drill_runtime::TopoSpec;
 
 fn main() {
     let scale = Scale::from_env();
@@ -30,23 +30,9 @@ fn main() {
 
     let schemes = fct_schemes();
     let loads = scale.loads();
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for &load in &loads {
-        for &scheme in &schemes {
-            cfgs.push(base_config(topo.clone(), scheme, load, scale));
-        }
-    }
-    let flat = run_many(&cfgs);
-    let mut grid: Vec<Vec<RunStats>> = Vec::new();
-    let mut it = flat.into_iter();
-    for _ in &loads {
-        grid.push(
-            (0..schemes.len())
-                .map(|_| it.next().expect("result"))
-                .collect(),
-        );
-    }
-    let (mean, tail) = fct_tables(&loads, &schemes, grid);
+    let base = base_config(topo, schemes[0], loads[0], scale);
+    let mut grid = sweep_grid(base, &schemes, &loads);
+    let (mean, tail) = fct_tables(&loads, &schemes, &mut grid);
     println!("(a) mean FCT [ms] vs offered core load");
     println!("{mean}");
     println!("(b) 99.99th percentile FCT [ms] vs offered core load");

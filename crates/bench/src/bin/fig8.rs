@@ -1,9 +1,9 @@
 //! Figure 8: FCT CDFs on the scale-out topology at (a) 30% and (b) 80%
 //! load.
 
-use drill_bench::{banner, base_config, cdf_table, fct_schemes, Scale};
+use drill_bench::{banner, base_config, cdf_table, fct_schemes, sweep_grid, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{run_many, ExperimentConfig, TopoSpec};
+use drill_runtime::TopoSpec;
 
 fn main() {
     let scale = Scale::from_env();
@@ -22,18 +22,16 @@ fn main() {
     println!("topology: {n} spines x {n} leaves x {hosts} hosts, all 10G (paper: 16x16x20)\n");
 
     let schemes = fct_schemes();
-    for &load in &[0.3, 0.8] {
-        let cfgs: Vec<ExperimentConfig> = schemes
-            .iter()
-            .map(|&s| base_config(topo.clone(), s, load, scale))
-            .collect();
-        let mut res = run_many(&cfgs);
+    let loads = [0.3, 0.8];
+    let base = base_config(topo, schemes[0], loads[0], scale);
+    let mut grid = sweep_grid(base, &schemes, &loads);
+    for (li, &load) in loads.iter().enumerate() {
         println!(
             "({}) {}% load — FCT [ms] at CDF fractions",
             if load < 0.5 { "a" } else { "b" },
             (load * 100.0) as u32
         );
-        println!("{}", cdf_table(&schemes, &mut res, 12));
+        println!("{}", cdf_table(&schemes, &mut grid[li], 12));
     }
     println!("expected shape (paper): curves nearly coincide at 30% load; at 80% the");
     println!("DRILL curves rise leftmost (stochastically smallest FCT), ECMP rightmost.");

@@ -2,9 +2,9 @@
 //! 1:1 fabric (20 spines) and (b) a 5:3 fabric (12 spines), 16 leaves x
 //! 20 hosts, all links 10G.
 
-use drill_bench::{banner, base_config, cdf_table, fct_schemes, Scale};
+use drill_bench::{banner, base_config, cdf_table, fct_schemes, sweep_grid, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{run_many, ExperimentConfig, TopoSpec};
+use drill_runtime::TopoSpec;
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,12 +27,9 @@ fn main() {
             prop: drill_net::DEFAULT_PROP,
         });
         println!("({label}) {spines} spines x {leaves} leaves x {hosts} hosts");
-        let cfgs: Vec<ExperimentConfig> = schemes
-            .iter()
-            .map(|&s| base_config(topo.clone(), s, 0.8, scale))
-            .collect();
-        let mut res = run_many(&cfgs);
-        println!("{}", cdf_table(&schemes, &mut res, 12));
+        let base = base_config(topo, schemes[0], 0.8, scale);
+        let mut grid = sweep_grid(base, &schemes, &[0.8]);
+        println!("{}", cdf_table(&schemes, &mut grid[0], 12));
     }
     println!("expected shape (paper): no significant qualitative change across");
     println!("over-subscription ratios with identical load and link speeds; the");

@@ -1,0 +1,96 @@
+//! sweepbench: wall-clock benchmark of the parallel sweep executor.
+//!
+//! Runs a fig2-style sweep grid (open-loop packet trains, queue sampling
+//! on: schemes × loads × engines) on the `DRILL_THREADS` pool and prints:
+//!
+//! * **stdout** — a deterministic per-point result table: flat index,
+//!   axis values, event count, and the raw IEEE-754 bits of the headline
+//!   metrics. Two runs at different `DRILL_THREADS` must produce
+//!   byte-identical stdout; `scripts/sweepbench.sh` diffs them.
+//! * **stderr** — one JSON line `{"bench": "sweepbench", "threads": ...,
+//!   "points": ..., "wall_secs": ...}` for the timing harness.
+//!
+//! `DRILL_SCALE` picks the grid size as usual (quick/default/full).
+
+use std::time::Instant;
+
+use drill_bench::{base_config, Scale};
+use drill_net::{LeafSpineSpec, DEFAULT_PROP};
+use drill_runtime::{Scheme, SweepSpec, TopoSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = drill_exec::threads_from_env();
+
+    let n = scale.dim(4, 8, 16);
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: n,
+        leaves: n,
+        hosts_per_leaf: n,
+        host_rate: 10_000_000_000,
+        core_rate: 10_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let schemes = vec![
+        Scheme::Ecmp,
+        Scheme::Random,
+        Scheme::RoundRobin,
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        },
+    ];
+    let engines_axis = match scale {
+        Scale::Quick => vec![1, 4],
+        _ => vec![1, 4, 12],
+    };
+    let mut base = base_config(topo, schemes[0], 0.8, scale);
+    base.raw_packet_mode = true;
+    base.queue_limit_bytes = 20_000_000;
+    base.workload.burst_sigma = 2.0;
+    base.sample_queues = true;
+    base.drain = drill_sim::Time::from_millis(5);
+
+    let spec = SweepSpec::new(base)
+        .schemes(schemes)
+        .loads(vec![0.8, 0.3])
+        .engines(engines_axis)
+        .reps(2);
+    let start = Instant::now();
+    let res = spec.run();
+    let wall = start.elapsed().as_secs_f64();
+
+    println!("# sweepbench point table (bit-exact; independent of DRILL_THREADS)");
+    println!("# idx scheme load engines rep seed events qstdv_mean_bits qstdv_count fct_p50_bits fct_p9999_bits fct_count");
+    let mut total_events = 0u64;
+    let points: Vec<_> = res.iter().map(|(p, _)| p.clone()).collect();
+    let mut stats = res.into_stats();
+    for (p, st) in points.iter().zip(stats.iter_mut()) {
+        total_events += st.events;
+        println!(
+            "{} {} {:.2} {} {} {:#018x} {} {:#018x} {} {:#018x} {:#018x} {}",
+            p.index,
+            p.scheme.name().replace(' ', "_"),
+            p.load,
+            p.engines,
+            p.rep,
+            p.seed,
+            st.events,
+            st.queue_stdv.mean().to_bits(),
+            st.queue_stdv.count(),
+            st.fct_ms.quantile(0.50).to_bits(),
+            st.fct_ms.quantile(0.9999).to_bits(),
+            st.fct_ms.count(),
+        );
+    }
+
+    eprintln!(
+        "{{\"bench\": \"sweepbench\", \"threads\": {}, \"points\": {}, \"events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}}}",
+        threads,
+        stats.len(),
+        total_events,
+        wall,
+        total_events as f64 / wall
+    );
+}

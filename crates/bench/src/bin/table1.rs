@@ -8,7 +8,7 @@
 
 use drill_bench::{banner, base_config, Scale};
 use drill_net::LeafSpineSpec;
-use drill_runtime::{run_many, ExperimentConfig, Scheme, SyntheticMode, TopoSpec};
+use drill_runtime::{Scheme, SweepSpec, SyntheticMode, TopoSpec};
 use drill_sim::Time;
 use drill_stats::Table;
 use drill_workload::TrafficPattern;
@@ -45,30 +45,29 @@ fn main() {
         Scale::Full => Time::from_millis(600),
     };
 
-    let schemes = [
+    let schemes = vec![
         Scheme::Ecmp,
         Scheme::Conga,
         Scheme::presto(),
         Scheme::drill_default(),
     ];
-    let patterns: [(&str, TrafficPattern); 3] = [
+    let patterns: Vec<(&str, TrafficPattern)> = vec![
         ("Stride(8)", TrafficPattern::Stride(8)),
         ("Bijection", TrafficPattern::Bijection),
         ("Shuffle", TrafficPattern::Shuffle),
     ];
 
-    let mut cfgs: Vec<ExperimentConfig> = Vec::new();
-    for (_, pattern) in &patterns {
-        for &scheme in &schemes {
-            let mut cfg = base_config(topo.clone(), scheme, 0.0, scale);
-            cfg.synthetic = Some(synth.clone());
-            cfg.workload.pattern = pattern.clone();
-            cfg.duration = duration;
-            cfg.drain = Time::from_millis(1500);
-            cfgs.push(cfg);
-        }
-    }
-    let res = run_many(&cfgs);
+    let mut base = base_config(topo, schemes[0], 0.0, scale);
+    base.synthetic = Some(synth);
+    base.duration = duration;
+    base.drain = Time::from_millis(1500);
+    let hook_patterns: Vec<TrafficPattern> = patterns.iter().map(|(_, p)| p.clone()).collect();
+    let res = SweepSpec::new(base)
+        .schemes(schemes.clone())
+        .variants(patterns.iter().map(|(name, _)| *name).collect())
+        .configure(move |cfg, p| cfg.workload.pattern = hook_patterns[p.variant_idx].clone())
+        .run()
+        .into_stats();
 
     let mut t = Table::new(["metric (normalized to ECMP)", "CONGA", "Presto", "DRILL"]);
     for (pi, (name, _)) in patterns.iter().enumerate() {

@@ -16,7 +16,7 @@
 
 #![warn(missing_docs)]
 
-use drill_runtime::{ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill_runtime::{ExperimentConfig, RunStats, Scheme, SweepSpec, TopoSpec};
 use drill_sim::Time;
 use drill_stats::{f3, Table};
 
@@ -97,12 +97,22 @@ pub fn fct_schemes() -> Vec<Scheme> {
     ]
 }
 
+/// Run a schemes × loads sweep grid from `base` on the `DRILL_THREADS`
+/// pool, returning results indexed `[load][scheme]`.
+pub fn sweep_grid(base: ExperimentConfig, schemes: &[Scheme], loads: &[f64]) -> Vec<Vec<RunStats>> {
+    SweepSpec::new(base)
+        .schemes(schemes.to_vec())
+        .loads(loads.to_vec())
+        .run()
+        .by_load_scheme()
+}
+
 /// Render a mean-FCT and tail-FCT table for a (scheme x load) result grid
 /// (results indexed `[load][scheme]`).
 pub fn fct_tables(
     loads: &[f64],
     schemes: &[Scheme],
-    mut grid: Vec<Vec<RunStats>>,
+    grid: &mut [Vec<RunStats>],
 ) -> (String, String) {
     let mut header = vec!["load %".to_string()];
     header.extend(schemes.iter().map(|s| s.name()));

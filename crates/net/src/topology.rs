@@ -486,6 +486,45 @@ mod tests {
     }
 
     #[test]
+    fn fail_parallel_links_one_by_one() {
+        let mut t = Topology::new();
+        let l = t.add_switch(SwitchKind::Leaf);
+        let s = t.add_switch(SwitchKind::Spine);
+        for _ in 0..3 {
+            t.connect_switches(l, s, 10_000_000_000, 10_000_000_000, Time::from_nanos(500));
+        }
+        t.validate();
+        // `nth` indexes only the *live* pairs, so nth=0 repeatedly walks
+        // through all three parallel links.
+        assert_eq!(t.ports_to_switch(l, s), vec![0, 1, 2]);
+        assert!(t.fail_switch_link(l, s, 0));
+        assert_eq!(t.ports_to_switch(l, s), vec![1, 2]);
+        assert!(t.fail_switch_link(l, s, 0));
+        assert_eq!(t.ports_to_switch(l, s), vec![2]);
+        assert!(t.fail_switch_link(l, s, 0));
+        assert!(t.ports_to_switch(l, s).is_empty());
+        assert!(!t.fail_switch_link(l, s, 0), "all pairs already down");
+        // Every failure downed both directions.
+        assert_eq!(t.links().iter().filter(|x| !x.up).count(), 6);
+    }
+
+    #[test]
+    fn fail_switch_link_nth_out_of_range_is_a_no_op() {
+        let mut t = Topology::new();
+        let l = t.add_switch(SwitchKind::Leaf);
+        let s = t.add_switch(SwitchKind::Spine);
+        t.connect_switches(l, s, 10_000_000_000, 10_000_000_000, Time::from_nanos(500));
+        t.connect_switches(l, s, 10_000_000_000, 10_000_000_000, Time::from_nanos(500));
+        assert!(!t.fail_switch_link(l, s, 2), "only pairs 0 and 1 exist");
+        assert!(!t.fail_switch_link(l, s, 1000));
+        assert_eq!(t.ports_to_switch(l, s), vec![0, 1], "nothing was failed");
+        // The reverse orientation has its own (mirrored) pair indices.
+        assert!(t.fail_switch_link(s, l, 1));
+        assert_eq!(t.ports_to_switch(l, s), vec![0]);
+        assert_eq!(t.ports_to_switch(s, l), vec![0]);
+    }
+
+    #[test]
     fn hosts_of_leaf() {
         let (t, l0, l1, _) = tiny();
         assert_eq!(t.hosts_of_leaf(l0), vec![HostId(0)]);

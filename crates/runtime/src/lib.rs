@@ -9,7 +9,12 @@
 //!   [`RunStats`] with every metric a paper figure needs (FCT
 //!   distributions, queue-length STDV, per-hop queueing/loss, duplicate
 //!   ACK histogram, GRO batches, elephant throughput).
-//! * [`run_many`] — a parallel sweep helper (one OS thread per run).
+//! * [`SweepSpec`] — a declarative sweep grid (scheme × load × engines ×
+//!   variant × seed replication) executed in parallel on the
+//!   `drill-exec` pool with results bit-identical to a serial replay;
+//!   [`SweepResults`] gives ordered per-cell access and cross-seed
+//!   aggregation via [`RunStats::merge`].
+//! * [`run_many`] — parallel execution of a free-form config list.
 
 #![warn(missing_docs)]
 
@@ -22,5 +27,5 @@ mod world;
 pub use config::{ExperimentConfig, SyntheticMode, TopoSpec, WorkloadSpec};
 pub use scheme::Scheme;
 pub use stats::{hop_index, hop_name, HopReport, RunStats};
-pub use sweep::run_many;
+pub use sweep::{derive_seed, run_many, SweepPoint, SweepResults, SweepSpec};
 pub use world::{random_leaf_spine_failures, run};

@@ -64,10 +64,21 @@ impl HopReport {
             self.drops[i] as f64 / offered as f64
         }
     }
+
+    /// Accumulate another report (parallel/cross-seed reduction).
+    pub fn merge(&mut self, other: &HopReport) {
+        for i in 0..self.wait_ns.len() {
+            self.wait_ns[i] += other.wait_ns[i];
+            self.wait_samples[i] += other.wait_samples[i];
+            self.drops[i] += other.drops[i];
+            self.tx[i] += other.tx[i];
+        }
+    }
 }
 
-/// Everything measured in one run.
-#[derive(Debug)]
+/// Everything measured in one run (or, after [`RunStats::merge`], in a
+/// group of runs — e.g. the seed replications of one sweep cell).
+#[derive(Clone, Debug)]
 pub struct RunStats {
     /// Scheme display name.
     pub scheme: String,
@@ -153,6 +164,40 @@ impl RunStats {
             self.flows_completed as f64 / self.flows_started as f64
         }
     }
+
+    /// Fold another run's measurements into this one (cross-seed or
+    /// cross-shard aggregation).
+    ///
+    /// Sample stores concatenate (so quantiles over the merged
+    /// distribution are exact), histograms and per-hop tallies add,
+    /// streaming moments combine with the standard Chan et al. update,
+    /// counters sum, and `sim_end` keeps the latest end time. The scheme
+    /// name is kept from `self`; merging different schemes is a caller
+    /// bug and panics.
+    pub fn merge(&mut self, other: &RunStats) {
+        assert_eq!(
+            self.scheme, other.scheme,
+            "merging RunStats of different schemes"
+        );
+        self.fct_ms.merge(&other.fct_ms);
+        self.fct_incast_ms.merge(&other.fct_incast_ms);
+        self.fct_mice_ms.merge(&other.fct_mice_ms);
+        self.elephant_gbps.merge(&other.elephant_gbps);
+        self.dupacks.merge(&other.dupacks);
+        self.reorders.merge(&other.reorders);
+        self.flows_started += other.flows_started;
+        self.flows_completed += other.flows_completed;
+        self.queue_stdv.merge(&other.queue_stdv);
+        self.hops.merge(&other.hops);
+        self.gro_batches += other.gro_batches;
+        self.data_pkts_delivered += other.data_pkts_delivered;
+        self.retransmissions += other.retransmissions;
+        self.timeouts += other.timeouts;
+        self.blackholed += other.blackholed;
+        self.nic_drops += other.nic_drops;
+        self.events += other.events;
+        self.sim_end = self.sim_end.max(other.sim_end);
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +241,45 @@ mod tests {
     fn completion_rate_empty_is_one() {
         let s = RunStats::new("x".into());
         assert_eq!(s.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn run_stats_merge_accumulates_everything() {
+        let mut a = RunStats::new("x".into());
+        a.fct_ms.add(1.0);
+        a.fct_ms.add(3.0);
+        a.dupacks.add(0);
+        a.queue_stdv.add(2.0);
+        a.hops.tx[1] = 10;
+        a.flows_started = 5;
+        a.events = 100;
+        a.sim_end = Time::from_millis(3);
+        let mut b = RunStats::new("x".into());
+        b.fct_ms.add(2.0);
+        b.dupacks.add(2);
+        b.queue_stdv.add(4.0);
+        b.hops.tx[1] = 7;
+        b.hops.drops[1] = 3;
+        b.flows_started = 2;
+        b.events = 50;
+        b.sim_end = Time::from_millis(9);
+        a.merge(&b);
+        assert_eq!(a.fct_ms.count(), 3);
+        assert!((a.fct_ms.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(a.dupacks.total(), 2);
+        assert_eq!(a.queue_stdv.count(), 2);
+        assert!((a.queue_stdv.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(a.hops.tx[1], 17);
+        assert_eq!(a.hops.drops[1], 3);
+        assert_eq!(a.flows_started, 7);
+        assert_eq!(a.events, 150);
+        assert_eq!(a.sim_end, Time::from_millis(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "different schemes")]
+    fn run_stats_merge_rejects_mixed_schemes() {
+        let mut a = RunStats::new("ECMP".into());
+        a.merge(&RunStats::new("DRILL(2,1)".into()));
     }
 }

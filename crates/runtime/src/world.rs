@@ -71,6 +71,18 @@ struct World {
     data_delivered: u64,
 }
 
+/// Fail the link pair `(a, b)`, trying both orientations, and panic with
+/// a clear message if no live link matches — identical behaviour whether
+/// failures apply at build time or at the `fail_at` event.
+fn apply_failure(topo: &mut Topology, a: u32, b: u32) {
+    let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+        || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+    assert!(
+        ok,
+        "failed link ({a},{b}) matches no live switch-to-switch link in the topology"
+    );
+}
+
 /// Pick `n` random distinct, currently-alive leaf-to-spine link pairs
 /// (as `(leaf switch id, spine-side switch id)`), for the failure
 /// experiments (Figures 11b/c and 12).
@@ -103,11 +115,22 @@ pub fn run(cfg: &ExperimentConfig) -> RunStats {
 impl World {
     fn build(cfg: ExperimentConfig) -> World {
         let mut topo = cfg.topo.build();
+        // Validate the failure list up front, whether failures apply now
+        // or at `fail_at`: a pair that matches no switch-to-switch link is
+        // a config bug and must fail loudly in both modes (the
+        // ApplyFailures event used to ignore unknown pairs silently).
+        for &(a, b) in &cfg.failed_links {
+            assert!(
+                (a as usize) < topo.num_switches()
+                    && (b as usize) < topo.num_switches()
+                    && (!topo.ports_to_switch(SwitchId(a), SwitchId(b)).is_empty()
+                        || !topo.ports_to_switch(SwitchId(b), SwitchId(a)).is_empty()),
+                "failed link ({a},{b}) matches no live switch-to-switch link in the topology"
+            );
+        }
         if cfg.fail_at.is_none() {
             for &(a, b) in &cfg.failed_links {
-                let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
-                    || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
-                assert!(ok, "failed link ({a},{b}) not found");
+                apply_failure(&mut topo, a, b);
             }
         }
         let mut routes = RouteTable::compute(&topo);
@@ -382,8 +405,7 @@ impl World {
             }
             Event::ApplyFailures => {
                 for &(a, b) in &self.cfg.failed_links {
-                    let _ = self.topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
-                        || self.topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+                    apply_failure(&mut self.topo, a, b);
                 }
                 self.queue
                     .push(now + self.cfg.ospf_delay, Event::RecomputeRoutes);
@@ -784,6 +806,75 @@ mod tests {
         u.sort_unstable();
         u.dedup();
         assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn random_failures_exhaustion_edges() {
+        // 4 leaves x 4 spines = 16 leaf-spine pairs in total.
+        let topo = tiny_topo().build();
+        assert!(random_leaf_spine_failures(&topo, 0, 1).is_empty());
+        // Asking for more than exist returns every pair, each exactly once.
+        let all = random_leaf_spine_failures(&topo, 1000, 1);
+        assert_eq!(all.len(), 16);
+        let mut u = all.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 16, "no duplicates at exhaustion");
+        assert_eq!(random_leaf_spine_failures(&topo, 16, 1).len(), 16);
+    }
+
+    #[test]
+    fn random_failures_are_duplicate_free_across_seeds_and_skip_dead_links() {
+        let mut topo = tiny_topo().build();
+        for seed in 0..50u64 {
+            let picks = random_leaf_spine_failures(&topo, 8, seed);
+            assert_eq!(picks.len(), 8);
+            let mut u = picks.clone();
+            u.sort_unstable();
+            u.dedup();
+            assert_eq!(u.len(), 8, "seed {seed} produced duplicates");
+        }
+        // Failed pairs are no longer candidates.
+        let victim = random_leaf_spine_failures(&topo, 1, 7)[0];
+        assert!(topo.fail_switch_link(SwitchId(victim.0), SwitchId(victim.1), 0));
+        for seed in 0..50u64 {
+            let picks = random_leaf_spine_failures(&topo, 15, seed);
+            assert_eq!(picks.len(), 15, "one pair is down");
+            assert!(!picks.contains(&victim), "dead pair re-picked");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no live switch-to-switch link")]
+    fn unknown_failed_link_panics_at_build() {
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.1);
+        cfg.failed_links = vec![(97, 98)];
+        run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no live switch-to-switch link")]
+    fn unknown_failed_link_panics_with_fail_at_too() {
+        // Regression: the ApplyFailures path used to drop unknown pairs
+        // silently while the build-time path asserted. Both now surface
+        // the same error, and they surface it before the run starts.
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.1);
+        cfg.failed_links = vec![(97, 98)];
+        cfg.fail_at = Some(Time::from_micros(100));
+        run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no live switch-to-switch link")]
+    fn duplicate_single_link_failure_panics_when_applied() {
+        // Two leaves are joined by exactly one link pair; failing it twice
+        // exhausts the pair mid-run and must be loud, not silent.
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.1);
+        let topo = cfg.topo.build();
+        let pair = random_leaf_spine_failures(&topo, 1, 3)[0];
+        cfg.failed_links = vec![pair, pair];
+        cfg.fail_at = Some(Time::from_micros(100));
+        run(&cfg);
     }
 
     #[test]

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint, all offline-safe (the workspace has no external
 # dependencies; see the note in the root Cargo.toml).
+#
+# The test matrix covers both event-queue builds (default timing wheel
+# and the legacy --features heap-queue) and both ends of the executor
+# knob (DRILL_THREADS=1 serial, DRILL_THREADS=8 oversubscribed) — the
+# sweep determinism contract says results must not depend on either.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo test -q (wheel queue, DRILL_THREADS=1) =="
+DRILL_THREADS=1 cargo test -q
+
+echo "== cargo test -q (wheel queue, DRILL_THREADS=8) =="
+DRILL_THREADS=8 cargo test -q
+
+echo "== cargo test -q (--features heap-queue) =="
+cargo test -q --features heap-queue
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Parallel-sweep harness: runs the same fig2-style sweep grid under
+# DRILL_THREADS=1/2/8, byte-compares the result tables (the executor's
+# determinism contract), and records wall-clock per thread count in
+# results/sweepbench.json. Offline-safe: no external deps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREAD_COUNTS=(${THREAD_COUNTS:-1 2 8})
+
+mkdir -p results
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== building =="
+cargo build --release -p drill-bench
+
+echo "== sweep under DRILL_THREADS=${THREAD_COUNTS[*]} =="
+for t in "${THREAD_COUNTS[@]}"; do
+  echo "-- DRILL_THREADS=$t"
+  DRILL_THREADS="$t" ./target/release/sweepbench \
+    > "$tmp/table-$t.txt" 2> "$tmp/time-$t.json"
+  cat "$tmp/time-$t.json"
+done
+
+echo "== byte-comparing result tables =="
+ref="${THREAD_COUNTS[0]}"
+for t in "${THREAD_COUNTS[@]:1}"; do
+  cmp "$tmp/table-$ref.txt" "$tmp/table-$t.txt" \
+    && echo "table($ref threads) == table($t threads): byte-identical"
+done
+
+python3 - "$tmp" "${THREAD_COUNTS[@]}" <<'EOF'
+import json, os, sys
+
+tmp = sys.argv[1]
+counts = [int(c) for c in sys.argv[2:]]
+runs = {}
+for t in counts:
+    runs[str(t)] = json.load(open(f"{tmp}/time-{t}.json"))
+base = runs[str(counts[0])]["wall_secs"]
+doc = {
+    "bench": "sweepbench",
+    "host_cpus": os.cpu_count(),
+    "scale": os.environ.get("DRILL_SCALE", "default"),
+    "tables_byte_identical": True,  # cmp above would have aborted otherwise
+    "runs": runs,
+    "speedup_vs_1_thread": {
+        t: round(base / r["wall_secs"], 3) for t, r in runs.items()
+    },
+}
+json.dump(doc, open("results/sweepbench.json", "w"), indent=2)
+print("wrote results/sweepbench.json")
+for t, s in doc["speedup_vs_1_thread"].items():
+    print(f"  {t} threads: {s}x vs 1 thread")
+EOF

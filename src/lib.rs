@@ -12,6 +12,8 @@
 //!
 //! * [`sim`] — deterministic discrete-event kernel (clock, event queue,
 //!   splittable RNG).
+//! * [`exec`] — fixed-size thread pool + chunked work queue driving
+//!   deterministic parallel sweeps (`DRILL_THREADS`).
 //! * [`stats`] — moments, percentiles/CDFs, histograms, text tables.
 //! * [`net`] — packets, Clos topologies, switches with forwarding engines,
 //!   host NICs, routing, the load-balancer plug-in API.
@@ -44,6 +46,7 @@
 //! ```
 
 pub use drill_core as core;
+pub use drill_exec as exec;
 pub use drill_hw as hw;
 pub use drill_lb as lb;
 pub use drill_net as net;

@@ -8,7 +8,7 @@
 //! intended, and say so in the commit.
 
 use drill::net::{LeafSpineSpec, DEFAULT_PROP};
-use drill::runtime::{run, ExperimentConfig, RunStats, Scheme, TopoSpec};
+use drill::runtime::{run, ExperimentConfig, RunStats, Scheme, SweepSpec, TopoSpec};
 use drill::sim::Time;
 
 fn golden_run(scheme: Scheme) -> RunStats {
@@ -51,4 +51,67 @@ fn drill_2_1_replays_golden_trace() {
 #[test]
 fn random_replays_golden_trace() {
     assert_golden(Scheme::Random, 1_294_326, 1060, 1060);
+}
+
+/// The executor's determinism contract, tested differentially: the same
+/// sweep grid run serially and on 1/2/8-thread pools must agree bit for
+/// bit on every per-point metric — event counts exactly, floating-point
+/// aggregates via `to_bits` (not an epsilon).
+#[test]
+fn sweep_results_are_bit_identical_across_thread_counts() {
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 2,
+        leaves: 2,
+        hosts_per_leaf: 2,
+        host_rate: 10_000_000_000,
+        core_rate: 10_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let mut base = ExperimentConfig::new(topo, Scheme::Ecmp, 0.3);
+    base.seed = 0xD211;
+    base.duration = Time::from_millis(2);
+    base.drain = Time::from_millis(50);
+    base.sample_queues = true;
+    let spec = |threads: Option<usize>| {
+        let mut s = SweepSpec::new(base.clone())
+            .schemes(vec![Scheme::Ecmp, Scheme::drill_default()])
+            .loads(vec![0.3, 0.8])
+            .reps(2);
+        if let Some(t) = threads {
+            s = s.threads(t);
+        }
+        s
+    };
+
+    // Fingerprint every per-point metric the figures read, with float
+    // bits so "close enough" cannot mask a divergence.
+    let fingerprint =
+        |res: drill::runtime::SweepResults| -> Vec<(u64, u64, u64, u64, u64, u64, u64)> {
+            res.into_stats()
+                .into_iter()
+                .map(|mut st| {
+                    (
+                        st.events,
+                        st.flows_completed,
+                        st.queue_stdv.mean().to_bits(),
+                        st.queue_stdv.count(),
+                        st.fct_ms.quantile(0.50).to_bits(),
+                        st.fct_ms.quantile(0.9999).to_bits(),
+                        st.fct_ms.count() as u64,
+                    )
+                })
+                .collect()
+        };
+
+    let serial = fingerprint(spec(None).run_serial());
+    assert_eq!(serial.len(), 8);
+    // The grid is not degenerate: loads differ, so points differ.
+    assert_ne!(serial[0], serial[4]);
+    for threads in [1usize, 2, 8] {
+        let parallel = fingerprint(spec(Some(threads)).run());
+        assert_eq!(
+            serial, parallel,
+            "sweep diverged from serial replay at {threads} threads"
+        );
+    }
 }

@@ -13,6 +13,7 @@ use drill::net::{
     SwitchPolicy, DEFAULT_PROP,
 };
 use drill::sim::{SimRng, Time};
+use drill::stats::{Distribution, Histogram, Moments};
 use drill::transport::{ShimBuffer, TcpConfig, TcpFlow};
 use proptest::prelude::*;
 
@@ -228,5 +229,75 @@ proptest! {
         prop_assert!(f.is_done());
         prop_assert_eq!(f.bytes_acked, size);
         prop_assert!(dropped > 0);
+    }
+
+    /// Mergeable distributions: merge(a, b) must equal a single pass over
+    /// the concatenated stream — exactly, since the store is sample-based.
+    /// This is what makes the sweep executor's cross-replication
+    /// aggregation equivalent to one big serial run.
+    #[test]
+    fn distribution_merge_equals_single_pass(
+        xs in proptest::collection::vec(0.0f64..1e6, 0..200),
+        ys in proptest::collection::vec(0.0f64..1e6, 0..200),
+    ) {
+        let mut merged = Distribution::new();
+        let mut parts = (Distribution::new(), Distribution::new());
+        for &x in &xs { merged.add(x); parts.0.add(x); }
+        for &y in &ys { merged.add(y); parts.1.add(y); }
+        let mut combined = parts.0;
+        combined.merge(&parts.1);
+        prop_assert_eq!(combined.count(), merged.count());
+        prop_assert_eq!(combined.mean().to_bits(), merged.mean().to_bits());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.9999, 1.0] {
+            prop_assert_eq!(
+                combined.quantile(q).to_bits(),
+                merged.quantile(q).to_bits(),
+                "quantile {} diverged", q
+            );
+        }
+    }
+
+    /// Mergeable moments: the Chan et al. combine must agree with a
+    /// single-pass Welford over the concatenation on count exactly and on
+    /// mean/variance to floating-point tolerance.
+    #[test]
+    fn moments_merge_equals_single_pass(
+        xs in proptest::collection::vec(-1e3f64..1e3, 0..200),
+        ys in proptest::collection::vec(-1e3f64..1e3, 0..200),
+    ) {
+        let mut merged = Moments::new();
+        let mut parts = (Moments::new(), Moments::new());
+        for &x in &xs { merged.add(x); parts.0.add(x); }
+        for &y in &ys { merged.add(y); parts.1.add(y); }
+        let mut combined = parts.0;
+        combined.merge(&parts.1);
+        prop_assert_eq!(combined.count(), merged.count());
+        prop_assert!((combined.mean() - merged.mean()).abs() < 1e-9);
+        prop_assert!((combined.variance() - merged.variance()).abs() < 1e-6);
+    }
+
+    /// Mergeable histograms: per-bucket counts add exactly, whatever mix
+    /// of in-range and overflow values lands on either side.
+    #[test]
+    fn histogram_merge_equals_single_pass(
+        xs in proptest::collection::vec(0usize..40, 0..200),
+        ys in proptest::collection::vec(0usize..40, 0..200),
+    ) {
+        let mut merged = Histogram::new(16);
+        let mut parts = (Histogram::new(16), Histogram::new(16));
+        for &x in &xs { merged.add(x); parts.0.add(x); }
+        for &y in &ys { merged.add(y); parts.1.add(y); }
+        let mut combined = parts.0;
+        combined.merge(&parts.1);
+        prop_assert_eq!(combined.total(), merged.total());
+        for v in 0..40 {
+            prop_assert_eq!(combined.count(v), merged.count(v));
+        }
+        for v in 0..40 {
+            prop_assert_eq!(
+                combined.frac_at_least(v).to_bits(),
+                merged.frac_at_least(v).to_bits()
+            );
+        }
     }
 }
