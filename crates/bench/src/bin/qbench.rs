@@ -23,13 +23,17 @@
 //! `--e2e` instead runs one fig2-shaped experiment (open-loop packet
 //! trains, queue sampling on) against whichever `EventQueue` this binary
 //! was compiled with (`--features heap-queue` selects the heap) and prints
-//! a single JSON object with the wall-clock time.
+//! a single JSON object with the wall-clock time. `--e2e-telemetry` runs
+//! the identical experiment with the `drill-telemetry` flight recorder +
+//! queue sampler attached, for the probe-overhead A/B in
+//! `scripts/qbench.sh` (the event count must match `--e2e` exactly:
+//! probes observe, never steer).
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use drill_net::{LeafSpineSpec, DEFAULT_PROP};
-use drill_runtime::{run, ExperimentConfig, Scheme, TopoSpec};
+use drill_runtime::{run, ExperimentConfig, Scheme, TelemetrySpec, TopoSpec};
 use drill_sim::{EventToken, HeapQueue, SimRng, Time, WheelQueue};
 
 /// The common surface of the two queue implementations.
@@ -265,8 +269,9 @@ fn micro() {
 }
 
 /// One fig2-shaped run (open-loop packet trains, queue sampling) against
-/// the compiled-in `EventQueue`.
-fn e2e() {
+/// the compiled-in `EventQueue`. With `telemetry` the flight recorder +
+/// queue sampler ride along (same simulation, extra observation).
+fn e2e(telemetry: bool) {
     let queue = if cfg!(feature = "heap-queue") {
         "heap"
     } else {
@@ -297,11 +302,19 @@ fn e2e() {
     cfg.sample_queues = true;
     cfg.drain = Time::from_millis(5);
     cfg.engines = 4;
+    if telemetry {
+        cfg.telemetry = Some(TelemetrySpec::default());
+    }
+    let workload = if telemetry {
+        "e2e_fig2_telemetry"
+    } else {
+        "e2e_fig2"
+    };
     let start = Instant::now();
     let stats = run(&cfg);
     let wall = start.elapsed().as_secs_f64();
     println!(
-        "{{\"workload\": \"e2e_fig2\", \"queue\": \"{queue}\", \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+        "{{\"workload\": \"{workload}\", \"queue\": \"{queue}\", \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
         wall,
         stats.events,
         stats.events as f64 / wall
@@ -309,8 +322,10 @@ fn e2e() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--e2e") {
-        e2e();
+    if std::env::args().any(|a| a == "--e2e-telemetry") {
+        e2e(true);
+    } else if std::env::args().any(|a| a == "--e2e") {
+        e2e(false);
     } else {
         micro();
     }

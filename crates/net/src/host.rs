@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use drill_sim::Time;
+use drill_telemetry::Probe;
 
 use crate::ids::{HostId, NodeRef};
 use crate::packet::Packet;
@@ -52,10 +53,23 @@ impl HostNic {
     }
 
     /// Queue a packet for transmission.
-    pub fn send(&mut self, topo: &Topology, pkt: Packet, now: Time, out: &mut EventSink) {
+    ///
+    /// `probe` records the accept (host-send) or the overflow drop; pass
+    /// `&mut NoopProbe` to compile the telemetry out.
+    pub fn send<P: Probe>(
+        &mut self,
+        topo: &Topology,
+        pkt: Packet,
+        now: Time,
+        out: &mut EventSink,
+        probe: &mut P,
+    ) {
         let link = topo.host_uplink(self.host);
         if !self.in_flight {
             debug_assert!(self.q.is_empty());
+            if P::ENABLED {
+                probe.on_host_send(now, self.host.0, &pkt.meta());
+            }
             self.in_flight = true;
             self.q.push_back(pkt);
             let size = self.q[0].size as u64;
@@ -66,7 +80,13 @@ impl HostNic {
         } else {
             if self.q_bytes + pkt.size as u64 > self.limit_bytes {
                 self.drops += 1;
+                if P::ENABLED {
+                    probe.on_nic_drop(now, self.host.0, &pkt.meta());
+                }
                 return;
+            }
+            if P::ENABLED {
+                probe.on_host_send(now, self.host.0, &pkt.meta());
             }
             self.q_bytes += pkt.size as u64;
             self.q.push_back(pkt);
@@ -109,6 +129,7 @@ mod tests {
     use super::*;
     use crate::builders::{leaf_spine, LeafSpineSpec, DEFAULT_PROP};
     use crate::ids::FlowId;
+    use drill_telemetry::NoopProbe;
 
     fn topo() -> Topology {
         leaf_spine(&LeafSpineSpec {
@@ -139,7 +160,7 @@ mod tests {
         let t = topo();
         let mut nic = HostNic::new(HostId(0));
         let mut out = Vec::new();
-        nic.send(&t, pkt(1442), Time::ZERO, &mut out); // 1500B wire
+        nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe); // 1500B wire
         let (tx_at, _) = &out[0];
         assert_eq!(*tx_at, Time::from_nanos(1200));
         out.clear();
@@ -168,8 +189,8 @@ mod tests {
         let t = topo();
         let mut nic = HostNic::new(HostId(0));
         let mut out = Vec::new();
-        nic.send(&t, pkt(1442), Time::ZERO, &mut out);
-        nic.send(&t, pkt(1442), Time::ZERO, &mut out);
+        nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe);
+        nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe);
         // Only one TxDone scheduled for the head.
         assert_eq!(out.len(), 1);
         assert_eq!(nic.backlog_bytes(), 1500);
@@ -187,7 +208,7 @@ mod tests {
         nic.limit_bytes = 3000;
         let mut out = Vec::new();
         for _ in 0..5 {
-            nic.send(&t, pkt(1442), Time::ZERO, &mut out);
+            nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe);
         }
         // 1 in flight + 2 queued (3000B), rest dropped.
         assert_eq!(nic.drops, 2);

@@ -176,6 +176,23 @@ impl Packet {
         self.seq + self.payload as u64
     }
 
+    /// The telemetry-facing field mirror (see `drill_telemetry::Probe`).
+    /// Call sites gate on `Probe::ENABLED` so the copy never happens on
+    /// the disabled path.
+    #[inline]
+    pub fn meta(&self) -> drill_telemetry::PacketMeta {
+        drill_telemetry::PacketMeta {
+            id: self.id,
+            flow: self.flow.0,
+            src: self.src.0,
+            dst: self.dst.0,
+            size: self.size,
+            seq: self.seq,
+            emit_idx: self.emit_idx,
+            flags: self.flags,
+        }
+    }
+
     /// Push a source-route hop (panics if the route is full).
     pub fn push_route(&mut self, switch: u32) {
         assert!(
@@ -244,6 +261,41 @@ impl PacketBufPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meta_flag_mirror_matches() {
+        // drill-telemetry sits below this crate and mirrors the flag bits;
+        // the two encodings must never drift apart.
+        use drill_telemetry::meta_flags;
+        assert_eq!(meta_flags::DATA, flags::DATA);
+        assert_eq!(meta_flags::ACK, flags::ACK);
+        assert_eq!(meta_flags::FIN, flags::FIN);
+        assert_eq!(meta_flags::RETX, flags::RETX);
+    }
+
+    #[test]
+    fn meta_mirrors_packet_fields() {
+        let mut p = Packet::data(
+            9,
+            FlowId(2),
+            HostId(3),
+            HostId(4),
+            0xdead,
+            1460,
+            1000,
+            Time::from_micros(5),
+        );
+        p.emit_idx = 17;
+        let m = p.meta();
+        assert_eq!(m.id, 9);
+        assert_eq!(m.flow, 2);
+        assert_eq!(m.src, 3);
+        assert_eq!(m.dst, 4);
+        assert_eq!(m.size, 1000 + HEADER_BYTES);
+        assert_eq!(m.seq, 1460);
+        assert_eq!(m.emit_idx, 17);
+        assert_eq!(m.flags, flags::DATA);
+    }
 
     #[test]
     fn data_packet_fields() {

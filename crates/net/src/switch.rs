@@ -20,6 +20,7 @@
 use std::collections::VecDeque;
 
 use drill_sim::{SimRng, Time};
+use drill_telemetry::{DropReason, EngineChoice, Probe};
 
 use crate::ids::{NodeRef, SwitchId};
 use crate::lbapi::{weighted_group_pick, QueueView, SelectCtx, SwitchPolicy};
@@ -204,8 +205,12 @@ impl Switch {
     }
 
     /// Handle a fully received packet: pick the egress port and enqueue.
+    ///
+    /// `probe` observes the forwarding decision and the queue transition;
+    /// pass `&mut NoopProbe` (zero-sized, `ENABLED = false`) to compile
+    /// the telemetry out entirely.
     #[allow(clippy::too_many_arguments)]
-    pub fn receive(
+    pub fn receive<P: Probe>(
         &mut self,
         topo: &Topology,
         routes: &RouteTable,
@@ -214,6 +219,7 @@ impl Switch {
         now: Time,
         rng: &mut SimRng,
         out: &mut EventSink,
+        probe: &mut P,
     ) {
         let from_host = topo.ingress_link(self.id, ingress).hop == HopClass::HostUp;
         self.policy.on_arrival(&mut pkt, now, topo, self.id);
@@ -223,10 +229,22 @@ impl Switch {
             topo.host_leaf_port(pkt.dst)
         } else {
             let dst_leaf = topo.host_leaf_index(pkt.dst);
-            match self.pick_fabric_port(topo, routes, &mut pkt, dst_leaf, ingress, now, rng) {
+            match self.pick_fabric_port(topo, routes, &mut pkt, dst_leaf, ingress, now, rng, probe)
+            {
                 Some(p) => p,
                 None => {
                     self.blackholed += 1;
+                    if P::ENABLED {
+                        let engine = (ingress as usize % self.cfg.engines) as u16;
+                        probe.on_drop(
+                            now,
+                            self.id.0,
+                            u16::MAX,
+                            engine,
+                            &pkt.meta(),
+                            DropReason::NoRoute,
+                        );
+                    }
                     return;
                 }
             }
@@ -235,13 +253,13 @@ impl Switch {
         self.policy
             .on_forward(&mut pkt, port, now, topo, self.id, from_host);
         let engine = ingress as usize % self.cfg.engines;
-        self.enqueue_from_engine(topo, port, pkt, engine, now, out);
+        self.enqueue_from_engine(topo, port, pkt, engine, now, out, probe);
     }
 
     /// Choose the egress port toward `dst_leaf`: source route if present and
     /// usable, otherwise (weighted symmetric component ->) policy selection.
     #[allow(clippy::too_many_arguments)]
-    fn pick_fabric_port(
+    fn pick_fabric_port<P: Probe>(
         &mut self,
         topo: &Topology,
         routes: &RouteTable,
@@ -250,6 +268,7 @@ impl Switch {
         ingress: u16,
         now: Time,
         rng: &mut SimRng,
+        probe: &mut P,
     ) -> Option<u16> {
         // Source route (Presto): follow the designated transit switch if a
         // live port to it exists; otherwise consume the hop and fall back.
@@ -294,25 +313,53 @@ impl Switch {
         };
         let chosen = self.policy.select(&ctx, &view, rng);
         debug_assert!(subset.contains(&chosen), "policy must choose a candidate");
+        if P::ENABLED {
+            // Ground truth the engine could not see (§3.2.1): the *actual*
+            // occupancy of every candidate at selection time. This scan
+            // exists only for the probe and is gated out when disabled.
+            let mut best = subset[0];
+            let mut best_pkts = self.ports[best as usize].pkts();
+            for &c in &subset[1..] {
+                let pk = self.ports[c as usize].pkts();
+                if pk < best_pkts {
+                    best = c;
+                    best_pkts = pk;
+                }
+            }
+            probe.on_engine_choice(
+                now,
+                self.id.0,
+                ctx.engine as u16,
+                &EngineChoice {
+                    chosen,
+                    chosen_pkts: self.ports[chosen as usize].pkts(),
+                    best,
+                    best_pkts,
+                    candidates: subset.len() as u16,
+                },
+            );
+        }
         Some(chosen)
     }
 
     /// Append a packet to `port`'s queue (tail drop), starting transmission
     /// if the port is idle. Attributed to engine 0.
-    pub fn enqueue(
+    pub fn enqueue<P: Probe>(
         &mut self,
         topo: &Topology,
         port: u16,
         pkt: Packet,
         now: Time,
         out: &mut EventSink,
+        probe: &mut P,
     ) {
-        self.enqueue_from_engine(topo, port, pkt, 0, now, out)
+        self.enqueue_from_engine(topo, port, pkt, 0, now, out, probe)
     }
 
     /// [`Switch::enqueue`] attributed to a specific forwarding engine (the
     /// engine's pending-write counter tracks the packet until its commit).
-    pub fn enqueue_from_engine(
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_from_engine<P: Probe>(
         &mut self,
         topo: &Topology,
         port: u16,
@@ -320,14 +367,28 @@ impl Switch {
         engine: usize,
         now: Time,
         out: &mut EventSink,
+        probe: &mut P,
     ) {
         let link = topo.egress(self.id, port);
         let p = &mut self.ports[port as usize];
         if !link.up {
             p.stats.drops += 1;
             p.stats.drop_bytes += pkt.size as u64;
+            if P::ENABLED {
+                probe.on_drop(
+                    now,
+                    self.id.0,
+                    port,
+                    engine as u16,
+                    &pkt.meta(),
+                    DropReason::LinkDown,
+                );
+            }
             return;
         }
+        // Copied only on the enabled path (the packet moves into the queue
+        // below, before the hook fires).
+        let meta = if P::ENABLED { Some(pkt.meta()) } else { None };
         let size = pkt.size;
         if p.in_flight.is_none() {
             debug_assert!(p.q.is_empty());
@@ -363,6 +424,16 @@ impl Switch {
             if p.q_bytes + size as u64 > self.cfg.queue_limit_bytes {
                 p.stats.drops += 1;
                 p.stats.drop_bytes += size as u64;
+                if let Some(m) = meta {
+                    probe.on_drop(
+                        now,
+                        self.id.0,
+                        port,
+                        engine as u16,
+                        &m,
+                        DropReason::TailDrop,
+                    );
+                }
                 return;
             }
             if self.cfg.model_enqueue_commit {
@@ -385,6 +456,10 @@ impl Switch {
             p.q_bytes += size as u64;
             p.q.push_back((pkt, now));
         }
+        if let Some(m) = meta {
+            let p = &self.ports[port as usize];
+            probe.on_enqueue(now, self.id.0, port, engine as u16, &m, p.pkts(), p.bytes());
+        }
         self.forwarded += 1;
     }
 
@@ -401,10 +476,17 @@ impl Switch {
 
     /// Serialization of the in-flight packet finished: hand it to the wire
     /// and start the next one.
-    pub fn on_tx_done(&mut self, topo: &Topology, port: u16, now: Time, out: &mut EventSink) {
+    pub fn on_tx_done<P: Probe>(
+        &mut self,
+        topo: &Topology,
+        port: u16,
+        now: Time,
+        out: &mut EventSink,
+        probe: &mut P,
+    ) {
         let link = topo.egress(self.id, port);
         let p = &mut self.ports[port as usize];
-        let (pkt, _enq) = p
+        let (pkt, enq) = p
             .in_flight
             .take()
             .expect("tx-done with no packet in flight");
@@ -413,6 +495,13 @@ impl Switch {
         p.visible_pkts -= 1;
         p.stats.tx_pkts += 1;
         p.stats.tx_bytes += pkt.size as u64;
+        if P::ENABLED {
+            // Full sojourn: append to end of serialization. Fires even if
+            // the link died mid-flight (the packet did leave the queue);
+            // the drop hook below records its fate.
+            let depth = p.pkts();
+            probe.on_dequeue(now, self.id.0, port, pkt.id, depth, (now - enq).as_nanos());
+        }
         if link.up {
             let arrive = now + link.prop;
             match link.dst {
@@ -434,6 +523,18 @@ impl Switch {
             // Link died while the packet was serializing: it is lost.
             p.stats.drops += 1;
             p.stats.drop_bytes += pkt.size as u64;
+            if P::ENABLED {
+                // Engine unknown at this point (u16::MAX); the recorder's
+                // port FIFO recovers it from the matching dequeue.
+                probe.on_drop(
+                    now,
+                    self.id.0,
+                    port,
+                    u16::MAX,
+                    &pkt.meta(),
+                    DropReason::LinkDown,
+                );
+            }
         }
         if let Some((next, enq)) = p.q.pop_front() {
             p.q_bytes -= next.size as u64;
@@ -456,6 +557,7 @@ mod tests {
     use super::*;
     use crate::builders::{leaf_spine, LeafSpineSpec, DEFAULT_PROP};
     use crate::ids::{FlowId, HostId};
+    use drill_telemetry::NoopProbe;
 
     /// Policy that always picks the first candidate.
     struct FirstPort;
@@ -507,7 +609,16 @@ mod tests {
         // Host 1 is on leaf 0 (hosts 0,1 -> leaf0; 2,3 -> leaf1).
         let p = pkt(HostId(1), 1000);
         let ingress = 0; // from a spine
-        sw.receive(&topo, &routes, p, ingress, Time::ZERO, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+            &mut NoopProbe,
+        );
         // One commit + one tx-done scheduled.
         assert_eq!(out.len(), 2);
         let host_port = topo.host_leaf_port(HostId(1));
@@ -529,6 +640,7 @@ mod tests {
             Time::ZERO,
             &mut rng,
             &mut out,
+            &mut NoopProbe,
         );
         // FirstPort picks candidate 0 = port 0 (first spine).
         assert_eq!(sw.queue_pkts(0), 1);
@@ -543,7 +655,16 @@ mod tests {
         let p = pkt(HostId(2), 1442); // wire size 1500
         let t0 = Time::from_micros(10);
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(&topo, &routes, p, host_ingress, t0, &mut rng, &mut out);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            host_ingress,
+            t0,
+            &mut rng,
+            &mut out,
+            &mut NoopProbe,
+        );
         // tx time of 1500B at 10G = 1200ns.
         let tx_at = out
             .iter()
@@ -568,7 +689,7 @@ mod tests {
             sw.on_enqueue_commit(port, bytes, engine);
         }
         out.clear();
-        sw.on_tx_done(&topo, 0, tx_at, &mut out);
+        sw.on_tx_done(&topo, 0, tx_at, &mut out, &mut NoopProbe);
         let (arrive_t, ev) = &out[0];
         assert_eq!(*arrive_t, tx_at + DEFAULT_PROP);
         assert!(matches!(ev, NetEvent::ArriveSwitch { .. }));
@@ -589,6 +710,7 @@ mod tests {
             Time::ZERO,
             &mut rng,
             &mut out,
+            &mut NoopProbe,
         );
         // Actual occupancy 1, visible 0 until the commit event fires.
         assert_eq!(sw.queue_pkts(0), 1);
@@ -634,6 +756,7 @@ mod tests {
             Time::ZERO,
             &mut rng,
             &mut out,
+            &mut NoopProbe,
         );
         assert_eq!(sw.visible_pkts(0), 1, "visible immediately");
         // Only a TxDone was scheduled, no commit event.
@@ -658,6 +781,7 @@ mod tests {
                 Time::ZERO,
                 &mut rng,
                 &mut out,
+                &mut NoopProbe,
             );
             sent += 1;
         }
@@ -701,6 +825,7 @@ mod tests {
             Time::ZERO,
             &mut rng,
             &mut out,
+            &mut NoopProbe,
         );
         assert_eq!(sw.blackholed, 1);
         assert!(out.is_empty());
@@ -724,6 +849,7 @@ mod tests {
             Time::ZERO,
             &mut rng,
             &mut out,
+            &mut NoopProbe,
         );
         assert_eq!(sw.queue_pkts(1), 1);
         assert_eq!(sw.queue_pkts(0), 0);
@@ -748,6 +874,7 @@ mod tests {
             Time::ZERO,
             &mut rng,
             &mut out,
+            &mut NoopProbe,
         );
         // Fell back to the remaining candidate (port 0 -> spine 2).
         assert_eq!(sw.queue_pkts(0), 1);
@@ -771,6 +898,7 @@ mod tests {
                 Time::ZERO,
                 &mut rng,
                 &mut out,
+                &mut NoopProbe,
             );
         }
         // Deliver the pending commits, as the event loop would before any
@@ -794,7 +922,13 @@ mod tests {
         let mut ids = Vec::new();
         for k in 0..3 {
             out.clear();
-            sw.on_tx_done(&topo, 0, Time::from_micros(k + 10), &mut out);
+            sw.on_tx_done(
+                &topo,
+                0,
+                Time::from_micros(k + 10),
+                &mut out,
+                &mut NoopProbe,
+            );
             for (_, e) in &out {
                 if let NetEvent::ArriveSwitch { pkt, .. } = e {
                     ids.push(pkt.id);
@@ -837,6 +971,7 @@ mod tests {
                 Time::ZERO,
                 &mut rng,
                 &mut out,
+                &mut NoopProbe,
             );
         }
         assert_eq!(sw.queue_pkts(0), 0, "zero-weight group unused");

@@ -118,6 +118,31 @@ impl Default for SyntheticMode {
     }
 }
 
+/// Flight-recorder telemetry knobs (see `drill-telemetry`). Attaching a
+/// spec to [`ExperimentConfig::telemetry`] makes the run record lifecycle
+/// events and queue time series; metrics stay bit-identical either way
+/// (probes observe, never steer).
+#[derive(Clone, Debug)]
+pub struct TelemetrySpec {
+    /// Events kept per (switch, engine) ring; the newest survive.
+    pub ring_capacity: usize,
+    /// Queue-depth sampling cadence.
+    pub sample_every: Time,
+    /// Where to write the `DRILLTRC` trace file after the run (`None` =
+    /// keep the recorder in memory only, returned by `run_recorded`).
+    pub trace_path: Option<std::path::PathBuf>,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            ring_capacity: drill_telemetry::DEFAULT_RING_CAPACITY,
+            sample_every: drill_telemetry::DEFAULT_SAMPLE_EVERY,
+            trace_path: None,
+        }
+    }
+}
+
 /// One simulation run.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -168,6 +193,10 @@ pub struct ExperimentConfig {
     pub raw_packet_mode: bool,
     /// Hard cap on processed events (safety valve; 0 = unlimited).
     pub max_events: u64,
+    /// Flight-recorder telemetry (off by default). Sweeps can opt in per
+    /// point through [`SweepSpec::configure`](crate::SweepSpec::configure),
+    /// e.g. setting a distinct `trace_path` per grid cell.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl ExperimentConfig {
@@ -195,6 +224,7 @@ impl ExperimentConfig {
             sample_queues: false,
             raw_packet_mode: false,
             max_events: 0,
+            telemetry: None,
         }
     }
 }

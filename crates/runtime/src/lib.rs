@@ -15,6 +15,10 @@
 //!   [`SweepResults`] gives ordered per-cell access and cross-seed
 //!   aggregation via [`RunStats::merge`].
 //! * [`run_many`] — parallel execution of a free-form config list.
+//! * [`run_recorded`] / [`run_probed`] — the same run with the
+//!   `drill-telemetry` flight recorder + queue sampler (or any custom
+//!   [`Probe`](drill_telemetry::Probe)) attached; probes observe but never
+//!   steer, so every metric is bit-identical with telemetry on or off.
 
 #![warn(missing_docs)]
 
@@ -24,8 +28,8 @@ mod stats;
 mod sweep;
 mod world;
 
-pub use config::{ExperimentConfig, SyntheticMode, TopoSpec, WorkloadSpec};
+pub use config::{ExperimentConfig, SyntheticMode, TelemetrySpec, TopoSpec, WorkloadSpec};
 pub use scheme::Scheme;
 pub use stats::{hop_index, hop_name, HopReport, RunStats};
 pub use sweep::{derive_seed, run_many, SweepPoint, SweepResults, SweepSpec};
-pub use world::{random_leaf_spine_failures, run};
+pub use world::{random_leaf_spine_failures, run, run_probed, run_recorded, Telemetry};

@@ -7,6 +7,7 @@ use drill_net::{
 };
 use drill_sim::{EventQueue, SimRng, Time};
 use drill_stats::stdev_of;
+use drill_telemetry::{FlightRecorder, NoopProbe, Probe, QueueSampler};
 use drill_transport::{ShimBuffer, TcpFlow};
 use drill_workload::{aggregate_flow_rate, ArrivalProcess, FlowSpec, TrafficPattern, WorkloadGen};
 
@@ -38,7 +39,7 @@ enum FlowClass {
     Elephant,
 }
 
-struct World {
+struct World<P: Probe> {
     cfg: ExperimentConfig,
     topo: Topology,
     routes: RouteTable,
@@ -69,6 +70,10 @@ struct World {
     spine_down_ports: Vec<Vec<(usize, u16)>>,
     shim_enabled: bool,
     data_delivered: u64,
+    /// Telemetry probe. `NoopProbe` monomorphizes every hook away; a
+    /// recording probe observes but never steers (no access to RNGs, the
+    /// event queue, or packets), so metrics are bit-identical either way.
+    probe: P,
 }
 
 /// Fail the link pair `(a, b)`, trying both orientations, and panic with
@@ -105,15 +110,58 @@ pub fn random_leaf_spine_failures(topo: &Topology, n: usize, seed: u64) -> Vec<(
 }
 
 /// Execute one experiment configuration to completion.
+///
+/// With `cfg.telemetry` unset (the default) this runs the probe-free
+/// build; with a [`TelemetrySpec`](crate::config::TelemetrySpec) attached
+/// it records a flight-recorder trace (see [`run_recorded`]) and discards
+/// the telemetry, returning the — bit-identical — stats either way.
 pub fn run(cfg: &ExperimentConfig) -> RunStats {
-    let mut w = World::build(cfg.clone());
+    if cfg.telemetry.is_some() {
+        run_recorded(cfg).0
+    } else {
+        run_probed(cfg, NoopProbe).0
+    }
+}
+
+/// Execute one experiment with a caller-supplied telemetry probe, returning
+/// the stats together with the probe for inspection. `run_probed(cfg,
+/// NoopProbe)` compiles to exactly the probe-free simulation.
+pub fn run_probed<P: Probe>(cfg: &ExperimentConfig, probe: P) -> (RunStats, P) {
+    let mut w = World::build(cfg.clone(), probe);
     w.prime();
     w.event_loop();
     w.finalize()
 }
 
-impl World {
-    fn build(cfg: ExperimentConfig) -> World {
+/// The telemetry captured by a recorded run.
+pub struct Telemetry {
+    /// Per-(switch, engine) lifecycle-event rings.
+    pub recorder: FlightRecorder,
+    /// Queue-depth time series and high-water marks.
+    pub sampler: QueueSampler,
+}
+
+/// Execute one experiment with the flight recorder and queue sampler
+/// attached (using `cfg.telemetry`, or [`Default`] knobs when unset), and
+/// write the trace file if the spec names a path.
+pub fn run_recorded(cfg: &ExperimentConfig) -> (RunStats, Telemetry) {
+    let spec = cfg.telemetry.clone().unwrap_or_default();
+    let topo = cfg.topo.build();
+    let recorder = FlightRecorder::new(topo.num_switches(), cfg.engines, spec.ring_capacity);
+    let sampler = QueueSampler::new(spec.sample_every);
+    let (stats, (recorder, sampler)) = run_probed(cfg, (recorder, sampler));
+    if let Some(path) = &spec.trace_path {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("telemetry trace {}: {e}", path.display()));
+        let mut w = std::io::BufWriter::new(file);
+        drill_telemetry::write_trace(&recorder, &mut w)
+            .unwrap_or_else(|e| panic!("telemetry trace {}: {e}", path.display()));
+    }
+    (stats, Telemetry { recorder, sampler })
+}
+
+impl<P: Probe> World<P> {
+    fn build(cfg: ExperimentConfig, probe: P) -> World<P> {
         let mut topo = cfg.topo.build();
         // Validate the failure list up front, whether failures apply now
         // or at `fail_at`: a pair that matches no switch-to-switch link is
@@ -251,6 +299,7 @@ impl World {
             spine_down_ports,
             shim_enabled,
             data_delivered: 0,
+            probe,
         }
     }
 
@@ -322,12 +371,19 @@ impl World {
                     now,
                     &mut self.rng_net,
                     &mut self.net_buf,
+                    &mut self.probe,
                 );
                 self.drain_net();
             }
             Event::Net(NetEvent::ArriveHost { host, pkt }) => self.on_host_arrival(host, pkt, now),
             Event::Net(NetEvent::SwitchTxDone { switch, port }) => {
-                self.switches[switch.index()].on_tx_done(&self.topo, port, now, &mut self.net_buf);
+                self.switches[switch.index()].on_tx_done(
+                    &self.topo,
+                    port,
+                    now,
+                    &mut self.net_buf,
+                    &mut self.probe,
+                );
                 self.drain_net();
             }
             Event::Net(NetEvent::HostTxDone { host }) => {
@@ -534,11 +590,14 @@ impl World {
 
     fn host_send(&mut self, host: HostId, mut pkt: Packet, now: Time) {
         self.host_policies[host.index()].on_send(&mut pkt, now, &mut self.rng_net);
-        self.nics[host.index()].send(&self.topo, pkt, now, &mut self.net_buf);
+        self.nics[host.index()].send(&self.topo, pkt, now, &mut self.net_buf, &mut self.probe);
         self.drain_net();
     }
 
     fn on_host_arrival(&mut self, host: HostId, pkt: Packet, now: Time) {
+        if P::ENABLED {
+            self.probe.on_host_recv(now, host.0, &pkt.meta());
+        }
         if self.cfg.raw_packet_mode {
             self.data_delivered += 1;
             return;
@@ -625,7 +684,7 @@ impl World {
         self.lens_scratch = lens;
     }
 
-    fn finalize(mut self) -> RunStats {
+    fn finalize(mut self) -> (RunStats, P) {
         // Per-hop aggregates.
         for (si, sw) in self.switches.iter().enumerate() {
             let id = SwitchId(si as u32);
@@ -682,7 +741,7 @@ impl World {
         }
         self.stats.events = self.queue.events_processed();
         self.stats.sim_end = self.queue.now();
-        self.stats
+        (self.stats, self.probe)
     }
 }
 
@@ -910,6 +969,44 @@ mod tests {
         let stats = run(&cfg);
         assert!(stats.elephant_gbps.count() > 0, "elephants measured");
         assert!(stats.fct_mice_ms.count() > 0, "mice measured");
+    }
+
+    #[test]
+    fn recorded_run_captures_events_with_identical_stats() {
+        let mut cfg = quick_cfg(Scheme::drill_default(), 0.3);
+        cfg.duration = Time::from_millis(2);
+        let base = run(&cfg);
+        let (stats, tel) = run_recorded(&cfg);
+        // The probe observes but never steers: every counter matches the
+        // probe-free run exactly.
+        assert_eq!(base.events, stats.events);
+        assert_eq!(base.flows_started, stats.flows_started);
+        assert_eq!(base.flows_completed, stats.flows_completed);
+        assert_eq!(base.mean_fct_ms().to_bits(), stats.mean_fct_ms().to_bits());
+        assert!(tel.recorder.event_count() > 1000, "recorder saw traffic");
+        assert!(!tel.sampler.ports().is_empty(), "sampler saw queues");
+        assert!(tel.sampler.max_high_water_pkts() > 0);
+    }
+
+    #[test]
+    fn telemetry_config_knob_writes_trace_file() {
+        let path = std::env::temp_dir().join(format!(
+            "drill_world_trace_test_{}.drilltrc",
+            std::process::id()
+        ));
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.2);
+        cfg.duration = Time::from_millis(1);
+        cfg.telemetry = Some(crate::config::TelemetrySpec {
+            trace_path: Some(path.clone()),
+            ..Default::default()
+        });
+        let stats = run(&cfg);
+        assert!(stats.flows_started > 0);
+        let bytes = std::fs::read(&path).expect("trace file written");
+        let trace = drill_telemetry::read_trace(&mut &bytes[..]).expect("trace decodes");
+        assert!(trace.event_count() > 0);
+        assert_eq!(trace.num_switches as usize, cfg.topo.build().num_switches());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -244,6 +244,51 @@ mod tests {
     }
 
     #[test]
+    fn quantile_boundaries_are_exact_order_statistics() {
+        let mut d = dist(&[30.0, 10.0, 20.0]);
+        // p=0 and p=100 are the extreme order statistics, no interpolation
+        // and no out-of-bounds `hi` index at pos = n-1.
+        assert_eq!(d.quantile(0.0), 10.0);
+        assert_eq!(d.quantile(1.0), 30.0);
+        assert_eq!(d.percentile(0.0), 10.0);
+        assert_eq!(d.percentile(100.0), 30.0);
+        // An exact order-statistic position (frac == 0) returns the sample
+        // verbatim, not a float-drifted interpolation.
+        assert_eq!(d.quantile(0.5), 20.0);
+    }
+
+    #[test]
+    fn single_sample_all_queries_agree() {
+        let mut d = dist(&[7.5]);
+        assert_eq!(d.min(), 7.5);
+        assert_eq!(d.max(), 7.5);
+        assert_eq!(d.mean(), 7.5);
+        assert_eq!(d.percentile(0.0), 7.5);
+        assert_eq!(d.percentile(50.0), 7.5);
+        assert_eq!(d.percentile(100.0), 7.5);
+        assert_eq!(d.cdf(5), vec![(7.5, 1.0)]);
+        assert_eq!(d.frac_above(7.5), 0.0);
+        assert_eq!(d.frac_above(7.4), 1.0);
+    }
+
+    #[test]
+    fn empty_min_is_zero() {
+        assert_eq!(Distribution::new().min(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_out_of_range() {
+        dist(&[1.0]).quantile(1.0001);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_nan() {
+        dist(&[1.0]).quantile(f64::NAN);
+    }
+
+    #[test]
     fn tail_percentile_hits_extreme_sample() {
         // Two outliers among 9998 small samples: the interpolated p99.99
         // (position 9998.0001 of 0..=9999) lands on the first outlier.

@@ -1,0 +1,569 @@
+//! Compact binary trace encoding: LEB128 varints, delta-encoded
+//! timestamps, and the versioned trace-file container.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic            8 bytes  b"DRILLTRC"
+//! version          u16 LE   1
+//! num_switches     varint
+//! engines          varint   (forwarding engines per switch)
+//! ring_count       varint
+//! ring*:
+//!   kind           u8       0 = engine ring, 1 = host ring
+//!   switch         varint   (engine rings only)
+//!   engine         varint   (engine rings only)
+//!   overwritten    varint   (events lost to ring wraparound)
+//!   event_count    varint
+//!   event*:
+//!     tag          u8       (see `tags`)
+//!     dt           varint   (ns since the previous event in this ring;
+//!                            the first event's dt is absolute)
+//!     fields       varints  (per-tag; see the encode/decode pairs)
+//! ```
+//!
+//! All multi-byte integers are LEB128 varints, so the common case (small
+//! ports, small queue depths, sub-microsecond deltas) costs 1–2 bytes per
+//! field. Timestamps are delta-encoded per ring: rings are in chronological
+//! order by construction, so deltas stay small.
+
+use std::io::{self, Read, Write};
+
+use drill_sim::Time;
+
+use crate::probe::{DropReason, EngineChoice, PacketMeta};
+use crate::record::{FlightRecorder, RingKind, TraceEvent};
+
+/// File magic.
+pub const TRACE_MAGIC: [u8; 8] = *b"DRILLTRC";
+
+/// Current trace-format version.
+pub const TRACE_VERSION: u16 = 1;
+
+mod tags {
+    pub const HOST_SEND: u8 = 1;
+    pub const HOST_RECV: u8 = 2;
+    pub const ENGINE_CHOICE: u8 = 3;
+    pub const ENQUEUE: u8 = 4;
+    pub const DEQUEUE: u8 = 5;
+    pub const DROP: u8 = 6;
+    pub const NIC_DROP: u8 = 7;
+}
+
+/// Append `v` as a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// A slice decoder with a running position.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated trace")
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read one raw byte.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or_else(truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self) -> io::Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(invalid("varint overflows u64"));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn varint_u32(&mut self) -> io::Result<u32> {
+        u32::try_from(self.varint()?).map_err(|_| invalid("field exceeds u32"))
+    }
+
+    fn varint_u16(&mut self) -> io::Result<u16> {
+        u16::try_from(self.varint()?).map_err(|_| invalid("field exceeds u16"))
+    }
+}
+
+fn put_meta(buf: &mut Vec<u8>, m: &PacketMeta) {
+    put_varint(buf, m.id);
+    put_varint(buf, m.flow as u64);
+    put_varint(buf, m.src as u64);
+    put_varint(buf, m.dst as u64);
+    put_varint(buf, m.size as u64);
+    put_varint(buf, m.seq);
+    put_varint(buf, m.emit_idx as u64);
+    buf.push(m.flags);
+}
+
+fn get_meta(d: &mut Decoder<'_>) -> io::Result<PacketMeta> {
+    Ok(PacketMeta {
+        id: d.varint()?,
+        flow: d.varint_u32()?,
+        src: d.varint_u32()?,
+        dst: d.varint_u32()?,
+        size: d.varint_u32()?,
+        seq: d.varint()?,
+        emit_idx: d.varint_u32()?,
+        flags: d.u8()?,
+    })
+}
+
+/// Encode one event (tag + dt + fields) onto `buf`. `prev` is the previous
+/// event's timestamp in the same ring (delta base).
+pub fn put_event(buf: &mut Vec<u8>, prev: Time, ev: &TraceEvent) {
+    let t = ev.time();
+    debug_assert!(t >= prev, "ring events must be chronological");
+    let dt = (t - prev).as_nanos();
+    match ev {
+        TraceEvent::HostSend { host, pkt, .. } => {
+            buf.push(tags::HOST_SEND);
+            put_varint(buf, dt);
+            put_varint(buf, *host as u64);
+            put_meta(buf, pkt);
+        }
+        TraceEvent::HostRecv { host, pkt, .. } => {
+            buf.push(tags::HOST_RECV);
+            put_varint(buf, dt);
+            put_varint(buf, *host as u64);
+            put_meta(buf, pkt);
+        }
+        TraceEvent::EngineChoice {
+            switch,
+            engine,
+            choice,
+            ..
+        } => {
+            buf.push(tags::ENGINE_CHOICE);
+            put_varint(buf, dt);
+            put_varint(buf, *switch as u64);
+            put_varint(buf, *engine as u64);
+            put_varint(buf, choice.chosen as u64);
+            put_varint(buf, choice.chosen_pkts as u64);
+            put_varint(buf, choice.best as u64);
+            put_varint(buf, choice.best_pkts as u64);
+            put_varint(buf, choice.candidates as u64);
+        }
+        TraceEvent::Enqueue {
+            switch,
+            port,
+            engine,
+            pkt_id,
+            size,
+            depth_pkts,
+            depth_bytes,
+            ..
+        } => {
+            buf.push(tags::ENQUEUE);
+            put_varint(buf, dt);
+            put_varint(buf, *switch as u64);
+            put_varint(buf, *port as u64);
+            put_varint(buf, *engine as u64);
+            put_varint(buf, *pkt_id);
+            put_varint(buf, *size as u64);
+            put_varint(buf, *depth_pkts as u64);
+            put_varint(buf, *depth_bytes);
+        }
+        TraceEvent::Dequeue {
+            switch,
+            port,
+            pkt_id,
+            depth_pkts,
+            wait_ns,
+            ..
+        } => {
+            buf.push(tags::DEQUEUE);
+            put_varint(buf, dt);
+            put_varint(buf, *switch as u64);
+            put_varint(buf, *port as u64);
+            put_varint(buf, *pkt_id);
+            put_varint(buf, *depth_pkts as u64);
+            put_varint(buf, *wait_ns);
+        }
+        TraceEvent::Drop {
+            switch,
+            port,
+            engine,
+            pkt_id,
+            reason,
+            ..
+        } => {
+            buf.push(tags::DROP);
+            put_varint(buf, dt);
+            put_varint(buf, *switch as u64);
+            put_varint(buf, *port as u64);
+            put_varint(buf, *engine as u64);
+            put_varint(buf, *pkt_id);
+            buf.push(reason.code());
+        }
+        TraceEvent::NicDrop { host, pkt_id, .. } => {
+            buf.push(tags::NIC_DROP);
+            put_varint(buf, dt);
+            put_varint(buf, *host as u64);
+            put_varint(buf, *pkt_id);
+        }
+    }
+}
+
+/// Decode one event. `prev` is the previous event's timestamp in the ring.
+pub fn get_event(d: &mut Decoder<'_>, prev: Time) -> io::Result<TraceEvent> {
+    let tag = d.u8()?;
+    let t = prev + Time::from_nanos(d.varint()?);
+    Ok(match tag {
+        tags::HOST_SEND => TraceEvent::HostSend {
+            t,
+            host: d.varint_u32()?,
+            pkt: get_meta(d)?,
+        },
+        tags::HOST_RECV => TraceEvent::HostRecv {
+            t,
+            host: d.varint_u32()?,
+            pkt: get_meta(d)?,
+        },
+        tags::ENGINE_CHOICE => TraceEvent::EngineChoice {
+            t,
+            switch: d.varint_u32()?,
+            engine: d.varint_u16()?,
+            choice: EngineChoice {
+                chosen: d.varint_u16()?,
+                chosen_pkts: d.varint_u32()?,
+                best: d.varint_u16()?,
+                best_pkts: d.varint_u32()?,
+                candidates: d.varint_u16()?,
+            },
+        },
+        tags::ENQUEUE => TraceEvent::Enqueue {
+            t,
+            switch: d.varint_u32()?,
+            port: d.varint_u16()?,
+            engine: d.varint_u16()?,
+            pkt_id: d.varint()?,
+            size: d.varint_u32()?,
+            depth_pkts: d.varint_u32()?,
+            depth_bytes: d.varint()?,
+        },
+        tags::DEQUEUE => TraceEvent::Dequeue {
+            t,
+            switch: d.varint_u32()?,
+            port: d.varint_u16()?,
+            pkt_id: d.varint()?,
+            depth_pkts: d.varint_u32()?,
+            wait_ns: d.varint()?,
+        },
+        tags::DROP => TraceEvent::Drop {
+            t,
+            switch: d.varint_u32()?,
+            port: d.varint_u16()?,
+            engine: d.varint_u16()?,
+            pkt_id: d.varint()?,
+            reason: DropReason::from_code(d.u8()?).ok_or_else(|| invalid("unknown drop reason"))?,
+        },
+        tags::NIC_DROP => TraceEvent::NicDrop {
+            t,
+            host: d.varint_u32()?,
+            pkt_id: d.varint()?,
+        },
+        _ => return Err(invalid("unknown event tag")),
+    })
+}
+
+/// A fully decoded trace file.
+#[derive(Debug)]
+pub struct Trace {
+    /// Switch count of the recorded topology.
+    pub num_switches: u32,
+    /// Forwarding engines per switch.
+    pub engines: u16,
+    /// The rings, in file order (engine rings switch-major, host ring last).
+    pub rings: Vec<TraceRing>,
+}
+
+/// One decoded ring.
+#[derive(Debug)]
+pub struct TraceRing {
+    /// What this ring recorded.
+    pub kind: RingKind,
+    /// Events lost to ring wraparound (the ring keeps the newest).
+    pub overwritten: u64,
+    /// Surviving events, chronological.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// All events of every ring, merged and sorted by time (stable across
+    /// rings in file order for equal timestamps).
+    pub fn merged_events(&self) -> Vec<&TraceEvent> {
+        let mut all: Vec<&TraceEvent> = self.rings.iter().flat_map(|r| r.events.iter()).collect();
+        all.sort_by_key(|e| e.time());
+        all
+    }
+
+    /// Total surviving events.
+    pub fn event_count(&self) -> usize {
+        self.rings.iter().map(|r| r.events.len()).sum()
+    }
+
+    /// Total events lost to ring wraparound.
+    pub fn overwritten(&self) -> u64 {
+        self.rings.iter().map(|r| r.overwritten).sum()
+    }
+}
+
+/// Serialize a recorder's rings as a version-1 trace file.
+pub fn write_trace<W: Write>(rec: &FlightRecorder, w: &mut W) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&TRACE_MAGIC);
+    buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    put_varint(&mut buf, rec.num_switches() as u64);
+    put_varint(&mut buf, rec.engines() as u64);
+    put_varint(&mut buf, rec.ring_count() as u64);
+    for idx in 0..rec.ring_count() {
+        let (kind, ring) = rec.ring_at(idx);
+        match kind {
+            RingKind::Engine { switch, engine } => {
+                buf.push(0);
+                put_varint(&mut buf, switch as u64);
+                put_varint(&mut buf, engine as u64);
+            }
+            RingKind::Host => buf.push(1),
+        }
+        put_varint(&mut buf, ring.overwritten());
+        put_varint(&mut buf, ring.len() as u64);
+        let mut prev = Time::ZERO;
+        for ev in ring.iter() {
+            put_event(&mut buf, prev, ev);
+            prev = ev.time();
+        }
+    }
+    w.write_all(&buf)
+}
+
+/// Read and decode a version-1 trace file.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    let mut d = Decoder::new(&buf);
+    let mut magic = [0u8; 8];
+    for b in &mut magic {
+        *b = d.u8()?;
+    }
+    if magic != TRACE_MAGIC {
+        return Err(invalid("not a DRILL trace (bad magic)"));
+    }
+    let version = u16::from_le_bytes([d.u8()?, d.u8()?]);
+    if version != TRACE_VERSION {
+        return Err(invalid("unsupported trace version"));
+    }
+    let num_switches = d.varint_u32()?;
+    let engines = d.varint_u16()?;
+    let ring_count = d.varint()? as usize;
+    let mut rings = Vec::with_capacity(ring_count);
+    for _ in 0..ring_count {
+        let kind = match d.u8()? {
+            0 => RingKind::Engine {
+                switch: d.varint_u32()?,
+                engine: d.varint_u16()?,
+            },
+            1 => RingKind::Host,
+            _ => return Err(invalid("unknown ring kind")),
+        };
+        let overwritten = d.varint()?;
+        let count = d.varint()? as usize;
+        let mut events = Vec::with_capacity(count.min(1 << 20));
+        let mut prev = Time::ZERO;
+        for _ in 0..count {
+            let ev = get_event(&mut d, prev)?;
+            prev = ev.time();
+            events.push(ev);
+        }
+        rings.push(TraceRing {
+            kind,
+            overwritten,
+            events,
+        });
+    }
+    if d.remaining() != 0 {
+        return Err(invalid("trailing bytes after trace"));
+    }
+    Ok(Trace {
+        num_switches,
+        engines,
+        rings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut d = Decoder::new(&buf);
+            assert_eq!(d.varint().unwrap(), v);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_is_compact() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 1_000);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut d = Decoder::new(&[0x80]);
+        assert!(d.varint().is_err());
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        // 11 continuation bytes exceed u64's 10-byte maximum.
+        let bytes = [0xff; 11];
+        let mut d = Decoder::new(&bytes);
+        assert!(d.varint().is_err());
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let meta = PacketMeta {
+            id: 42,
+            flow: 7,
+            src: 1,
+            dst: 2,
+            size: 1500,
+            seq: 1442,
+            emit_idx: 3,
+            flags: 0b101,
+        };
+        let events = vec![
+            TraceEvent::HostSend {
+                t: Time::from_nanos(10),
+                host: 1,
+                pkt: meta,
+            },
+            TraceEvent::EngineChoice {
+                t: Time::from_nanos(20),
+                switch: 3,
+                engine: 1,
+                choice: EngineChoice {
+                    chosen: 2,
+                    chosen_pkts: 5,
+                    best: 0,
+                    best_pkts: 4,
+                    candidates: 4,
+                },
+            },
+            TraceEvent::Enqueue {
+                t: Time::from_nanos(20),
+                switch: 3,
+                port: 2,
+                engine: 1,
+                pkt_id: 42,
+                size: 1500,
+                depth_pkts: 6,
+                depth_bytes: 9000,
+            },
+            TraceEvent::Dequeue {
+                t: Time::from_nanos(1220),
+                switch: 3,
+                port: 2,
+                pkt_id: 42,
+                depth_pkts: 5,
+                wait_ns: 1200,
+            },
+            TraceEvent::Drop {
+                t: Time::from_nanos(1300),
+                switch: 3,
+                port: 2,
+                engine: 0,
+                pkt_id: 43,
+                reason: DropReason::TailDrop,
+            },
+            TraceEvent::HostRecv {
+                t: Time::from_nanos(2000),
+                host: 2,
+                pkt: meta,
+            },
+            TraceEvent::NicDrop {
+                t: Time::from_nanos(2100),
+                host: 1,
+                pkt_id: 44,
+            },
+        ];
+        let mut buf = Vec::new();
+        let mut prev = Time::ZERO;
+        for ev in &events {
+            put_event(&mut buf, prev, ev);
+            prev = ev.time();
+        }
+        let mut d = Decoder::new(&buf);
+        let mut prev = Time::ZERO;
+        for ev in &events {
+            let got = get_event(&mut d, prev).unwrap();
+            assert_eq!(&got, ev);
+            prev = got.time();
+        }
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let mut d = Decoder::new(&[99, 0]);
+        assert!(get_event(&mut d, Time::ZERO).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Zero-overhead flight recorder and queue time-series telemetry for the
+//! DRILL reproduction.
+//!
+//! The simulator's end-of-run aggregates (`drill-stats`) cannot show the
+//! paper's *micro*-scale behaviours: the per-engine queue imbalance of
+//! Fig. 2, the decision quality of engines acting on lagged queue state
+//! (§3.2.1), or the reordering degree behind §5. This crate adds that
+//! visibility without taxing the hot path:
+//!
+//! * [`Probe`] — static-dispatch observation hooks on the packet lifecycle
+//!   (host send/recv, engine choice, enqueue/dequeue, drops). Hook sites
+//!   in `drill-net`/`drill-runtime` are generic over `P: Probe` and gate
+//!   probe-only work on [`Probe::ENABLED`], so the [`NoopProbe`] path
+//!   monomorphizes to exactly the pre-telemetry code.
+//! * [`FlightRecorder`] — captures events into bounded per-engine
+//!   [`EventRing`]s (newest kept, overwrites counted).
+//! * [`QueueSampler`] — per-port queue-depth time series at a configurable
+//!   cadence plus high-water marks, derived purely from hook data.
+//! * [`write_trace`]/[`read_trace`] — the versioned `DRILLTRC` binary
+//!   container (LEB128 varints, per-ring delta timestamps).
+//! * [`analyze`] — offline analyzers turning a [`Trace`] into queue-depth
+//!   timelines, per-packet trips, reordering histograms, and engine
+//!   decision-quality summaries (the `tracedump` tables).
+//!
+//! # Determinism contract
+//!
+//! Probes observe and never steer: no hook can reach the simulation RNG,
+//! the event queue, or packet contents, so every `RunStats` metric is
+//! bit-identical with telemetry on or off (enforced by the golden suite).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+mod encode;
+mod probe;
+mod record;
+mod sampler;
+
+pub use encode::{
+    get_event, put_event, put_varint, read_trace, write_trace, Decoder, Trace, TraceRing,
+    TRACE_MAGIC, TRACE_VERSION,
+};
+pub use probe::{meta_flags, DropReason, EngineChoice, NoopProbe, PacketMeta, Probe};
+pub use record::{EventRing, FlightRecorder, RingKind, TraceEvent, DEFAULT_RING_CAPACITY};
+pub use sampler::{PortSeries, QueueSampler, DEFAULT_SAMPLE_EVERY};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drill_sim::Time;
+
+    /// End to end: record through the probe API, serialize, decode, and
+    /// get the same events back.
+    #[test]
+    fn recorder_round_trips_through_the_trace_file() {
+        let mut rec = FlightRecorder::new(2, 2, 8);
+        let m = PacketMeta {
+            id: 3,
+            flow: 1,
+            src: 0,
+            dst: 5,
+            size: 1500,
+            seq: 1442,
+            emit_idx: 2,
+            flags: meta_flags::DATA,
+        };
+        rec.on_host_send(Time::from_nanos(100), 0, &m);
+        rec.on_engine_choice(
+            Time::from_nanos(700),
+            1,
+            1,
+            &EngineChoice {
+                chosen: 2,
+                chosen_pkts: 1,
+                best: 2,
+                best_pkts: 1,
+                candidates: 2,
+            },
+        );
+        rec.on_enqueue(Time::from_nanos(700), 1, 2, 1, &m, 1, 1500);
+        rec.on_dequeue(Time::from_nanos(1900), 1, 2, 3, 0, 1200);
+        rec.on_drop(Time::from_nanos(2000), 0, 1, 0, &m, DropReason::TailDrop);
+        rec.on_nic_drop(Time::from_nanos(2100), 4, &m);
+        rec.on_host_recv(Time::from_nanos(2400), 5, &m);
+
+        let mut bytes = Vec::new();
+        write_trace(&rec, &mut bytes).unwrap();
+        assert_eq!(&bytes[..8], &TRACE_MAGIC);
+        let trace = read_trace(&mut bytes.as_slice()).unwrap();
+        assert_eq!(trace.num_switches, 2);
+        assert_eq!(trace.engines, 2);
+        assert_eq!(trace.rings.len(), 5);
+        assert_eq!(trace.event_count(), 7);
+        assert_eq!(trace.overwritten(), 0);
+
+        let merged = trace.merged_events();
+        assert_eq!(merged.len(), 7);
+        assert!(
+            merged.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "merged events are chronological"
+        );
+        match merged[0] {
+            TraceEvent::HostSend { t, host, pkt } => {
+                assert_eq!(*t, Time::from_nanos(100));
+                assert_eq!(*host, 0);
+                assert_eq!(pkt, &m);
+            }
+            other => panic!("unexpected first event {other:?}"),
+        }
+    }
+
+    /// The disabled probe must stay a zero-sized type — that is what lets
+    /// monomorphized hook sites erase it entirely.
+    #[test]
+    fn noop_probe_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoopProbe>(), 0);
+        assert!(!NoopProbe::ENABLED);
+    }
+}

@@ -1,0 +1,365 @@
+//! The probe trait: static-dispatch observation hooks on the packet path.
+//!
+//! Every hook site in `drill-net` / `drill-runtime` is generic over
+//! `P: Probe` and monomorphized, so the disabled path ([`NoopProbe`])
+//! compiles to *nothing*: the empty `#[inline]` bodies vanish, and any
+//! work needed only to feed a hook (building a [`PacketMeta`], scanning
+//! candidate queues for the true shortest) is gated on the associated
+//! constant [`Probe::ENABLED`], which the optimizer const-folds away.
+//! `qbench --e2e-telemetry` measures the residue: noop-probe runs are
+//! within noise of the pre-probe baseline.
+//!
+//! Probes observe; they must never steer. None of the hooks can touch the
+//! simulation RNG, schedule events, or mutate packets, which is what makes
+//! the determinism contract (bit-identical metrics with telemetry on or
+//! off) hold by construction.
+
+use drill_sim::Time;
+
+/// The packet fields probes may record (a plain-data mirror of the
+/// interesting part of `drill_net::Packet`, kept here so the telemetry
+/// crate can sit below `drill-net` in the dependency order).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Globally unique packet id.
+    pub id: u64,
+    /// Flow id.
+    pub flow: u32,
+    /// Sending host.
+    pub src: u32,
+    /// Destination host.
+    pub dst: u32,
+    /// Bytes on the wire.
+    pub size: u32,
+    /// First payload byte's sequence number.
+    pub seq: u64,
+    /// Sender-side emission index within the flow (reordering analysis).
+    pub emit_idx: u32,
+    /// Packet flag bits (`drill_net::flags` encoding: DATA/ACK/FIN/RETX).
+    pub flags: u8,
+}
+
+/// Mirror of `drill_net::flags` for interpreting [`PacketMeta::flags`]
+/// (this crate sits below `drill-net`, so it cannot import the originals;
+/// a test on the net side asserts the two stay equal).
+pub mod meta_flags {
+    /// Carries payload bytes.
+    pub const DATA: u8 = 1 << 0;
+    /// Carries a cumulative acknowledgement.
+    pub const ACK: u8 = 1 << 1;
+    /// Final segment of the flow.
+    pub const FIN: u8 = 1 << 2;
+    /// Retransmission.
+    pub const RETX: u8 = 1 << 3;
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Output-queue tail drop.
+    TailDrop,
+    /// Egress link was (or went) down.
+    LinkDown,
+    /// No route to the destination leaf.
+    NoRoute,
+    /// Host NIC transmit-buffer overflow.
+    NicOverflow,
+}
+
+impl DropReason {
+    /// Stable wire encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            DropReason::TailDrop => 0,
+            DropReason::LinkDown => 1,
+            DropReason::NoRoute => 2,
+            DropReason::NicOverflow => 3,
+        }
+    }
+
+    /// Inverse of [`DropReason::code`].
+    pub fn from_code(c: u8) -> Option<DropReason> {
+        Some(match c {
+            0 => DropReason::TailDrop,
+            1 => DropReason::LinkDown,
+            2 => DropReason::NoRoute,
+            3 => DropReason::NicOverflow,
+            _ => return None,
+        })
+    }
+
+    /// Human name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::TailDrop => "tail-drop",
+            DropReason::LinkDown => "link-down",
+            DropReason::NoRoute => "no-route",
+            DropReason::NicOverflow => "nic-overflow",
+        }
+    }
+}
+
+/// A forwarding engine's port choice, with the ground truth it could not
+/// see (§3.2.1 queue-visibility lag): the *actual* occupancy of the chosen
+/// port and of the truly shortest candidate at selection time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineChoice {
+    /// Port the policy chose.
+    pub chosen: u16,
+    /// Actual occupancy (packets) of the chosen port.
+    pub chosen_pkts: u32,
+    /// Truly shortest candidate port (first among ties).
+    pub best: u16,
+    /// Actual occupancy (packets) of the shortest candidate.
+    pub best_pkts: u32,
+    /// Number of candidate ports the policy chose among.
+    pub candidates: u16,
+}
+
+/// Observation hooks on the packet lifecycle.
+///
+/// All methods default to no-ops so probes implement only what they need.
+/// Call sites gate hook-only work on [`Probe::ENABLED`]:
+///
+/// ```
+/// use drill_telemetry::{NoopProbe, Probe};
+/// fn hot_path<P: Probe>(probe: &mut P) {
+///     if P::ENABLED {
+///         // expensive: scan queues, build metadata ...
+///     }
+/// }
+/// hot_path(&mut NoopProbe);
+/// ```
+#[allow(unused_variables)]
+pub trait Probe {
+    /// Whether this probe records anything. Hook sites skip probe-only
+    /// work (metadata assembly, ground-truth queue scans) when `false`;
+    /// the constant is monomorphized, so the check costs nothing.
+    const ENABLED: bool = true;
+
+    /// A packet was accepted by the sending host's NIC.
+    #[inline]
+    fn on_host_send(&mut self, now: Time, host: u32, pkt: &PacketMeta) {}
+
+    /// A packet was delivered to the receiving host.
+    #[inline]
+    fn on_host_recv(&mut self, now: Time, host: u32, pkt: &PacketMeta) {}
+
+    /// A forwarding engine picked an egress port among several candidates.
+    #[inline]
+    fn on_engine_choice(&mut self, now: Time, switch: u32, engine: u16, choice: &EngineChoice) {}
+
+    /// A packet was appended to a switch output queue. `depth_pkts` /
+    /// `depth_bytes` are the *actual* occupancy after the append
+    /// (waiting + in flight, ignoring the visibility lag).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        engine: u16,
+        pkt: &PacketMeta,
+        depth_pkts: u32,
+        depth_bytes: u64,
+    ) {
+    }
+
+    /// A packet finished serializing and left a switch output port.
+    /// `depth_pkts` is the occupancy after departure; `wait_ns` the
+    /// packet's full sojourn (enqueue to end of serialization).
+    #[inline]
+    fn on_dequeue(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        pkt_id: u64,
+        depth_pkts: u32,
+        wait_ns: u64,
+    ) {
+    }
+
+    /// A packet was dropped at a switch (`port == u16::MAX` when no egress
+    /// port was ever chosen, i.e. [`DropReason::NoRoute`]).
+    #[inline]
+    fn on_drop(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        engine: u16,
+        pkt: &PacketMeta,
+        reason: DropReason,
+    ) {
+    }
+
+    /// A packet was dropped at a host NIC (buffer overflow).
+    #[inline]
+    fn on_nic_drop(&mut self, now: Time, host: u32, pkt: &PacketMeta) {}
+}
+
+/// The disabled probe: every hook is an empty `#[inline]` body and
+/// [`Probe::ENABLED`] is `false`, so monomorphized call sites compile to
+/// exactly the pre-telemetry code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+}
+
+/// Probe composition: `(A, B)` fans every event out to both probes.
+/// Compose further by nesting: `((a, b), c)`.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn on_host_send(&mut self, now: Time, host: u32, pkt: &PacketMeta) {
+        self.0.on_host_send(now, host, pkt);
+        self.1.on_host_send(now, host, pkt);
+    }
+
+    #[inline]
+    fn on_host_recv(&mut self, now: Time, host: u32, pkt: &PacketMeta) {
+        self.0.on_host_recv(now, host, pkt);
+        self.1.on_host_recv(now, host, pkt);
+    }
+
+    #[inline]
+    fn on_engine_choice(&mut self, now: Time, switch: u32, engine: u16, choice: &EngineChoice) {
+        self.0.on_engine_choice(now, switch, engine, choice);
+        self.1.on_engine_choice(now, switch, engine, choice);
+    }
+
+    #[inline]
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        engine: u16,
+        pkt: &PacketMeta,
+        depth_pkts: u32,
+        depth_bytes: u64,
+    ) {
+        self.0
+            .on_enqueue(now, switch, port, engine, pkt, depth_pkts, depth_bytes);
+        self.1
+            .on_enqueue(now, switch, port, engine, pkt, depth_pkts, depth_bytes);
+    }
+
+    #[inline]
+    fn on_dequeue(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        pkt_id: u64,
+        depth_pkts: u32,
+        wait_ns: u64,
+    ) {
+        self.0
+            .on_dequeue(now, switch, port, pkt_id, depth_pkts, wait_ns);
+        self.1
+            .on_dequeue(now, switch, port, pkt_id, depth_pkts, wait_ns);
+    }
+
+    #[inline]
+    fn on_drop(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        engine: u16,
+        pkt: &PacketMeta,
+        reason: DropReason,
+    ) {
+        self.0.on_drop(now, switch, port, engine, pkt, reason);
+        self.1.on_drop(now, switch, port, engine, pkt, reason);
+    }
+
+    #[inline]
+    fn on_nic_drop(&mut self, now: Time, host: u32, pkt: &PacketMeta) {
+        self.0.on_nic_drop(now, host, pkt);
+        self.1.on_nic_drop(now, host, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A probe that counts every hook invocation.
+    #[derive(Default)]
+    pub(crate) struct CountingProbe {
+        pub calls: u64,
+    }
+
+    impl Probe for CountingProbe {
+        fn on_host_send(&mut self, _: Time, _: u32, _: &PacketMeta) {
+            self.calls += 1;
+        }
+        fn on_host_recv(&mut self, _: Time, _: u32, _: &PacketMeta) {
+            self.calls += 1;
+        }
+        fn on_engine_choice(&mut self, _: Time, _: u32, _: u16, _: &EngineChoice) {
+            self.calls += 1;
+        }
+        fn on_enqueue(&mut self, _: Time, _: u32, _: u16, _: u16, _: &PacketMeta, _: u32, _: u64) {
+            self.calls += 1;
+        }
+        fn on_dequeue(&mut self, _: Time, _: u32, _: u16, _: u64, _: u32, _: u64) {
+            self.calls += 1;
+        }
+        fn on_drop(&mut self, _: Time, _: u32, _: u16, _: u16, _: &PacketMeta, _: DropReason) {
+            self.calls += 1;
+        }
+        fn on_nic_drop(&mut self, _: Time, _: u32, _: &PacketMeta) {
+            self.calls += 1;
+        }
+    }
+
+    fn fire_all<P: Probe>(p: &mut P) {
+        let m = PacketMeta::default();
+        p.on_host_send(Time::ZERO, 0, &m);
+        p.on_host_recv(Time::ZERO, 0, &m);
+        p.on_engine_choice(Time::ZERO, 0, 0, &EngineChoice::default());
+        p.on_enqueue(Time::ZERO, 0, 0, 0, &m, 1, 100);
+        p.on_dequeue(Time::ZERO, 0, 0, 1, 0, 10);
+        p.on_drop(Time::ZERO, 0, 0, 0, &m, DropReason::TailDrop);
+        p.on_nic_drop(Time::ZERO, 0, &m);
+    }
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        assert!(!NoopProbe::ENABLED);
+        fire_all(&mut NoopProbe); // must compile and do nothing
+    }
+
+    #[test]
+    fn tuple_fans_out_and_ors_enabled() {
+        let mut pair = (CountingProbe::default(), CountingProbe::default());
+        fire_all(&mut pair);
+        assert_eq!(pair.0.calls, 7);
+        assert_eq!(pair.1.calls, 7);
+        assert!(<(CountingProbe, CountingProbe)>::ENABLED);
+        assert!(<(NoopProbe, CountingProbe)>::ENABLED);
+        assert!(!<(NoopProbe, NoopProbe)>::ENABLED);
+    }
+
+    #[test]
+    fn drop_reason_codes_round_trip() {
+        for r in [
+            DropReason::TailDrop,
+            DropReason::LinkDown,
+            DropReason::NoRoute,
+            DropReason::NicOverflow,
+        ] {
+            assert_eq!(DropReason::from_code(r.code()), Some(r));
+            assert!(!r.name().is_empty());
+        }
+        assert_eq!(DropReason::from_code(250), None);
+    }
+}

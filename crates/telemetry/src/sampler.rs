@@ -1,0 +1,161 @@
+//! Queue-depth time series at a configurable cadence, derived purely from
+//! enqueue/dequeue events.
+//!
+//! The sampler never schedules simulation events — it buckets the depths
+//! the hooks already report — so enabling it cannot perturb the run.
+//! Each (switch, port) series keeps the last depth observed per bucket
+//! (the queue state at the bucket's end) plus all-time high-water marks.
+
+use std::collections::BTreeMap;
+
+use drill_sim::Time;
+
+use crate::probe::{PacketMeta, Probe};
+
+/// Default sampling cadence, matching the paper's 10 µs queue sampling.
+pub const DEFAULT_SAMPLE_EVERY: Time = Time::from_micros(10);
+
+/// One port's depth series and high-water marks.
+#[derive(Clone, Debug, Default)]
+pub struct PortSeries {
+    /// `(bucket index, depth in packets at the bucket's end)` — buckets
+    /// with no queue activity are omitted (depth unchanged since the
+    /// previous listed bucket).
+    pub samples: Vec<(u64, u32)>,
+    /// Largest packet depth ever observed.
+    pub high_water_pkts: u32,
+    /// Largest byte depth ever observed (enqueue instants).
+    pub high_water_bytes: u64,
+}
+
+impl PortSeries {
+    fn record(&mut self, bucket: u64, depth: u32) {
+        match self.samples.last_mut() {
+            Some((b, d)) if *b == bucket => *d = depth,
+            _ => self.samples.push((bucket, depth)),
+        }
+        self.high_water_pkts = self.high_water_pkts.max(depth);
+    }
+}
+
+/// A [`Probe`] recording per-port queue-depth time series.
+pub struct QueueSampler {
+    every_ns: u64,
+    ports: BTreeMap<(u32, u16), PortSeries>,
+}
+
+impl QueueSampler {
+    /// A sampler bucketing time at `every` (floored to >= 1 ns).
+    pub fn new(every: Time) -> QueueSampler {
+        QueueSampler {
+            every_ns: every.as_nanos().max(1),
+            ports: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling cadence in nanoseconds.
+    pub fn every_ns(&self) -> u64 {
+        self.every_ns
+    }
+
+    /// The recorded series, keyed by (switch, port), in key order.
+    pub fn ports(&self) -> &BTreeMap<(u32, u16), PortSeries> {
+        &self.ports
+    }
+
+    /// The highest packet depth seen on any port.
+    pub fn max_high_water_pkts(&self) -> u32 {
+        self.ports
+            .values()
+            .map(|s| s.high_water_pkts)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[inline]
+    fn bucket(&self, now: Time) -> u64 {
+        now.as_nanos() / self.every_ns
+    }
+}
+
+impl Default for QueueSampler {
+    fn default() -> Self {
+        QueueSampler::new(DEFAULT_SAMPLE_EVERY)
+    }
+}
+
+impl Probe for QueueSampler {
+    #[inline]
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        _engine: u16,
+        _pkt: &PacketMeta,
+        depth_pkts: u32,
+        depth_bytes: u64,
+    ) {
+        let bucket = self.bucket(now);
+        let s = self.ports.entry((switch, port)).or_default();
+        s.record(bucket, depth_pkts);
+        s.high_water_bytes = s.high_water_bytes.max(depth_bytes);
+    }
+
+    #[inline]
+    fn on_dequeue(
+        &mut self,
+        now: Time,
+        switch: u32,
+        port: u16,
+        _pkt_id: u64,
+        depth_pkts: u32,
+        _wait_ns: u64,
+    ) {
+        let bucket = self.bucket(now);
+        self.ports
+            .entry((switch, port))
+            .or_default()
+            .record(bucket, depth_pkts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_depth_per_bucket_wins() {
+        let mut s = QueueSampler::new(Time::from_nanos(100));
+        let m = PacketMeta::default();
+        s.on_enqueue(Time::from_nanos(10), 0, 1, 0, &m, 1, 1500);
+        s.on_enqueue(Time::from_nanos(20), 0, 1, 0, &m, 2, 3000);
+        s.on_enqueue(Time::from_nanos(150), 0, 1, 0, &m, 3, 4500);
+        s.on_dequeue(Time::from_nanos(180), 0, 1, 7, 2, 30);
+        let series = &s.ports()[&(0, 1)];
+        assert_eq!(series.samples, vec![(0, 2), (1, 2)]);
+        assert_eq!(series.high_water_pkts, 3);
+        assert_eq!(series.high_water_bytes, 4500);
+        assert_eq!(s.max_high_water_pkts(), 3);
+    }
+
+    #[test]
+    fn ports_are_tracked_independently() {
+        let mut s = QueueSampler::default();
+        let m = PacketMeta::default();
+        s.on_enqueue(Time::from_micros(5), 0, 0, 0, &m, 4, 6000);
+        s.on_enqueue(Time::from_micros(5), 1, 0, 0, &m, 9, 13_500);
+        assert_eq!(s.ports().len(), 2);
+        assert_eq!(s.ports()[&(0, 0)].high_water_pkts, 4);
+        assert_eq!(s.ports()[&(1, 0)].high_water_pkts, 9);
+        assert_eq!(s.every_ns(), 10_000);
+    }
+
+    #[test]
+    fn dequeue_only_port_still_gets_a_series() {
+        let mut s = QueueSampler::new(Time::from_nanos(50));
+        s.on_dequeue(Time::from_nanos(60), 2, 3, 1, 0, 10);
+        assert_eq!(s.ports()[&(2, 3)].samples, vec![(1, 0)]);
+        assert_eq!(s.ports()[&(2, 3)].high_water_bytes, 0);
+    }
+}

@@ -680,6 +680,62 @@ mod tests {
     }
 
     #[test]
+    fn reorder_events_count_emit_inversions_excluding_retx() {
+        let mut f = flow_iw10(1_000_000);
+        let mut ids = 0;
+        let mut sent = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut sent);
+        assert!(sent.len() >= 4);
+        let now = Time::from_micros(100);
+        let mut acks = Vec::new();
+        // Delivery order 0, 2, 1, 3: exactly one inversion (1 after 2).
+        f.on_data(&sent[0], now, &mut ids, &mut acks);
+        f.on_data(&sent[2], now, &mut ids, &mut acks);
+        f.on_data(&sent[1], now, &mut ids, &mut acks);
+        f.on_data(&sent[3], now, &mut ids, &mut acks);
+        assert_eq!(f.reorder_events, 1, "one emit-index inversion");
+        // A retransmitted copy of an old segment necessarily carries a
+        // stale emit index; Karn-style, it must not count as reordering.
+        let mut old = sent[1].clone();
+        old.flags |= flags::RETX;
+        f.on_data(&old, now, &mut ids, &mut acks);
+        assert_eq!(f.reorder_events, 1, "retx excluded from reorder count");
+        // ACK trail: segment 2 repeated the edge once, the retx duplicate
+        // re-ACKed it once more.
+        assert_eq!(f.dup_acks_sent, 2);
+    }
+
+    #[test]
+    fn ooo_buffer_merges_and_flushes_contiguously() {
+        let mut f = flow_iw10(1_000_000);
+        let mut ids = 0;
+        let mut sent = Vec::new();
+        f.start_sending(Time::ZERO, &mut ids, &mut sent);
+        assert!(sent.len() >= 4);
+        let now = Time::from_micros(100);
+        let mut acks = Vec::new();
+        // Buffer segments 2 and 3 behind the missing 0: edge stays put.
+        f.on_data(&sent[2], now, &mut ids, &mut acks);
+        f.on_data(&sent[3], now, &mut ids, &mut acks);
+        assert_eq!(f.bytes_received(), 0);
+        // An exact duplicate of a buffered segment neither regresses the
+        // stored range nor advances the edge.
+        f.on_data(&sent[2], now, &mut ids, &mut acks);
+        assert_eq!(f.bytes_received(), 0);
+        // Segment 0 advances only to the gap before 1.
+        f.on_data(&sent[0], now, &mut ids, &mut acks);
+        assert_eq!(f.bytes_received(), sent[0].seq_end());
+        // Segment 1 closes the gap: the contiguous-consume loop drains the
+        // whole buffer in one step.
+        f.on_data(&sent[1], now, &mut ids, &mut acks);
+        assert_eq!(f.bytes_received(), sent[3].seq_end());
+        // Every ACK emitted while the edge was pinned was a duplicate.
+        assert_eq!(f.dup_acks_sent, 2);
+        // Each cumulative ACK carries the current edge.
+        assert_eq!(acks.last().unwrap().ack, sent[3].seq_end());
+    }
+
+    #[test]
     fn recovery_exits_on_full_ack() {
         let mut f = flow_iw10(1_000_000);
         let mut ids = 0;

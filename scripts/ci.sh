@@ -21,6 +21,12 @@ DRILL_THREADS=8 cargo test -q
 echo "== cargo test -q (--features heap-queue) =="
 cargo test -q --features heap-queue
 
+echo "== golden suite with flight recorder attached (DRILL_TELEMETRY=1) =="
+# The telemetry determinism contract: every golden constant must hold
+# unchanged with the recorder riding along, on both queue builds.
+DRILL_TELEMETRY=1 cargo test -q --test determinism_golden
+DRILL_TELEMETRY=1 cargo test -q --test determinism_golden --features heap-queue
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

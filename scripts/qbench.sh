@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Event-queue perf harness: in-process micro A/B (wheel vs heap) plus an
-# end-to-end fig2-style wall-clock A/B across the two queue builds.
+# Event-queue perf harness: in-process micro A/B (wheel vs heap), an
+# end-to-end fig2-style wall-clock A/B across the two queue builds, and a
+# telemetry-overhead A/B (NoopProbe build vs flight-recorder attached).
 # Writes results/qbench.json. Offline-safe: no external deps.
 #
 # Both queue builds are compiled up front and their binaries copied aside,
-# then the e2e runs alternate wheel/heap so background-load drift on the
-# host hits both sides evenly instead of biasing whichever ran last.
+# then the e2e runs alternate wheel/heap (and noop/telemetry) so
+# background-load drift on the host hits both sides evenly instead of
+# biasing whichever ran last.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,13 @@ cp target/release/qbench "$tmp/qbench-wheel"
 echo "== micro: hold + churn, wheel vs heap in-process =="
 "$tmp/qbench-wheel" | tee "$tmp/micro.json"
 
+# Keep the previous e2e result (if any) as the cross-PR reference before
+# this run overwrites results/qbench.json.
+baseline="null"
+if [ -f results/qbench.json ]; then
+  baseline=$(python3 -c 'import json; d = json.load(open("results/qbench.json")); print(json.dumps(d.get("e2e_fig2", {}).get("wheel", {}).get("wall_secs")))')
+fi
+
 echo "== e2e, interleaved wheel/heap x $E2E_RUNS each =="
 : > "$tmp/e2e-wheel.jsonl"
 : > "$tmp/e2e-heap.jsonl"
@@ -34,10 +43,19 @@ for i in $(seq "$E2E_RUNS"); do
   "$tmp/qbench-heap" --e2e | tee -a "$tmp/e2e-heap.jsonl"
 done
 
-python3 - "$tmp" <<'EOF'
+echo "== e2e telemetry overhead, interleaved noop/recording x $E2E_RUNS each =="
+: > "$tmp/e2e-noop.jsonl"
+: > "$tmp/e2e-telemetry.jsonl"
+for i in $(seq "$E2E_RUNS"); do
+  "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-noop.jsonl"
+  "$tmp/qbench-wheel" --e2e-telemetry | tee -a "$tmp/e2e-telemetry.jsonl"
+done
+
+python3 - "$tmp" "$baseline" <<'EOF'
 import json, sys
 
 tmp = sys.argv[1]
+baseline = json.loads(sys.argv[2])
 doc = json.load(open(f"{tmp}/micro.json"))
 
 def median_run(path):
@@ -55,7 +73,25 @@ doc["e2e_fig2"] = {
     "heap": heap,
     "wall_clock_improvement": round(1 - wheel["wall_secs"] / heap["wall_secs"], 3),
 }
+
+noop = median_run(f"{tmp}/e2e-noop.jsonl")
+tel = median_run(f"{tmp}/e2e-telemetry.jsonl")
+# Determinism contract: the flight recorder observes but never steers.
+assert noop["events"] == tel["events"], "telemetry changed the simulation!"
+doc["telemetry_ab"] = {
+    "noop": noop,
+    "recording": tel,
+    # Cost of the always-compiled-in probe seams relative to the last
+    # pre-telemetry run of this script (null on first run; expect this to
+    # sit within run-to-run noise).
+    "noop_vs_previous_baseline_secs": baseline,
+    "recording_overhead": round(tel["wall_secs"] / noop["wall_secs"] - 1, 3),
+}
 json.dump(doc, open("results/qbench.json", "w"), indent=2)
 print("wrote results/qbench.json")
 print(f"e2e wall-clock improvement: {doc['e2e_fig2']['wall_clock_improvement']:.1%}")
+print(f"telemetry recording overhead: {doc['telemetry_ab']['recording_overhead']:.1%}")
+if baseline is not None:
+    drift = noop["wall_secs"] / baseline - 1
+    print(f"noop e2e vs pre-run baseline: {drift:+.1%}")
 EOF

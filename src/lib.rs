@@ -25,6 +25,8 @@
 //!   patterns, incast.
 //! * [`runtime`] — experiment configuration and execution.
 //! * [`hw`] — the hardware area model.
+//! * [`telemetry`] — zero-overhead probes, the flight recorder, queue
+//!   time series, and the `DRILLTRC` trace format (`tracedump` reads it).
 //!
 //! # Example
 //!
@@ -53,5 +55,6 @@ pub use drill_net as net;
 pub use drill_runtime as runtime;
 pub use drill_sim as sim;
 pub use drill_stats as stats;
+pub use drill_telemetry as telemetry;
 pub use drill_transport as transport;
 pub use drill_workload as workload;

@@ -8,10 +8,12 @@
 //! intended, and say so in the commit.
 
 use drill::net::{LeafSpineSpec, DEFAULT_PROP};
-use drill::runtime::{run, ExperimentConfig, RunStats, Scheme, SweepSpec, TopoSpec};
+use drill::runtime::{
+    run, run_recorded, ExperimentConfig, RunStats, Scheme, SweepSpec, TelemetrySpec, TopoSpec,
+};
 use drill::sim::Time;
 
-fn golden_run(scheme: Scheme) -> RunStats {
+fn golden_cfg(scheme: Scheme) -> ExperimentConfig {
     let topo = TopoSpec::LeafSpine(LeafSpineSpec {
         spines: 4,
         leaves: 4,
@@ -25,7 +27,53 @@ fn golden_run(scheme: Scheme) -> RunStats {
     cfg.duration = Time::from_millis(3);
     cfg.drain = Time::from_millis(50);
     cfg.warmup = Time::from_micros(100);
-    run(&cfg)
+    // CI runs the golden suite twice: plain, and with DRILL_TELEMETRY=1 to
+    // prove the flight recorder leaves every golden constant untouched.
+    if std::env::var("DRILL_TELEMETRY").as_deref() == Ok("1") {
+        cfg.telemetry = Some(TelemetrySpec::default());
+    }
+    cfg
+}
+
+fn golden_run(scheme: Scheme) -> RunStats {
+    run(&golden_cfg(scheme))
+}
+
+/// Every metric a figure reads, floats by bit pattern (`to_bits`): any
+/// behavioural difference between two runs of the same config shows here.
+fn full_fingerprint(st: &mut RunStats) -> Vec<u64> {
+    let mut fp = vec![
+        st.flows_started,
+        st.flows_completed,
+        st.events,
+        st.gro_batches,
+        st.data_pkts_delivered,
+        st.retransmissions,
+        st.timeouts,
+        st.blackholed,
+        st.nic_drops,
+        st.sim_end.as_nanos(),
+        st.fct_ms.count() as u64,
+        st.fct_incast_ms.count() as u64,
+        st.fct_mice_ms.count() as u64,
+        st.elephant_gbps.count() as u64,
+        st.dupacks.total(),
+        st.reorders.total(),
+        st.queue_stdv.count(),
+        st.queue_stdv.mean().to_bits(),
+        st.mean_fct_ms().to_bits(),
+        st.fct_ms.quantile(0.5).to_bits(),
+        st.fct_ms.quantile(0.99).to_bits(),
+        st.fct_ms.quantile(0.9999).to_bits(),
+        st.dupacks.frac(0).to_bits(),
+        st.reorders.frac(0).to_bits(),
+        st.elephant_gbps.mean().to_bits(),
+    ];
+    fp.extend_from_slice(&st.hops.wait_ns);
+    fp.extend_from_slice(&st.hops.wait_samples);
+    fp.extend_from_slice(&st.hops.drops);
+    fp.extend_from_slice(&st.hops.tx);
+    fp
 }
 
 fn assert_golden(scheme: Scheme, events: u64, flows_started: u64, flows_completed: u64) {
@@ -51,6 +99,32 @@ fn drill_2_1_replays_golden_trace() {
 #[test]
 fn random_replays_golden_trace() {
     assert_golden(Scheme::Random, 1_294_326, 1060, 1060);
+}
+
+/// The telemetry determinism contract: a run with the flight recorder +
+/// queue sampler attached must match the probe-free build on *every*
+/// metric, bit for bit — the probes observe the simulation but carry no
+/// way to steer it (no RNG, event-queue or packet access).
+#[test]
+fn telemetry_probe_is_invisible_to_every_metric() {
+    for scheme in [Scheme::Ecmp, Scheme::drill_default()] {
+        let mut cfg = golden_cfg(scheme);
+        cfg.telemetry = None;
+        let mut plain = run(&cfg);
+        cfg.telemetry = Some(TelemetrySpec::default());
+        let (mut recorded, tel) = run_recorded(&cfg);
+        assert!(
+            tel.recorder.event_count() > 10_000,
+            "{}: recorder actually saw the run",
+            scheme.name()
+        );
+        assert_eq!(
+            full_fingerprint(&mut plain),
+            full_fingerprint(&mut recorded),
+            "{}: telemetry perturbed the simulation",
+            scheme.name()
+        );
+    }
 }
 
 /// The executor's determinism contract, tested differentially: the same
