@@ -1,0 +1,284 @@
+//! chaosbench: graceful degradation under chaos schedules.
+//!
+//! Sweeps DRILL against ECMP and Presto across link-flap rates: every
+//! scheme runs the *same* deterministic fault schedule (randomized flap
+//! trains over leaf-spine pairs, `FaultSchedule::random_flaps`), so the
+//! comparison isolates how each load balancer degrades while routing is
+//! stale and how it recovers after the staged reconvergence.
+//!
+//! Output:
+//!
+//! * **stdout** — a deterministic per-point table (flat index, scheme,
+//!   flap count, event count, raw IEEE-754 bits of the headline metrics).
+//!   Two runs at different `DRILL_THREADS` must produce byte-identical
+//!   stdout; `scripts/chaosbench.sh` diffs them.
+//! * **stderr** — one JSON line `{"bench": "chaosbench", ...}` for the
+//!   timing harness.
+//! * `--json <path>` — write the full machine-readable result set
+//!   (per-point FCT in/out of fault windows, degradation ratios,
+//!   blackhole counts, reconvergence counts, plus a DRILL-vs-ECMP
+//!   summary) to `path`, e.g. `results/chaosbench.json`.
+//!
+//! "DRILL bounded vs ECMP" compares the worst *absolute* in-window mean
+//! FCT (the paper's Fig 11 axis). The self-relative in-window/clear ratio
+//! is also reported, but boundedness is not judged on it: a scheme with a
+//! worse fault-free baseline gets a flattering ratio for free.
+//!
+//! Flags: `--quick` forces `DRILL_SCALE=quick` sizing; `--json <path>`
+//! as above. `DRILL_SCALE` / `DRILL_SEED` / `DRILL_THREADS` apply as in
+//! the other harness binaries.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use drill_bench::{banner, base_config, seed_from_env, Scale};
+use drill_faults::FaultSchedule;
+use drill_net::{LeafSpineSpec, DEFAULT_PROP};
+use drill_runtime::{random_leaf_spine_failures, run_many, RunStats, Scheme, TopoSpec};
+use drill_sim::Time;
+use drill_stats::f3;
+
+/// Per-switch failure-detection delay for every chaos point: fast-ish
+/// failover (well under the legacy 50 ms OSPF default) so quick runs see
+/// several full degrade-reconverge-recover cycles.
+const DETECTION: Time = Time::from_micros(300);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::from_env()
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args[i + 1].clone());
+    let seed = seed_from_env();
+    banner("chaosbench: FCT degradation under link-flap chaos", scale);
+
+    let n = scale.dim(4, 8, 16);
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: n,
+        leaves: n,
+        hosts_per_leaf: n,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let schemes = [Scheme::Ecmp, Scheme::presto(), Scheme::drill_default()];
+    let flap_axis: Vec<usize> = match scale {
+        Scale::Quick => vec![0, 2, 6],
+        Scale::Default => vec![0, 4, 8, 16],
+        Scale::Full => vec![0, 8, 16, 32, 64],
+    };
+
+    // One schedule per flap rate, shared by every scheme: the comparison
+    // is apples-to-apples on the identical fault sequence.
+    let built = topo.build();
+    let pairs = random_leaf_spine_failures(&built, (n * n / 2).max(2), seed);
+    let mk_sched = |flaps: usize, duration: Time| -> Option<FaultSchedule> {
+        if flaps == 0 {
+            return None;
+        }
+        let mut s = FaultSchedule::new(DETECTION);
+        s.random_flaps(
+            &pairs,
+            seed ^ (flaps as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            flaps,
+            Time::from_micros(500),
+            duration,
+            Time::from_micros(200),
+            Time::from_millis(1),
+        );
+        Some(s)
+    };
+
+    let mut cfgs = Vec::new();
+    for &flaps in &flap_axis {
+        for &scheme in &schemes {
+            let mut cfg = base_config(topo.clone(), scheme, 0.4, scale);
+            cfg.faults = mk_sched(flaps, cfg.duration);
+            cfgs.push(cfg);
+        }
+    }
+
+    let start = Instant::now();
+    let stats = run_many(&cfgs);
+    let wall = start.elapsed().as_secs_f64();
+
+    println!("# chaosbench point table (bit-exact; independent of DRILL_THREADS)");
+    println!("# idx scheme flaps faults reconv blackholed window_ns events fct_mean_bits fault_fct_bits clear_fct_bits ratio_bits completion_bits");
+    let mut total_events = 0u64;
+    for (i, st) in stats.iter().enumerate() {
+        let flaps = flap_axis[i / schemes.len()];
+        total_events += st.events;
+        println!(
+            "{} {} {} {} {} {} {} {} {:#018x} {:#018x} {:#018x} {:#018x} {:#018x}",
+            i,
+            st.scheme.replace(' ', "_"),
+            flaps,
+            st.fault_events,
+            st.reconvergences,
+            st.fault_blackholed,
+            st.fault_window_ns,
+            st.events,
+            st.mean_fct_ms().to_bits(),
+            st.fct_fault_ms.mean().to_bits(),
+            st.fct_clear_ms.mean().to_bits(),
+            st.fault_fct_ratio().to_bits(),
+            st.completion_rate().to_bits(),
+        );
+    }
+
+    // Human-readable summary. Boundedness is judged on the *absolute*
+    // in-window FCT (the paper's Fig 11 comparison): a self-relative ratio
+    // would reward a scheme for having a worse fault-free baseline.
+    println!();
+    println!("worst fault-window FCT (mean in-window ms; self-relative ratio in parens):");
+    let worst = |name: &str, f: &dyn Fn(&RunStats) -> f64| -> f64 {
+        stats
+            .iter()
+            .filter(|s| s.scheme == name)
+            .map(f)
+            .fold(0.0, f64::max)
+    };
+    let fault_fct = |s: &RunStats| s.fct_fault_ms.mean();
+    let ratio = |s: &RunStats| s.fault_fct_ratio();
+    let (ecmp_w, presto_w, drill_w) = (
+        worst("ECMP", &fault_fct),
+        worst("Presto", &fault_fct),
+        worst("DRILL(2,1)", &fault_fct),
+    );
+    println!(
+        "  ECMP       {} (x{})",
+        f3(ecmp_w),
+        f3(worst("ECMP", &ratio))
+    );
+    println!(
+        "  Presto     {} (x{})",
+        f3(presto_w),
+        f3(worst("Presto", &ratio))
+    );
+    println!(
+        "  DRILL(2,1) {} (x{})",
+        f3(drill_w),
+        f3(worst("DRILL(2,1)", &ratio))
+    );
+    println!(
+        "  DRILL bounded vs ECMP: {}",
+        if drill_w <= ecmp_w { "yes" } else { "no" }
+    );
+
+    if let Some(path) = json_path {
+        let json = render_json(seed, scale, &flap_axis, &schemes, &stats, wall);
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        // stderr, not stdout: the point table must stay byte-identical
+        // across runs whose --json paths differ (scripts/chaosbench.sh).
+        eprintln!("wrote {path}");
+    }
+
+    eprintln!(
+        "{{\"bench\": \"chaosbench\", \"points\": {}, \"events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}}}",
+        stats.len(),
+        total_events,
+        wall,
+        total_events as f64 / wall
+    );
+}
+
+fn render_json(
+    seed: u64,
+    scale: Scale,
+    flap_axis: &[usize],
+    schemes: &[Scheme],
+    stats: &[RunStats],
+    wall: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"chaosbench\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(
+        out,
+        "  \"detection_delay_us\": {},",
+        DETECTION.as_nanos() / 1000
+    );
+    let _ = writeln!(out, "  \"wall_secs\": {wall:.3},");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, st) in stats.iter().enumerate() {
+        let flaps = flap_axis[i / schemes.len()];
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"scheme\": \"{}\",", st.scheme);
+        let _ = writeln!(out, "      \"flaps\": {flaps},");
+        let _ = writeln!(out, "      \"fault_events\": {},", st.fault_events);
+        let _ = writeln!(out, "      \"reconvergences\": {},", st.reconvergences);
+        let _ = writeln!(out, "      \"fault_blackholed\": {},", st.fault_blackholed);
+        let _ = writeln!(
+            out,
+            "      \"fault_window_ms\": {:.6},",
+            st.fault_window_ns as f64 / 1e6
+        );
+        let _ = writeln!(out, "      \"fct_mean_ms\": {:.6},", st.mean_fct_ms());
+        let _ = writeln!(
+            out,
+            "      \"fct_fault_mean_ms\": {:.6},",
+            st.fct_fault_ms.mean()
+        );
+        let _ = writeln!(
+            out,
+            "      \"fct_clear_mean_ms\": {:.6},",
+            st.fct_clear_ms.mean()
+        );
+        let _ = writeln!(
+            out,
+            "      \"fault_fct_ratio\": {:.6},",
+            st.fault_fct_ratio()
+        );
+        let _ = writeln!(out, "      \"flows_started\": {},", st.flows_started);
+        let _ = writeln!(out, "      \"completion\": {:.6}", st.completion_rate());
+        let _ = writeln!(out, "    }}{}", if i + 1 == stats.len() { "" } else { "," });
+    }
+    let _ = writeln!(out, "  ],");
+    let worst = |name: &str, f: &dyn Fn(&RunStats) -> f64| -> f64 {
+        stats
+            .iter()
+            .filter(|s| s.scheme == name)
+            .map(f)
+            .fold(0.0, f64::max)
+    };
+    let fault_fct = |s: &RunStats| s.fct_fault_ms.mean();
+    let ratio = |s: &RunStats| s.fault_fct_ratio();
+    let (ecmp_w, drill_w) = (worst("ECMP", &fault_fct), worst("DRILL(2,1)", &fault_fct));
+    let _ = writeln!(out, "  \"summary\": {{");
+    let _ = writeln!(out, "    \"ecmp_worst_fault_fct_ms\": {ecmp_w:.6},");
+    let _ = writeln!(
+        out,
+        "    \"presto_worst_fault_fct_ms\": {:.6},",
+        worst("Presto", &fault_fct)
+    );
+    let _ = writeln!(out, "    \"drill_worst_fault_fct_ms\": {drill_w:.6},");
+    let _ = writeln!(
+        out,
+        "    \"ecmp_worst_ratio\": {:.6},",
+        worst("ECMP", &ratio)
+    );
+    let _ = writeln!(
+        out,
+        "    \"presto_worst_ratio\": {:.6},",
+        worst("Presto", &ratio)
+    );
+    let _ = writeln!(
+        out,
+        "    \"drill_worst_ratio\": {:.6},",
+        worst("DRILL(2,1)", &ratio)
+    );
+    let _ = writeln!(out, "    \"drill_bounded_vs_ecmp\": {}", drill_w <= ecmp_w);
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}

@@ -21,9 +21,10 @@ use drill_runtime::{run_recorded, Scheme, TelemetrySpec, TopoSpec};
 use drill_sim::Time;
 use drill_stats::{f3, Table};
 use drill_telemetry::analyze::{
-    decision_quality, depth_stdev_timeline, packet_trips, queue_timelines, reordering,
+    decision_quality, depth_stdev_timeline, fault_timeline, packet_trips, queue_timelines,
+    reordering,
 };
-use drill_telemetry::{read_trace, write_trace, RingKind, Trace, TraceEvent};
+use drill_telemetry::{fault_kind, read_trace, write_trace, RingKind, Trace, TraceEvent};
 
 /// Sampling bucket for the reconstructed queue timelines (Fig. 2 samples
 /// every 10 µs).
@@ -60,6 +61,17 @@ fn recorded_trace() -> Trace {
     cfg.workload.burst_sigma = 2.0;
     cfg.engines = 2;
     cfg.telemetry = Some(TelemetrySpec::default());
+    // A short chaos flap mid-run so the fault timeline below has content:
+    // one leaf-spine pair dies at 0.5 ms and recovers at 1.5 ms.
+    let pair = drill_runtime::random_leaf_spine_failures(&cfg.topo.build(), 1, seed_from_env())[0];
+    let mut sched = drill_faults::FaultSchedule::new(Time::from_micros(200));
+    sched.link_flap(
+        pair.0,
+        pair.1,
+        Time::from_micros(500),
+        Time::from_micros(1500),
+    );
+    cfg.faults = Some(sched);
     println!(
         "recording: {n}x{n}x{n} leaf-spine, DRILL(2,1), 2 engines, 80% load, seed {}",
         seed_from_env()
@@ -91,12 +103,14 @@ fn header(trace: &Trace) {
     // Per-engine event volume across all switches.
     let mut per_engine: BTreeMap<u16, usize> = BTreeMap::new();
     let mut host_events = 0usize;
+    let mut control_events = 0usize;
     for ring in &trace.rings {
         match ring.kind {
             RingKind::Engine { engine, .. } => {
                 *per_engine.entry(engine).or_default() += ring.events.len()
             }
             RingKind::Host => host_events += ring.events.len(),
+            RingKind::Control => control_events += ring.events.len(),
         }
     }
     let mut t = Table::new(vec!["ring".to_string(), "events".to_string()]);
@@ -104,6 +118,42 @@ fn header(trace: &Trace) {
         t.row(vec![format!("engine {e}"), n.to_string()]);
     }
     t.row(vec!["host".into(), host_events.to_string()]);
+    t.row(vec!["control".into(), control_events.to_string()]);
+    println!("{}", t.render());
+}
+
+/// The chaos-engine fault timeline: every fault application, coalesced
+/// reconvergence and return-to-stability the control ring captured.
+fn fault_report(trace: &Trace) {
+    let tl = fault_timeline(trace);
+    if tl.is_empty() {
+        println!("no fault events in trace\n");
+        return;
+    }
+    println!("fault timeline ({} control events):", tl.len());
+    let mut t = Table::new(vec![
+        "t [us]".to_string(),
+        "event".to_string(),
+        "a".to_string(),
+        "b".to_string(),
+        "param".to_string(),
+    ]);
+    for e in &tl {
+        let cell = |v: u32| {
+            if v == u32::MAX {
+                "-".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        t.row(vec![
+            (e.t_ns / 1000).to_string(),
+            fault_kind::name(e.kind).to_string(),
+            cell(e.a),
+            cell(e.b),
+            e.param.to_string(),
+        ]);
+    }
     println!("{}", t.render());
 }
 
@@ -316,6 +366,7 @@ fn main() {
         }
     };
     header(&trace);
+    fault_report(&trace);
     fig2_timeline(&trace);
     trip_summary(&trace);
     reorder_report(&trace);

@@ -146,6 +146,15 @@ pub struct Switch {
     pub blackholed: u64,
     /// Packets forwarded (enqueued somewhere).
     pub forwarded: u64,
+    /// Per-egress link liveness, mirrored from the topology by
+    /// [`Switch::sync_link_state`]. A real switch prunes a dead local
+    /// member (loss of carrier, LAG member down) at line speed — only
+    /// *multi-hop* routing knowledge waits for the detection delay — so
+    /// forwarding skips dead local ports immediately even while the
+    /// installed routes are stale.
+    live_egress: Vec<bool>,
+    /// Fast-path guard: true iff any entry of `live_egress` is false.
+    any_dead: bool,
 }
 
 impl Switch {
@@ -166,7 +175,30 @@ impl Switch {
             pending: vec![0; engines * num_ports],
             blackholed: 0,
             forwarded: 0,
+            live_egress: vec![true; num_ports],
+            any_dead: false,
         }
+    }
+
+    /// Mirror the topology's per-egress link state into the local pruning
+    /// table. Call after any link/switch state change in `topo` (the switch
+    /// itself never polls): the world invokes this on every switch after
+    /// build-time failures, after each fault strikes, and after control-plane
+    /// rebuilds that replace switch objects.
+    pub fn sync_link_state(&mut self, topo: &Topology) {
+        self.any_dead = false;
+        for port in 0..self.ports.len() {
+            let up = topo.egress(self.id, port as u16).up;
+            self.live_egress[port] = up;
+            self.any_dead |= !up;
+        }
+    }
+
+    /// Is `port`'s egress link believed up? Constant-false-free fast path:
+    /// with no dead links the check is a single bool.
+    #[inline]
+    fn is_live(&self, port: u16) -> bool {
+        !self.any_dead || self.live_egress[port as usize]
     }
 
     /// This switch's id.
@@ -288,7 +320,11 @@ impl Switch {
             return None;
         }
         if candidates.len() == 1 {
-            return Some(candidates[0]);
+            return if self.is_live(candidates[0]) {
+                Some(candidates[0])
+            } else {
+                None
+            };
         }
         let groups = routes.groups(self.id, dst_leaf);
         let subset: &[u16] = if groups.is_empty() {
@@ -296,6 +332,25 @@ impl Switch {
         } else {
             &weighted_group_pick(groups, pkt.flow_hash).ports
         };
+        // Prune locally-dead members from the stale route set. Routes are
+        // computed on a live topology, so the filter only ever fires during
+        // a fault window (`any_dead`); the no-fault hot path allocates
+        // nothing. An all-dead subset blackholes at the caller.
+        let live_buf: Vec<u16>;
+        let subset: &[u16] =
+            if self.any_dead && subset.iter().any(|&p| !self.live_egress[p as usize]) {
+                live_buf = subset
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.live_egress[p as usize])
+                    .collect();
+                if live_buf.is_empty() {
+                    return None;
+                }
+                &live_buf
+            } else {
+                subset
+            };
         if subset.len() == 1 {
             return Some(subset[0]);
         }
@@ -476,11 +531,17 @@ impl Switch {
 
     /// Serialization of the in-flight packet finished: hand it to the wire
     /// and start the next one.
+    ///
+    /// `rng` feeds the lossy-link model: on links with `loss_ppm > 0` each
+    /// departing packet is dropped with that probability. The draw happens
+    /// *only* on lossy links, so lossless runs consume no randomness here.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_tx_done<P: Probe>(
         &mut self,
         topo: &Topology,
         port: u16,
         now: Time,
+        rng: &mut SimRng,
         out: &mut EventSink,
         probe: &mut P,
     ) {
@@ -502,7 +563,23 @@ impl Switch {
             let depth = p.pkts();
             probe.on_dequeue(now, self.id.0, port, pkt.id, depth, (now - enq).as_nanos());
         }
-        if link.up {
+        let lost_on_wire =
+            link.up && link.loss_ppm > 0 && rng.below(1_000_000) < link.loss_ppm as usize;
+        if lost_on_wire {
+            // Corrupted on a lossy wire: it left the queue but never arrives.
+            p.stats.drops += 1;
+            p.stats.drop_bytes += pkt.size as u64;
+            if P::ENABLED {
+                probe.on_drop(
+                    now,
+                    self.id.0,
+                    port,
+                    u16::MAX,
+                    &pkt.meta(),
+                    DropReason::LinkLoss,
+                );
+            }
+        } else if link.up {
             let arrive = now + link.prop;
             match link.dst {
                 NodeRef::Switch(s) => {
@@ -689,7 +766,7 @@ mod tests {
             sw.on_enqueue_commit(port, bytes, engine);
         }
         out.clear();
-        sw.on_tx_done(&topo, 0, tx_at, &mut out, &mut NoopProbe);
+        sw.on_tx_done(&topo, 0, tx_at, &mut rng, &mut out, &mut NoopProbe);
         let (arrive_t, ev) = &out[0];
         assert_eq!(*arrive_t, tx_at + DEFAULT_PROP);
         assert!(matches!(ev, NetEvent::ArriveSwitch { .. }));
@@ -882,6 +959,70 @@ mod tests {
     }
 
     #[test]
+    fn dead_local_egress_is_pruned_at_line_speed() {
+        // Routes stay stale (computed pre-failure): the switch's local
+        // link-state table alone must steer traffic off the dead uplink.
+        let (mut topo, routes, mut sw) = setup();
+        let l0 = topo.leaves()[0];
+        topo.fail_switch_link(l0, SwitchId(2), 0);
+        sw.sync_link_state(&topo);
+        let mut rng = SimRng::seed_from(1);
+        let mut out = Vec::new();
+        let host_ingress = topo.host_uplink(HostId(0)).dst_port;
+        for _ in 0..4 {
+            let p = pkt(HostId(2), 1000);
+            sw.receive(
+                &topo,
+                &routes,
+                p,
+                host_ingress,
+                Time::ZERO,
+                &mut rng,
+                &mut out,
+                &mut NoopProbe,
+            );
+        }
+        // All four took the surviving uplink (port 1 -> spine 3), none died.
+        assert_eq!(sw.blackholed, 0);
+        assert_eq!(sw.queue_pkts(0), 0);
+        assert_eq!(sw.queue_pkts(1), 4);
+
+        // Kill the second uplink too: now the leaf has no live fabric port
+        // and must blackhole (counted, so the fault-window metric sees it).
+        topo.fail_switch_link(l0, SwitchId(3), 0);
+        sw.sync_link_state(&topo);
+        let p = pkt(HostId(2), 1000);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+            &mut NoopProbe,
+        );
+        assert_eq!(sw.blackholed, 1);
+
+        // Restore one uplink: forwarding resumes without a route recompute.
+        topo.restore_switch_link(l0, SwitchId(2), 0);
+        sw.sync_link_state(&topo);
+        let p = pkt(HostId(2), 1000);
+        sw.receive(
+            &topo,
+            &routes,
+            p,
+            host_ingress,
+            Time::ZERO,
+            &mut rng,
+            &mut out,
+            &mut NoopProbe,
+        );
+        assert_eq!(sw.blackholed, 1);
+        assert_eq!(sw.queue_pkts(0), 1);
+    }
+
+    #[test]
     fn fifo_order_preserved_per_port() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
@@ -926,6 +1067,7 @@ mod tests {
                 &topo,
                 0,
                 Time::from_micros(k + 10),
+                &mut rng,
                 &mut out,
                 &mut NoopProbe,
             );
@@ -976,5 +1118,75 @@ mod tests {
         }
         assert_eq!(sw.queue_pkts(0), 0, "zero-weight group unused");
         assert!(sw.queue_pkts(1) > 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_a_fraction_on_the_wire() {
+        let (mut topo, routes, _) = setup();
+        let l0 = topo.leaves()[0];
+        // 50% loss toward spine 2 (port 0).
+        assert!(topo.set_switch_link_loss(l0, SwitchId(2), 0, 500_000));
+        let mut sw = Switch::new(
+            l0,
+            topo.num_ports(l0),
+            SwitchConfig {
+                queue_limit_bytes: 10_000_000,
+                ..Default::default()
+            },
+            Box::new(FirstPort),
+        );
+        let mut rng = SimRng::seed_from(7);
+        let mut out = Vec::new();
+        let host_ingress = topo.host_uplink(HostId(0)).dst_port;
+        let n = 400u64;
+        for i in 0..n {
+            let mut p = pkt(HostId(2), 1000);
+            p.id = i;
+            sw.receive(
+                &topo,
+                &routes,
+                p,
+                host_ingress,
+                Time::ZERO,
+                &mut rng,
+                &mut out,
+                &mut NoopProbe,
+            );
+        }
+        for (port, bytes, engine) in out
+            .iter()
+            .filter_map(|(_, e)| match e {
+                NetEvent::EnqueueCommit {
+                    port,
+                    bytes,
+                    engine,
+                    ..
+                } => Some((*port, *bytes, *engine)),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+        {
+            sw.on_enqueue_commit(port, bytes, engine);
+        }
+        let mut arrived = 0u64;
+        for k in 0..n {
+            out.clear();
+            sw.on_tx_done(
+                &topo,
+                0,
+                Time::from_micros(k + 10),
+                &mut rng,
+                &mut out,
+                &mut NoopProbe,
+            );
+            arrived += out
+                .iter()
+                .filter(|(_, e)| matches!(e, NetEvent::ArriveSwitch { .. }))
+                .count() as u64;
+        }
+        let dropped = sw.port_stats(0).drops;
+        assert_eq!(arrived + dropped, n, "every packet arrives or drops");
+        // With 50% loss the binomial is overwhelmingly inside [100, 300].
+        assert!((100..=300).contains(&dropped), "dropped {dropped} of {n}");
     }
 }

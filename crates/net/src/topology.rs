@@ -47,12 +47,18 @@ pub struct Link {
     pub dst: NodeRef,
     /// Ingress port index at `dst` (0 for hosts).
     pub dst_port: u16,
-    /// Capacity in bits per second.
+    /// Current capacity in bits per second (may be lowered by
+    /// [`Topology::degrade_switch_link`]).
     pub rate_bps: u64,
+    /// Healthy (as-built) capacity in bits per second. Degradation scales
+    /// `rate_bps` down from this value; restoration returns to it.
+    pub nominal_bps: u64,
     /// Propagation delay.
     pub prop: Time,
     /// Whether the link is operational.
     pub up: bool,
+    /// Random packet-loss probability in parts per million (0 = lossless).
+    pub loss_ppm: u32,
     /// Hop classification.
     pub hop: HopClass,
     /// The reverse-direction link.
@@ -199,8 +205,10 @@ impl Topology {
             dst: b,
             dst_port: port_b,
             rate_bps: rate_ab,
+            nominal_bps: rate_ab,
             prop,
             up: true,
+            loss_ppm: 0,
             hop: hop_ab,
             peer: id_ba,
         });
@@ -211,8 +219,10 @@ impl Topology {
             dst: a,
             dst_port: port_a,
             rate_bps: rate_ba,
+            nominal_bps: rate_ba,
             prop,
             up: true,
+            loss_ppm: 0,
             hop: hop_ba,
             peer: id_ab,
         });
@@ -248,6 +258,107 @@ impl Topology {
                     let peer = l.peer;
                     self.links[i].up = false;
                     self.links[peer.index()].up = false;
+                    return true;
+                }
+                seen += 1;
+            }
+        }
+        false
+    }
+
+    /// Reverse [`Topology::fail_switch_link`]: mark both directions of the
+    /// `nth` (0-based) currently-*failed* pair between two switches as up
+    /// again. Restoring a never-failed (or already-restored) pair is a
+    /// clean no-op returning `false`.
+    pub fn restore_switch_link(&mut self, a: SwitchId, b: SwitchId, nth: usize) -> bool {
+        let mut seen = 0;
+        for i in 0..self.links.len() {
+            let l = &self.links[i];
+            if !l.up && l.src == NodeRef::Switch(a) && l.dst == NodeRef::Switch(b) {
+                if seen == nth {
+                    let peer = l.peer;
+                    self.links[i].up = true;
+                    self.links[peer.index()].up = true;
+                    return true;
+                }
+                seen += 1;
+            }
+        }
+        false
+    }
+
+    /// Mark both directions of a link pair as failed, by the id of either
+    /// direction. Returns `false` (no-op) if the pair is already down.
+    pub fn fail_link_pair(&mut self, id: LinkId) -> bool {
+        let peer = self.links[id.index()].peer;
+        if !self.links[id.index()].up {
+            return false;
+        }
+        self.links[id.index()].up = false;
+        self.links[peer.index()].up = false;
+        true
+    }
+
+    /// Mark both directions of a link pair as up, by the id of either
+    /// direction. Returns `false` (no-op) if the pair is already up.
+    pub fn restore_link_pair(&mut self, id: LinkId) -> bool {
+        let peer = self.links[id.index()].peer;
+        if self.links[id.index()].up {
+            return false;
+        }
+        self.links[id.index()].up = true;
+        self.links[peer.index()].up = true;
+        true
+    }
+
+    /// Degrade both directions of the `nth` switch-to-switch pair between
+    /// `a` and `b` (0-based over pairs in either state, matching creation
+    /// order) to `num/den` of each direction's *nominal* capacity. The
+    /// result is clamped to at least 1 bps so transmit times stay finite.
+    /// `num >= den` (with `num/den >= 1`) restores full nominal capacity.
+    /// Returns whether a pair was found.
+    pub fn degrade_switch_link(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        nth: usize,
+        num: u32,
+        den: u32,
+    ) -> bool {
+        assert!(den > 0, "degradation fraction denominator must be positive");
+        let mut seen = 0;
+        for i in 0..self.links.len() {
+            let l = &self.links[i];
+            if l.src == NodeRef::Switch(a) && l.dst == NodeRef::Switch(b) {
+                if seen == nth {
+                    let peer = l.peer.index();
+                    for j in [i, peer] {
+                        let nominal = self.links[j].nominal_bps;
+                        let scaled = (nominal as u128 * num as u128 / den as u128) as u64;
+                        self.links[j].rate_bps = scaled.clamp(1, nominal);
+                    }
+                    return true;
+                }
+                seen += 1;
+            }
+        }
+        false
+    }
+
+    /// Set the random packet-loss probability (parts per million) on both
+    /// directions of the `nth` switch-to-switch pair between `a` and `b`
+    /// (0-based over pairs in either state). `ppm = 0` clears the loss.
+    /// Returns whether a pair was found.
+    pub fn set_switch_link_loss(&mut self, a: SwitchId, b: SwitchId, nth: usize, ppm: u32) -> bool {
+        assert!(ppm <= 1_000_000, "loss probability exceeds 100%");
+        let mut seen = 0;
+        for i in 0..self.links.len() {
+            let l = &self.links[i];
+            if l.src == NodeRef::Switch(a) && l.dst == NodeRef::Switch(b) {
+                if seen == nth {
+                    let peer = l.peer.index();
+                    self.links[i].loss_ppm = ppm;
+                    self.links[peer].loss_ppm = ppm;
                     return true;
                 }
                 seen += 1;
@@ -381,6 +492,9 @@ impl Topology {
             assert_eq!(peer.src, l.dst, "peer reverses endpoints");
             assert_eq!(peer.dst, l.src, "peer reverses endpoints");
             assert_eq!(l.up, peer.up, "both directions share fate");
+            assert_eq!(l.loss_ppm, peer.loss_ppm, "both directions share loss");
+            assert!(l.rate_bps >= 1, "degraded rate stays positive");
+            assert!(l.rate_bps <= l.nominal_bps, "rate never exceeds nominal");
             if let NodeRef::Switch(s) = l.src {
                 assert_eq!(
                     self.switches[s.index()].ports[l.src_port as usize],
@@ -522,6 +636,109 @@ mod tests {
         assert!(t.fail_switch_link(s, l, 1));
         assert_eq!(t.ports_to_switch(l, s), vec![0]);
         assert_eq!(t.ports_to_switch(s, l), vec![0]);
+    }
+
+    #[test]
+    fn restore_switch_link_reverses_failure() {
+        let (mut t, l0, _l1, s0) = tiny();
+        assert!(t.fail_switch_link(l0, s0, 0));
+        assert!(t.ports_to_switch(l0, s0).is_empty());
+        assert!(t.restore_switch_link(l0, s0, 0));
+        t.validate();
+        assert_eq!(t.ports_to_switch(l0, s0), vec![0]);
+        assert_eq!(t.ports_to_switch(s0, l0), vec![0], "both directions back");
+        assert_eq!(t.links().iter().filter(|l| !l.up).count(), 0);
+    }
+
+    #[test]
+    fn restore_never_failed_or_doubly_restored_is_a_no_op() {
+        // Mirrors `fail_switch_link_nth_out_of_range_is_a_no_op`: restoring
+        // a pair that was never failed, or restoring twice, is clean.
+        let (mut t, l0, _l1, s0) = tiny();
+        assert!(!t.restore_switch_link(l0, s0, 0), "nothing is failed yet");
+        assert!(!t.restore_switch_link(l0, s0, 1000));
+        t.validate();
+        assert!(t.fail_switch_link(l0, s0, 0));
+        assert!(t.restore_switch_link(l0, s0, 0));
+        assert!(
+            !t.restore_switch_link(l0, s0, 0),
+            "second restore finds no failed pair"
+        );
+        t.validate();
+        assert_eq!(t.ports_to_switch(l0, s0), vec![0]);
+    }
+
+    #[test]
+    fn restore_parallel_links_nth_indexes_failed_pairs() {
+        let mut t = Topology::new();
+        let l = t.add_switch(SwitchKind::Leaf);
+        let s = t.add_switch(SwitchKind::Spine);
+        for _ in 0..3 {
+            t.connect_switches(l, s, 10_000_000_000, 10_000_000_000, Time::from_nanos(500));
+        }
+        assert!(t.fail_switch_link(l, s, 0));
+        assert!(t.fail_switch_link(l, s, 0));
+        assert!(t.fail_switch_link(l, s, 0));
+        assert!(t.ports_to_switch(l, s).is_empty());
+        // `nth` walks only the *failed* pairs, so nth=0 repeatedly revives
+        // them one at a time in creation order.
+        assert!(t.restore_switch_link(l, s, 0));
+        assert_eq!(t.ports_to_switch(l, s), vec![0]);
+        assert!(t.restore_switch_link(l, s, 1), "nth=1 is the third pair");
+        assert_eq!(t.ports_to_switch(l, s), vec![0, 2]);
+        assert!(t.restore_switch_link(l, s, 0));
+        assert_eq!(t.ports_to_switch(l, s), vec![0, 1, 2]);
+        t.validate();
+    }
+
+    #[test]
+    fn link_pair_fail_restore_by_id_is_idempotent() {
+        let (mut t, l0, _l1, s0) = tiny();
+        let lid = t.egress(l0, t.ports_to_switch(l0, s0)[0]).id;
+        assert!(!t.restore_link_pair(lid), "already up");
+        assert!(t.fail_link_pair(lid));
+        assert!(!t.fail_link_pair(lid), "already down");
+        let peer = t.link(lid).peer;
+        assert!(t.restore_link_pair(peer), "either direction's id works");
+        assert!(!t.restore_link_pair(lid));
+        t.validate();
+    }
+
+    #[test]
+    fn degrade_and_restore_capacity() {
+        let (mut t, l0, _l1, s0) = tiny();
+        let lid = t.egress(l0, 0).id;
+        assert_eq!(t.link(lid).rate_bps, 40_000_000_000);
+        assert!(t.degrade_switch_link(l0, s0, 0, 1, 4));
+        t.validate();
+        assert_eq!(t.link(lid).rate_bps, 10_000_000_000);
+        assert_eq!(t.link(t.link(lid).peer).rate_bps, 10_000_000_000);
+        assert_eq!(t.link(lid).nominal_bps, 40_000_000_000);
+        // Degradation composes from nominal, not from the current rate.
+        assert!(t.degrade_switch_link(l0, s0, 0, 1, 2));
+        assert_eq!(t.link(lid).rate_bps, 20_000_000_000);
+        // num/den >= 1 restores full capacity (clamped to nominal).
+        assert!(t.degrade_switch_link(l0, s0, 0, 1, 1));
+        assert_eq!(t.link(lid).rate_bps, 40_000_000_000);
+        assert!(!t.degrade_switch_link(l0, s0, 7, 1, 2), "no 8th pair");
+        // An extreme fraction clamps to 1 bps rather than 0.
+        assert!(t.degrade_switch_link(l0, s0, 0, 0, 1_000_000));
+        assert_eq!(t.link(lid).rate_bps, 1);
+        t.validate();
+    }
+
+    #[test]
+    fn set_switch_link_loss_covers_both_directions() {
+        let (mut t, l0, _l1, s0) = tiny();
+        let lid = t.egress(l0, 0).id;
+        assert_eq!(t.link(lid).loss_ppm, 0);
+        assert!(t.set_switch_link_loss(l0, s0, 0, 10_000));
+        t.validate();
+        assert_eq!(t.link(lid).loss_ppm, 10_000);
+        assert_eq!(t.link(t.link(lid).peer).loss_ppm, 10_000);
+        assert!(t.set_switch_link_loss(l0, s0, 0, 0), "ppm=0 clears");
+        assert_eq!(t.link(lid).loss_ppm, 0);
+        assert!(!t.set_switch_link_loss(l0, s0, 3, 5), "no 4th pair");
     }
 
     #[test]

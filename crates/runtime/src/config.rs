@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use drill_faults::FaultSchedule;
 use drill_net::{
     fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Topology, Vl2Spec, DEFAULT_PROP,
 };
@@ -182,6 +183,13 @@ pub struct ExperimentConfig {
     pub fail_at: Option<Time>,
     /// Failure-detection + reconvergence delay when `fail_at` is set.
     pub ospf_delay: Time,
+    /// Chaos-engine fault schedule (link flaps, switch outages, capacity
+    /// degradation, lossy links) driven through the run with staged
+    /// detection and coalesced reconvergence (see `drill-faults`).
+    /// Composes with the legacy `failed_links`/`fail_at` one-shot, which
+    /// keeps `ospf_delay` as its detection delay; schedule events use the
+    /// schedule's own `detection_delay`.
+    pub faults: Option<FaultSchedule>,
     /// Install DRILL's symmetric-component decomposition (§3.4) for
     /// schemes that micro load balance. Disable to ablate asymmetry
     /// handling (DRILL then treats all candidates as one group).
@@ -220,6 +228,7 @@ impl ExperimentConfig {
             failed_links: Vec::new(),
             fail_at: None,
             ospf_delay: Time::from_millis(50),
+            faults: None,
             asymmetry_handling: true,
             sample_queues: false,
             raw_packet_mode: false,

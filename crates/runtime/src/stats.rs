@@ -114,6 +114,25 @@ pub struct RunStats {
     pub blackholed: u64,
     /// Packets dropped at host NICs.
     pub nic_drops: u64,
+    /// Chaos-engine faults applied (schedule events + legacy `fail_at`).
+    pub fault_events: u64,
+    /// Routing reconvergence passes executed. Faults whose detection
+    /// windows overlap coalesce into one pass, so this can be lower than
+    /// the number of reconvergence-worthy faults.
+    pub reconvergences: u64,
+    /// Packets blackholed inside fault windows (fault struck,
+    /// reconvergence still pending) — the graceful-degradation loss.
+    pub fault_blackholed: u64,
+    /// Total simulated time spent inside fault windows, ns.
+    pub fault_window_ns: u64,
+    /// FCTs (ms) of measured flows whose lifetime overlapped a fault
+    /// window — the degraded-service population.
+    pub fct_fault_ms: Distribution,
+    /// FCTs (ms) of measured flows untouched by any fault window.
+    pub fct_clear_ms: Distribution,
+    /// When routing last returned to stability after a fault
+    /// (`Time::ZERO` when the run never reconverged).
+    pub stable_at: Time,
     /// Events processed.
     pub events: u64,
     /// Final simulated time.
@@ -141,8 +160,30 @@ impl RunStats {
             timeouts: 0,
             blackholed: 0,
             nic_drops: 0,
+            fault_events: 0,
+            reconvergences: 0,
+            fault_blackholed: 0,
+            fault_window_ns: 0,
+            fct_fault_ms: Distribution::new(),
+            fct_clear_ms: Distribution::new(),
+            stable_at: Time::ZERO,
             events: 0,
             sim_end: Time::ZERO,
+        }
+    }
+
+    /// Mean FCT slowdown of flows that lived through a fault window
+    /// relative to undisturbed flows (1.0 = no degradation; 0.0 when
+    /// either population is empty).
+    pub fn fault_fct_ratio(&self) -> f64 {
+        if self.fct_fault_ms.count() == 0 || self.fct_clear_ms.count() == 0 {
+            return 0.0;
+        }
+        let clear = self.fct_clear_ms.mean();
+        if clear <= 0.0 {
+            0.0
+        } else {
+            self.fct_fault_ms.mean() / clear
         }
     }
 
@@ -195,6 +236,13 @@ impl RunStats {
         self.timeouts += other.timeouts;
         self.blackholed += other.blackholed;
         self.nic_drops += other.nic_drops;
+        self.fault_events += other.fault_events;
+        self.reconvergences += other.reconvergences;
+        self.fault_blackholed += other.fault_blackholed;
+        self.fault_window_ns += other.fault_window_ns;
+        self.fct_fault_ms.merge(&other.fct_fault_ms);
+        self.fct_clear_ms.merge(&other.fct_clear_ms);
+        self.stable_at = self.stable_at.max(other.stable_at);
         self.events += other.events;
         self.sim_end = self.sim_end.max(other.sim_end);
     }
@@ -254,6 +302,10 @@ mod tests {
         a.flows_started = 5;
         a.events = 100;
         a.sim_end = Time::from_millis(3);
+        a.fault_events = 2;
+        a.fault_window_ns = 500;
+        a.fct_fault_ms.add(8.0);
+        a.stable_at = Time::from_millis(2);
         let mut b = RunStats::new("x".into());
         b.fct_ms.add(2.0);
         b.dupacks.add(2);
@@ -263,6 +315,12 @@ mod tests {
         b.flows_started = 2;
         b.events = 50;
         b.sim_end = Time::from_millis(9);
+        b.fault_events = 1;
+        b.reconvergences = 1;
+        b.fault_blackholed = 4;
+        b.fault_window_ns = 250;
+        b.fct_clear_ms.add(2.0);
+        b.stable_at = Time::from_millis(1);
         a.merge(&b);
         assert_eq!(a.fct_ms.count(), 3);
         assert!((a.fct_ms.mean() - 2.0).abs() < 1e-12);
@@ -274,6 +332,24 @@ mod tests {
         assert_eq!(a.flows_started, 7);
         assert_eq!(a.events, 150);
         assert_eq!(a.sim_end, Time::from_millis(9));
+        assert_eq!(a.fault_events, 3);
+        assert_eq!(a.reconvergences, 1);
+        assert_eq!(a.fault_blackholed, 4);
+        assert_eq!(a.fault_window_ns, 750);
+        assert_eq!(a.fct_fault_ms.count(), 1);
+        assert_eq!(a.fct_clear_ms.count(), 1);
+        assert_eq!(a.stable_at, Time::from_millis(2));
+        assert!((a.fault_fct_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_fct_ratio_handles_empty_populations() {
+        let mut s = RunStats::new("x".into());
+        assert_eq!(s.fault_fct_ratio(), 0.0);
+        s.fct_fault_ms.add(5.0);
+        assert_eq!(s.fault_fct_ratio(), 0.0, "no clear flows yet");
+        s.fct_clear_ms.add(2.5);
+        assert!((s.fault_fct_ratio() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The simulation world: event loop tying every substrate together.
 
 use drill_core::install_symmetric_groups;
+use drill_faults::{FaultInjector, FaultKind};
 use drill_net::{
     EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, PacketBufPool, RouteTable,
     Switch, SwitchConfig, SwitchId, Topology,
 };
 use drill_sim::{EventQueue, SimRng, Time};
 use drill_stats::stdev_of;
-use drill_telemetry::{FlightRecorder, NoopProbe, Probe, QueueSampler};
+use drill_telemetry::{fault_kind, FaultInfo, FlightRecorder, NoopProbe, Probe, QueueSampler};
 use drill_transport::{ShimBuffer, TcpFlow};
 use drill_workload::{aggregate_flow_rate, ArrivalProcess, FlowSpec, TrafficPattern, WorkloadGen};
 
@@ -24,11 +25,26 @@ enum Event {
     FlowArrival,
     IncastEpoch,
     MiceTick,
-    TcpTimer { flow: u32, gen: u64 },
-    ShimTimer { flow: u32, gen: u64 },
+    TcpTimer {
+        flow: u32,
+        gen: u64,
+    },
+    ShimTimer {
+        flow: u32,
+        gen: u64,
+    },
     SampleQueues,
-    ApplyFailures,
-    RecomputeRoutes,
+    /// The `idx`-th entry of the run's fault timeline strikes.
+    Fault {
+        idx: u32,
+    },
+    /// A staged reconvergence (routing recompute + symmetric
+    /// re-decomposition) comes due. Stale generations — superseded by a
+    /// later fault whose detection window subsumed this one — are popped
+    /// and ignored, coalescing back-to-back faults into one recompute.
+    Reconverge {
+        gen: u64,
+    },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,6 +86,21 @@ struct World<P: Probe> {
     spine_down_ports: Vec<Vec<(usize, u16)>>,
     shim_enabled: bool,
     data_delivered: u64,
+    /// The run's fault timeline: `(strike time, kind, detection delay)`,
+    /// time-sorted (legacy `failed_links`/`fail_at` entries first on
+    /// ties). Indexed by `Event::Fault`.
+    faults: Vec<(Time, FaultKind, Time)>,
+    injector: FaultInjector,
+    /// Latest scheduled reconvergence generation; only the newest
+    /// generation's `Reconverge` pop actually recomputes.
+    reconv_gen: u64,
+    /// Open fault window: when the oldest still-unreconverged fault
+    /// struck (`None` = routing is stable).
+    window_open_at: Option<Time>,
+    /// Total switch blackhole count when the open window started.
+    blackhole_mark: u64,
+    /// Closed fault windows, for FCT in/out-of-window classification.
+    fault_windows: Vec<(Time, Time)>,
     /// Telemetry probe. `NoopProbe` monomorphizes every hook away; a
     /// recording probe observes but never steers (no access to RNGs, the
     /// event queue, or packets), so metrics are bit-identical either way.
@@ -191,7 +222,7 @@ impl<P: Probe> World<P> {
             queue_limit_bytes: cfg.queue_limit_bytes,
             model_enqueue_commit: cfg.model_commit,
         };
-        let switches: Vec<Switch> = (0..topo.num_switches())
+        let mut switches: Vec<Switch> = (0..topo.num_switches())
             .map(|i| {
                 let id = SwitchId(i as u32);
                 let policy = cfg
@@ -200,6 +231,9 @@ impl<P: Probe> World<P> {
                 Switch::new(id, topo.num_ports(id), sw_cfg.clone(), policy)
             })
             .collect();
+        for sw in switches.iter_mut() {
+            sw.sync_link_state(&topo);
+        }
         let nics: Vec<HostNic> = (0..topo.num_hosts() as u32)
             .map(|h| HostNic::new(HostId(h)))
             .collect();
@@ -270,6 +304,23 @@ impl<P: Probe> World<P> {
         let stats = RunStats::new(cfg.scheme.name());
         let shim_enabled = cfg.scheme.uses_shim();
         let arrivals_end = cfg.duration;
+
+        // Fold the legacy one-shot (`failed_links` at `fail_at`, detected
+        // after `ospf_delay`) and the chaos schedule into one timeline.
+        // The sort is stable, so legacy entries precede schedule entries
+        // striking at the same instant.
+        let mut faults: Vec<(Time, FaultKind, Time)> = Vec::new();
+        if let Some(at) = cfg.fail_at {
+            for &(a, b) in &cfg.failed_links {
+                faults.push((at, FaultKind::LinkDown { a, b }, cfg.ospf_delay));
+            }
+        }
+        if let Some(sched) = &cfg.faults {
+            for e in sched.events() {
+                faults.push((e.at, e.kind, sched.detection_delay));
+            }
+        }
+        faults.sort_by_key(|&(at, _, _)| at);
         World {
             cfg,
             topo,
@@ -299,6 +350,12 @@ impl<P: Probe> World<P> {
             spine_down_ports,
             shim_enabled,
             data_delivered: 0,
+            faults,
+            injector: FaultInjector::new(),
+            reconv_gen: 0,
+            window_open_at: None,
+            blackhole_mark: 0,
+            fault_windows: Vec::new(),
             probe,
         }
     }
@@ -338,8 +395,16 @@ impl<P: Probe> World<P> {
         for &(src, dst, bytes) in &self.cfg.static_flows.clone() {
             self.start_flow(src, dst, bytes, FlowClass::Elephant, Time::ZERO);
         }
-        if let Some(at) = self.cfg.fail_at {
-            self.queue.push(at, Event::ApplyFailures);
+        // Fault events past the run's deadline are filtered here, not at
+        // pop time: the timing wheel counts every pop (including
+        // deadline-discarded ones) in `events_processed`, so enqueueing
+        // them would perturb the event-count golden of an otherwise
+        // identical run — and a fault nobody can observe is a no-op.
+        let deadline = self.cfg.duration + self.cfg.drain;
+        for (idx, &(at, _, _)) in self.faults.iter().enumerate() {
+            if at <= deadline {
+                self.queue.push(at, Event::Fault { idx: idx as u32 });
+            }
         }
     }
 
@@ -381,6 +446,7 @@ impl<P: Probe> World<P> {
                     &self.topo,
                     port,
                     now,
+                    &mut self.rng_net,
                     &mut self.net_buf,
                     &mut self.probe,
                 );
@@ -459,43 +525,123 @@ impl<P: Probe> World<P> {
                     self.queue.push(now + SAMPLE_PERIOD, Event::SampleQueues);
                 }
             }
-            Event::ApplyFailures => {
-                for &(a, b) in &self.cfg.failed_links {
-                    apply_failure(&mut self.topo, a, b);
+            Event::Fault { idx } => {
+                let (_, kind, delay) = self.faults[idx as usize];
+                let info = self.injector.apply(&mut self.topo, kind);
+                // Local reaction at line speed: every switch prunes its own
+                // dead egress members immediately; only the multi-hop
+                // routing state stays stale until reconvergence.
+                self.sync_switch_link_state();
+                if P::ENABLED {
+                    self.probe.on_fault(now, &info);
                 }
-                self.queue
-                    .push(now + self.cfg.ospf_delay, Event::RecomputeRoutes);
+                self.stats.fault_events += 1;
+                if kind.needs_reconvergence() {
+                    // During the detection window packets keep steering
+                    // into the dead/degraded paths (graceful-degradation
+                    // window); open it on the first outstanding fault.
+                    if self.window_open_at.is_none() {
+                        self.window_open_at = Some(now);
+                        self.blackhole_mark = self.total_blackholed();
+                    }
+                    self.reconv_gen += 1;
+                    let due = now + delay;
+                    if due <= self.cfg.duration + self.cfg.drain {
+                        self.queue.push(
+                            due,
+                            Event::Reconverge {
+                                gen: self.reconv_gen,
+                            },
+                        );
+                    }
+                }
             }
-            Event::RecomputeRoutes => {
-                self.routes = RouteTable::compute(&self.topo);
-                if self.cfg.scheme.wants_symmetric_groups() && self.cfg.asymmetry_handling {
-                    install_symmetric_groups(&self.topo, &mut self.routes);
-                }
-                // Controller-driven schemes rebuild their tables too.
-                if matches!(self.cfg.scheme, Scheme::Wcmp) {
-                    for i in 0..self.switches.len() {
-                        let id = SwitchId(i as u32);
-                        let p = self.cfg.scheme.make_switch_policy(
-                            &self.topo,
-                            &self.routes,
-                            id,
-                            self.cfg.engines,
-                        );
-                        self.switches[i] =
-                            rebuild_switch(&self.topo, &self.switches[i], p, &self.cfg);
-                    }
-                }
-                if matches!(self.cfg.scheme, Scheme::Presto { .. }) {
-                    for h in 0..self.host_policies.len() {
-                        self.host_policies[h] = self.cfg.scheme.make_host_policy(
-                            &self.topo,
-                            &self.routes,
-                            HostId(h as u32),
-                        );
-                    }
+            Event::Reconverge { gen } => {
+                if gen == self.reconv_gen {
+                    self.reconverge(now, gen);
                 }
             }
         }
+    }
+
+    /// Install the post-fault routing state atomically: recompute routes,
+    /// re-run the §3.4 symmetric-component decomposition, and let
+    /// controller-driven schemes rebuild their tables. Fires only for the
+    /// newest reconvergence generation, then closes the fault window.
+    fn reconverge(&mut self, now: Time, gen: u64) {
+        // Snapshot before any table rebuild: Wcmp's rebuild replaces the
+        // switch objects, zeroing their counters.
+        let blackholed_now = self.total_blackholed();
+        self.routes = RouteTable::compute(&self.topo);
+        if self.cfg.scheme.wants_symmetric_groups() && self.cfg.asymmetry_handling {
+            install_symmetric_groups(&self.topo, &mut self.routes);
+        }
+        if matches!(self.cfg.scheme, Scheme::Wcmp) {
+            for i in 0..self.switches.len() {
+                let id = SwitchId(i as u32);
+                let p = self.cfg.scheme.make_switch_policy(
+                    &self.topo,
+                    &self.routes,
+                    id,
+                    self.cfg.engines,
+                );
+                self.switches[i] = rebuild_switch(&self.topo, &self.switches[i], p, &self.cfg);
+            }
+            // Rebuilt switch objects start with an all-live pruning table.
+            self.sync_switch_link_state();
+        }
+        if matches!(self.cfg.scheme, Scheme::Presto { .. }) {
+            for h in 0..self.host_policies.len() {
+                self.host_policies[h] =
+                    self.cfg
+                        .scheme
+                        .make_host_policy(&self.topo, &self.routes, HostId(h as u32));
+            }
+        }
+        self.stats.reconvergences += 1;
+        self.stats.stable_at = now;
+        if P::ENABLED {
+            self.probe.on_fault(
+                now,
+                &FaultInfo {
+                    kind: fault_kind::RECONVERGE,
+                    a: u32::MAX,
+                    b: u32::MAX,
+                    param: gen,
+                },
+            );
+        }
+        if let Some(open) = self.window_open_at.take() {
+            let window_ns = (now - open).as_nanos();
+            self.stats.fault_blackholed += blackholed_now.saturating_sub(self.blackhole_mark);
+            self.stats.fault_window_ns += window_ns;
+            self.fault_windows.push((open, now));
+            if P::ENABLED {
+                self.probe.on_fault(
+                    now,
+                    &FaultInfo {
+                        kind: fault_kind::STABLE,
+                        a: u32::MAX,
+                        b: u32::MAX,
+                        param: window_ns,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Mirror the topology's link state into every switch's local pruning
+    /// table (see [`Switch::sync_link_state`]).
+    fn sync_switch_link_state(&mut self) {
+        for sw in self.switches.iter_mut() {
+            sw.sync_link_state(&self.topo);
+        }
+    }
+
+    /// Sum of per-switch blackhole counters (snapshotted at fault-window
+    /// boundaries for the graceful-degradation delta).
+    fn total_blackholed(&self) -> u64 {
+        self.switches.iter().map(|s| s.blackholed).sum()
     }
 
     fn uniform_other_leaf(&mut self, src: u32) -> u32 {
@@ -685,6 +831,18 @@ impl<P: Probe> World<P> {
     }
 
     fn finalize(mut self) -> (RunStats, P) {
+        // A fault whose reconvergence never came due (detection window
+        // past the deadline, or the run drained first) leaves its window
+        // open: close it at the end of simulated time so the degradation
+        // accounting still covers it.
+        if let Some(open) = self.window_open_at.take() {
+            let end = self.queue.now().max(open);
+            self.stats.fault_blackholed +=
+                self.total_blackholed().saturating_sub(self.blackhole_mark);
+            self.stats.fault_window_ns += (end - open).as_nanos();
+            self.fault_windows.push((open, end));
+        }
+
         // Per-hop aggregates.
         for (si, sw) in self.switches.iter().enumerate() {
             let id = SwitchId(si as u32);
@@ -727,6 +885,18 @@ impl<P: Probe> World<P> {
                     if let Some(fct) = f.fct() {
                         self.stats.flows_completed += 1;
                         let ms = fct.as_nanos() as f64 / 1e6;
+                        // Graceful-degradation split: flows whose lifetime
+                        // overlapped a fault window vs. undisturbed flows.
+                        let done = f.done.unwrap_or(sim_end);
+                        if self
+                            .fault_windows
+                            .iter()
+                            .any(|&(ws, we)| f.start <= we && done >= ws)
+                        {
+                            self.stats.fct_fault_ms.add(ms);
+                        } else if !self.fault_windows.is_empty() {
+                            self.stats.fct_clear_ms.add(ms);
+                        }
                         match class {
                             FlowClass::Mice => self.stats.fct_mice_ms.add(ms),
                             FlowClass::Incast => {
@@ -767,6 +937,7 @@ fn rebuild_switch(
 mod tests {
     use super::*;
     use crate::config::TopoSpec;
+    use drill_faults::FaultSchedule;
     use drill_net::LeafSpineSpec;
 
     fn tiny_topo() -> TopoSpec {
@@ -942,6 +1113,193 @@ mod tests {
         let topo = cfg.topo.build();
         cfg.failed_links = random_leaf_spine_failures(&topo, 1, 7);
         let stats = run(&cfg);
+        assert!(stats.completion_rate() > 0.9, "{}", stats.completion_rate());
+    }
+
+    #[test]
+    fn chaos_schedule_runs_with_staged_reconvergence() {
+        let mut cfg = quick_cfg(Scheme::drill_default(), 0.3);
+        cfg.duration = Time::from_millis(8);
+        let topo = cfg.topo.build();
+        let pairs = random_leaf_spine_failures(&topo, 4, 11);
+        let mut s = FaultSchedule::new(Time::from_micros(200));
+        s.link_flap(
+            pairs[0].0,
+            pairs[0].1,
+            Time::from_millis(1),
+            Time::from_millis(2),
+        );
+        s.link_flap(
+            pairs[1].0,
+            pairs[1].1,
+            Time::from_millis(3),
+            Time::from_millis(4),
+        );
+        s.degrade_window(
+            pairs[2].0,
+            pairs[2].1,
+            1,
+            4,
+            Time::from_millis(2),
+            Time::from_millis(5),
+        );
+        s.switch_outage(pairs[3].1, Time::from_millis(5), Time::from_millis(6));
+        cfg.faults = Some(s);
+        let stats = run(&cfg);
+        assert_eq!(stats.fault_events, 8, "2 flaps + degrade window + outage");
+        assert!(stats.reconvergences >= 1, "{}", stats.reconvergences);
+        assert!(stats.fault_window_ns > 0);
+        assert!(stats.stable_at > Time::ZERO);
+        assert!(
+            stats.fct_fault_ms.count() + stats.fct_clear_ms.count() > 0,
+            "FCTs were classified against the fault windows"
+        );
+        assert!(
+            stats.completion_rate() > 0.85,
+            "{}",
+            stats.completion_rate()
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_empty_schedule_is_free() {
+        let mut cfg = quick_cfg(Scheme::drill_default(), 0.3);
+        let base = run(&cfg);
+        // Attaching an empty schedule changes nothing: no events, no RNG
+        // draws, bit-identical metrics.
+        cfg.faults = Some(FaultSchedule::default());
+        let with_empty = run(&cfg);
+        assert_eq!(base.events, with_empty.events);
+        assert_eq!(
+            base.mean_fct_ms().to_bits(),
+            with_empty.mean_fct_ms().to_bits()
+        );
+        assert_eq!(with_empty.fault_events, 0);
+        assert_eq!(with_empty.fct_clear_ms.count(), 0, "no windows, no split");
+
+        // A generated chaos schedule replays bit-identically.
+        let topo = cfg.topo.build();
+        let pairs = random_leaf_spine_failures(&topo, 2, 3);
+        let mut s = FaultSchedule::default();
+        s.random_flaps(
+            &pairs,
+            9,
+            6,
+            Time::from_millis(1),
+            Time::from_millis(4),
+            Time::from_micros(100),
+            Time::from_micros(500),
+        );
+        cfg.faults = Some(s);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert!(a.fault_events > 0);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.fault_window_ns, b.fault_window_ns);
+        assert_eq!(a.mean_fct_ms().to_bits(), b.mean_fct_ms().to_bits());
+    }
+
+    #[test]
+    fn fail_restore_fail_on_same_pair_ends_failed_and_routing_reflects_it() {
+        // Injector level: the final state of a down/up/down train is down.
+        let mut topo = tiny_topo().build();
+        let (a, b) = random_leaf_spine_failures(&topo, 1, 13)[0];
+        let mut inj = FaultInjector::new();
+        inj.apply(&mut topo, FaultKind::LinkDown { a, b });
+        inj.apply(&mut topo, FaultKind::LinkUp { a, b });
+        inj.apply(&mut topo, FaultKind::LinkDown { a, b });
+        assert!(
+            topo.ports_to_switch(SwitchId(a), SwitchId(b)).is_empty(),
+            "pair ends the sequence failed"
+        );
+        topo.validate();
+
+        // World level: the same mid-run sequence reconverges each time and
+        // traffic routes around the dead pair (the run still completes).
+        let mut cfg = quick_cfg(Scheme::drill_default(), 0.3);
+        let mut s = FaultSchedule::new(Time::from_micros(100));
+        s.push(Time::from_millis(1), FaultKind::LinkDown { a, b });
+        s.push(Time::from_millis(2), FaultKind::LinkUp { a, b });
+        s.push(Time::from_millis(3), FaultKind::LinkDown { a, b });
+        cfg.faults = Some(s);
+        let stats = run(&cfg);
+        assert_eq!(stats.fault_events, 3);
+        assert_eq!(stats.reconvergences, 3, "windows are disjoint");
+        assert!(stats.completion_rate() > 0.9, "{}", stats.completion_rate());
+    }
+
+    #[test]
+    fn legacy_fail_at_matches_the_equivalent_schedule() {
+        let mut legacy = quick_cfg(Scheme::Ecmp, 0.3);
+        let topo = legacy.topo.build();
+        let (a, b) = random_leaf_spine_failures(&topo, 1, 5)[0];
+        legacy.failed_links = vec![(a, b)];
+        legacy.fail_at = Some(Time::from_millis(1));
+        legacy.ospf_delay = Time::from_millis(2);
+        let l = run(&legacy);
+
+        let mut sched = quick_cfg(Scheme::Ecmp, 0.3);
+        let mut s = FaultSchedule::new(Time::from_millis(2));
+        s.push(Time::from_millis(1), FaultKind::LinkDown { a, b });
+        sched.faults = Some(s);
+        let r = run(&sched);
+
+        assert_eq!(l.fault_events, 1);
+        assert_eq!(l.events, r.events);
+        assert_eq!(l.flows_started, r.flows_started);
+        assert_eq!(l.flows_completed, r.flows_completed);
+        assert_eq!(l.reconvergences, r.reconvergences);
+        assert_eq!(l.mean_fct_ms().to_bits(), r.mean_fct_ms().to_bits());
+    }
+
+    #[test]
+    fn overlapping_detection_windows_coalesce_into_one_reconvergence() {
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.2);
+        let topo = cfg.topo.build();
+        let pairs = random_leaf_spine_failures(&topo, 2, 21);
+        // Two faults 100 µs apart, each detected after 1 ms: the second
+        // fault supersedes the first reconvergence generation.
+        let mut s = FaultSchedule::new(Time::from_millis(1));
+        s.push(
+            Time::from_millis(1),
+            FaultKind::LinkDown {
+                a: pairs[0].0,
+                b: pairs[0].1,
+            },
+        );
+        s.push(
+            Time::from_millis(1) + Time::from_micros(100),
+            FaultKind::LinkDown {
+                a: pairs[1].0,
+                b: pairs[1].1,
+            },
+        );
+        cfg.faults = Some(s);
+        let stats = run(&cfg);
+        assert_eq!(stats.fault_events, 2);
+        assert_eq!(stats.reconvergences, 1, "coalesced into one recompute");
+        assert_eq!(
+            stats.stable_at,
+            Time::from_millis(2) + Time::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn lossy_window_drops_packets_without_reconvergence() {
+        let mut cfg = quick_cfg(Scheme::Ecmp, 0.3);
+        let topo = cfg.topo.build();
+        let (a, b) = random_leaf_spine_failures(&topo, 1, 2)[0];
+        let mut s = FaultSchedule::default();
+        s.lossy_window(a, b, 200_000, Time::from_millis(1), Time::from_millis(4));
+        cfg.faults = Some(s);
+        let stats = run(&cfg);
+        assert_eq!(stats.fault_events, 2, "set + clear");
+        assert_eq!(stats.reconvergences, 0, "loss keeps the graph intact");
+        assert!(
+            stats.retransmissions > 0,
+            "wire loss forced TCP to retransmit"
+        );
         assert!(stats.completion_rate() > 0.9, "{}", stats.completion_rate());
     }
 

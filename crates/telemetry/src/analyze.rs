@@ -149,10 +149,53 @@ pub fn packet_trips(trace: &Trace) -> BTreeMap<u64, PacketTrip> {
                 e.id = *pkt_id;
                 e.dropped = true;
             }
-            TraceEvent::EngineChoice { .. } | TraceEvent::NicDrop { .. } => {}
+            TraceEvent::EngineChoice { .. }
+            | TraceEvent::NicDrop { .. }
+            | TraceEvent::Fault { .. } => {}
         }
     }
     trips
+}
+
+/// One entry of the control-plane fault timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultTimelineEntry {
+    /// Event time in ns.
+    pub t_ns: u64,
+    /// [`crate::fault_kind`] code.
+    pub kind: u8,
+    /// First affected switch (`u32::MAX` when unused).
+    pub a: u32,
+    /// Second affected switch (`u32::MAX` when unused).
+    pub b: u32,
+    /// Kind-specific payload.
+    pub param: u64,
+}
+
+/// Extract the chronological fault/reconvergence timeline from the
+/// control ring (empty for traces recorded without fault injection).
+pub fn fault_timeline(trace: &Trace) -> Vec<FaultTimelineEntry> {
+    let mut out = Vec::new();
+    for ev in trace.merged_events() {
+        if let TraceEvent::Fault {
+            t,
+            kind,
+            a,
+            b,
+            param,
+            ..
+        } = ev
+        {
+            out.push(FaultTimelineEntry {
+                t_ns: t.as_nanos(),
+                kind: *kind,
+                a: *a,
+                b: *b,
+                param: *param,
+            });
+        }
+    }
+    out
 }
 
 /// Reordering observed at delivery, per flow and in aggregate.
@@ -400,6 +443,30 @@ mod tests {
         assert_eq!(rep.deliveries, 6);
         assert_eq!(rep.inversions, 2);
         assert_eq!(rep.degree_hist, vec![0, 1, 0, 1]); // degree 4 clamped
+    }
+
+    #[test]
+    fn fault_timeline_is_chronological() {
+        use crate::probe::fault_kind;
+        let f = |ns: u64, kind: u8| TraceEvent::Fault {
+            t: Time::from_nanos(ns),
+            kind,
+            a: 0,
+            b: 4,
+            param: 0,
+        };
+        let tr = trace_of(vec![
+            enq(5, 0, 0, 1),
+            f(100, fault_kind::LINK_DOWN),
+            f(50_100, fault_kind::RECONVERGE),
+            f(200_000, fault_kind::LINK_UP),
+        ]);
+        let tl = fault_timeline(&tr);
+        assert_eq!(tl.len(), 3, "packet events are excluded");
+        assert_eq!(tl[0].kind, fault_kind::LINK_DOWN);
+        assert_eq!(tl[1].kind, fault_kind::RECONVERGE);
+        assert!(tl.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert!(fault_timeline(&trace_of(vec![enq(1, 0, 0, 1)])).is_empty());
     }
 
     #[test]

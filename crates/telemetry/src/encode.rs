@@ -1,16 +1,17 @@
 //! Compact binary trace encoding: LEB128 varints, delta-encoded
 //! timestamps, and the versioned trace-file container.
 //!
-//! # Format (version 1)
+//! # Format (version 2; version-1 files decode too)
 //!
 //! ```text
 //! magic            8 bytes  b"DRILLTRC"
-//! version          u16 LE   1
+//! version          u16 LE   2
 //! num_switches     varint
 //! engines          varint   (forwarding engines per switch)
 //! ring_count       varint
 //! ring*:
-//!   kind           u8       0 = engine ring, 1 = host ring
+//!   kind           u8       0 = engine ring, 1 = host ring,
+//!                           2 = control ring (v2+; fault timeline)
 //!   switch         varint   (engine rings only)
 //!   engine         varint   (engine rings only)
 //!   overwritten    varint   (events lost to ring wraparound)
@@ -37,8 +38,12 @@ use crate::record::{FlightRecorder, RingKind, TraceEvent};
 /// File magic.
 pub const TRACE_MAGIC: [u8; 8] = *b"DRILLTRC";
 
-/// Current trace-format version.
-pub const TRACE_VERSION: u16 = 1;
+/// Current trace-format version (v2 added the control ring and the fault
+/// event). Version-1 files are still accepted by [`read_trace`].
+pub const TRACE_VERSION: u16 = 2;
+
+/// Oldest trace-format version [`read_trace`] accepts.
+pub const TRACE_VERSION_MIN: u16 = 1;
 
 mod tags {
     pub const HOST_SEND: u8 = 1;
@@ -48,6 +53,7 @@ mod tags {
     pub const DEQUEUE: u8 = 5;
     pub const DROP: u8 = 6;
     pub const NIC_DROP: u8 = 7;
+    pub const FAULT: u8 = 8;
 }
 
 /// Append `v` as a LEB128 varint.
@@ -238,13 +244,27 @@ pub fn put_event(buf: &mut Vec<u8>, prev: Time, ev: &TraceEvent) {
             put_varint(buf, *host as u64);
             put_varint(buf, *pkt_id);
         }
+        TraceEvent::Fault {
+            kind, a, b, param, ..
+        } => {
+            buf.push(tags::FAULT);
+            put_varint(buf, dt);
+            buf.push(*kind);
+            put_varint(buf, *a as u64);
+            put_varint(buf, *b as u64);
+            put_varint(buf, *param);
+        }
     }
 }
 
 /// Decode one event. `prev` is the previous event's timestamp in the ring.
 pub fn get_event(d: &mut Decoder<'_>, prev: Time) -> io::Result<TraceEvent> {
     let tag = d.u8()?;
-    let t = prev + Time::from_nanos(d.varint()?);
+    // A hostile delta can push the running timestamp past u64; fail with a
+    // typed error instead of the debug-build add panic.
+    let t = prev
+        .checked_add(Time::from_nanos(d.varint()?))
+        .ok_or_else(|| invalid("timestamp delta overflows"))?;
     Ok(match tag {
         tags::HOST_SEND => TraceEvent::HostSend {
             t,
@@ -299,6 +319,13 @@ pub fn get_event(d: &mut Decoder<'_>, prev: Time) -> io::Result<TraceEvent> {
             host: d.varint_u32()?,
             pkt_id: d.varint()?,
         },
+        tags::FAULT => TraceEvent::Fault {
+            t,
+            kind: d.u8()?,
+            a: d.varint_u32()?,
+            b: d.varint_u32()?,
+            param: d.varint()?,
+        },
         _ => return Err(invalid("unknown event tag")),
     })
 }
@@ -310,7 +337,8 @@ pub struct Trace {
     pub num_switches: u32,
     /// Forwarding engines per switch.
     pub engines: u16,
-    /// The rings, in file order (engine rings switch-major, host ring last).
+    /// The rings, in file order (engine rings switch-major, then the host
+    /// ring, then — in v2+ files — the control ring).
     pub rings: Vec<TraceRing>,
 }
 
@@ -345,7 +373,7 @@ impl Trace {
     }
 }
 
-/// Serialize a recorder's rings as a version-1 trace file.
+/// Serialize a recorder's rings as a current-version trace file.
 pub fn write_trace<W: Write>(rec: &FlightRecorder, w: &mut W) -> io::Result<()> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&TRACE_MAGIC);
@@ -362,6 +390,7 @@ pub fn write_trace<W: Write>(rec: &FlightRecorder, w: &mut W) -> io::Result<()> 
                 put_varint(&mut buf, engine as u64);
             }
             RingKind::Host => buf.push(1),
+            RingKind::Control => buf.push(2),
         }
         put_varint(&mut buf, ring.overwritten());
         put_varint(&mut buf, ring.len() as u64);
@@ -374,7 +403,7 @@ pub fn write_trace<W: Write>(rec: &FlightRecorder, w: &mut W) -> io::Result<()> 
     w.write_all(&buf)
 }
 
-/// Read and decode a version-1 trace file.
+/// Read and decode a trace file (any supported version).
 pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
     let mut buf = Vec::new();
     r.read_to_end(&mut buf)?;
@@ -387,13 +416,15 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
         return Err(invalid("not a DRILL trace (bad magic)"));
     }
     let version = u16::from_le_bytes([d.u8()?, d.u8()?]);
-    if version != TRACE_VERSION {
+    if !(TRACE_VERSION_MIN..=TRACE_VERSION).contains(&version) {
         return Err(invalid("unsupported trace version"));
     }
     let num_switches = d.varint_u32()?;
     let engines = d.varint_u16()?;
     let ring_count = d.varint()? as usize;
-    let mut rings = Vec::with_capacity(ring_count);
+    // Cap the pre-allocation: a hostile header must not reserve memory the
+    // payload cannot actually contain (each ring costs >= 3 bytes).
+    let mut rings = Vec::with_capacity(ring_count.min(1 << 16));
     for _ in 0..ring_count {
         let kind = match d.u8()? {
             0 => RingKind::Engine {
@@ -401,6 +432,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
                 engine: d.varint_u16()?,
             },
             1 => RingKind::Host,
+            2 => RingKind::Control,
             _ => return Err(invalid("unknown ring kind")),
         };
         let overwritten = d.varint()?;
@@ -544,6 +576,13 @@ mod tests {
                 host: 1,
                 pkt_id: 44,
             },
+            TraceEvent::Fault {
+                t: Time::from_nanos(2200),
+                kind: crate::fault_kind::DEGRADE,
+                a: 3,
+                b: u32::MAX,
+                param: (1 << 32) | 4,
+            },
         ];
         let mut buf = Vec::new();
         let mut prev = Time::ZERO;
@@ -565,5 +604,115 @@ mod tests {
     fn unknown_tag_errors() {
         let mut d = Decoder::new(&[99, 0]);
         assert!(get_event(&mut d, Time::ZERO).is_err());
+    }
+
+    #[test]
+    fn hostile_timestamp_delta_errors_instead_of_panicking() {
+        // NIC_DROP with dt = u64::MAX on a nonzero prev: the running
+        // timestamp would overflow.
+        let mut buf = vec![tags::NIC_DROP];
+        put_varint(&mut buf, u64::MAX);
+        put_varint(&mut buf, 0); // host
+        put_varint(&mut buf, 0); // pkt_id
+        let mut d = Decoder::new(&buf);
+        let err = get_event(&mut d, Time::from_nanos(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn hostile_ring_count_does_not_reserve_unbounded_memory() {
+        // A tiny file whose header claims u64::MAX rings must fail with a
+        // decode error, not abort on allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        put_varint(&mut buf, 1); // num_switches
+        put_varint(&mut buf, 1); // engines
+        put_varint(&mut buf, u64::MAX); // ring_count
+        let err = read_trace(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    fn sample_recorder() -> FlightRecorder {
+        use crate::probe::{FaultInfo, Probe};
+        let mut rec = FlightRecorder::new(2, 2, 64);
+        let m = PacketMeta {
+            id: 9,
+            flow: 1,
+            src: 0,
+            dst: 3,
+            size: 1500,
+            seq: 0,
+            emit_idx: 0,
+            flags: 1,
+        };
+        rec.on_host_send(Time::from_nanos(5), 0, &m);
+        rec.on_enqueue(Time::from_nanos(10), 1, 0, 1, &m, 1, 1500);
+        rec.on_dequeue(Time::from_nanos(1210), 1, 0, 9, 0, 1200);
+        rec.on_drop(Time::from_nanos(1300), 0, 2, 0, &m, DropReason::LinkLoss);
+        rec.on_host_recv(Time::from_nanos(2000), 3, &m);
+        rec.on_fault(
+            Time::from_nanos(2500),
+            &FaultInfo {
+                kind: crate::fault_kind::RECONVERGE,
+                a: u32::MAX,
+                b: u32::MAX,
+                param: 1,
+            },
+        );
+        rec
+    }
+
+    /// Deterministic corruption sweep standing in for a fuzzer: every
+    /// truncation point and a seeded sample of single-byte mutations of a
+    /// round-tripped trace must decode to `Ok` or a typed `io::Error` —
+    /// never panic.
+    #[test]
+    fn corrupted_and_truncated_traces_never_panic() {
+        let rec = sample_recorder();
+        let mut good = Vec::new();
+        write_trace(&rec, &mut good).unwrap();
+        assert!(read_trace(&mut &good[..]).is_ok());
+
+        // Every prefix truncation.
+        for cut in 0..good.len() {
+            let _ = read_trace(&mut &good[..cut]);
+        }
+
+        // Single-byte mutations: every position, a spread of values.
+        let mut rng = drill_sim::SimRng::seed_from(0xC0DEC);
+        for pos in 0..good.len() {
+            for _ in 0..8 {
+                let mut bad = good.clone();
+                bad[pos] = bad[pos].wrapping_add(1 + rng.below(255) as u8);
+                let _ = read_trace(&mut &bad[..]);
+            }
+        }
+
+        // Random multi-byte garbage after the magic.
+        for _ in 0..64 {
+            let mut bad = good.clone();
+            for _ in 0..4 {
+                let pos = rng.below(bad.len());
+                bad[pos] = rng.below(256) as u8;
+            }
+            let _ = read_trace(&mut &bad[..]);
+        }
+    }
+
+    #[test]
+    fn version_1_files_still_decode() {
+        let rec = sample_recorder();
+        let mut buf = Vec::new();
+        write_trace(&rec, &mut buf).unwrap();
+        // Rewrite the version field to 1: layout is otherwise compatible
+        // (the control ring kind byte was unused but valid in v1 readers'
+        // terms only for v2 — here we check *our* reader takes both).
+        buf[8..10].copy_from_slice(&1u16.to_le_bytes());
+        let trace = read_trace(&mut &buf[..]).unwrap();
+        assert_eq!(trace.event_count(), rec.event_count());
+        // Unsupported future versions are rejected.
+        buf[8..10].copy_from_slice(&(TRACE_VERSION + 1).to_le_bytes());
+        assert!(read_trace(&mut &buf[..]).is_err());
     }
 }

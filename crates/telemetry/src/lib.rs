@@ -38,9 +38,11 @@ mod sampler;
 
 pub use encode::{
     get_event, put_event, put_varint, read_trace, write_trace, Decoder, Trace, TraceRing,
-    TRACE_MAGIC, TRACE_VERSION,
+    TRACE_MAGIC, TRACE_VERSION, TRACE_VERSION_MIN,
 };
-pub use probe::{meta_flags, DropReason, EngineChoice, NoopProbe, PacketMeta, Probe};
+pub use probe::{
+    fault_kind, meta_flags, DropReason, EngineChoice, FaultInfo, NoopProbe, PacketMeta, Probe,
+};
 pub use record::{EventRing, FlightRecorder, RingKind, TraceEvent, DEFAULT_RING_CAPACITY};
 pub use sampler::{PortSeries, QueueSampler, DEFAULT_SAMPLE_EVERY};
 
@@ -82,6 +84,15 @@ mod tests {
         rec.on_drop(Time::from_nanos(2000), 0, 1, 0, &m, DropReason::TailDrop);
         rec.on_nic_drop(Time::from_nanos(2100), 4, &m);
         rec.on_host_recv(Time::from_nanos(2400), 5, &m);
+        rec.on_fault(
+            Time::from_nanos(2500),
+            &FaultInfo {
+                kind: fault_kind::LINK_DOWN,
+                a: 0,
+                b: 1,
+                param: 0,
+            },
+        );
 
         let mut bytes = Vec::new();
         write_trace(&rec, &mut bytes).unwrap();
@@ -89,12 +100,13 @@ mod tests {
         let trace = read_trace(&mut bytes.as_slice()).unwrap();
         assert_eq!(trace.num_switches, 2);
         assert_eq!(trace.engines, 2);
-        assert_eq!(trace.rings.len(), 5);
-        assert_eq!(trace.event_count(), 7);
+        assert_eq!(trace.rings.len(), 6);
+        assert_eq!(trace.event_count(), 8);
         assert_eq!(trace.overwritten(), 0);
+        assert_eq!(trace.rings.last().unwrap().kind, RingKind::Control);
 
         let merged = trace.merged_events();
-        assert_eq!(merged.len(), 7);
+        assert_eq!(merged.len(), 8);
         assert!(
             merged.windows(2).all(|w| w[0].time() <= w[1].time()),
             "merged events are chronological"

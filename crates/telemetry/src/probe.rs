@@ -64,6 +64,8 @@ pub enum DropReason {
     NoRoute,
     /// Host NIC transmit-buffer overflow.
     NicOverflow,
+    /// Random corruption on a lossy wire (fault injection).
+    LinkLoss,
 }
 
 impl DropReason {
@@ -74,6 +76,7 @@ impl DropReason {
             DropReason::LinkDown => 1,
             DropReason::NoRoute => 2,
             DropReason::NicOverflow => 3,
+            DropReason::LinkLoss => 4,
         }
     }
 
@@ -84,6 +87,7 @@ impl DropReason {
             1 => DropReason::LinkDown,
             2 => DropReason::NoRoute,
             3 => DropReason::NicOverflow,
+            4 => DropReason::LinkLoss,
             _ => return None,
         })
     }
@@ -95,8 +99,64 @@ impl DropReason {
             DropReason::LinkDown => "link-down",
             DropReason::NoRoute => "no-route",
             DropReason::NicOverflow => "nic-overflow",
+            DropReason::LinkLoss => "link-loss",
         }
     }
+}
+
+/// Stable wire codes for control-plane fault/reconvergence events
+/// ([`FaultInfo::kind`]). Defined here (below `drill-net` and the fault
+/// engine in the dependency order) so every layer shares one encoding.
+pub mod fault_kind {
+    /// A switch-to-switch link pair went down.
+    pub const LINK_DOWN: u8 = 0;
+    /// A failed link pair was restored.
+    pub const LINK_UP: u8 = 1;
+    /// A switch crashed (all its switch-to-switch links downed).
+    pub const SWITCH_DOWN: u8 = 2;
+    /// A crashed switch recovered.
+    pub const SWITCH_UP: u8 = 3;
+    /// A link pair's capacity was degraded (param = num<<32 | den).
+    pub const DEGRADE: u8 = 4;
+    /// A link pair's random-loss probability changed (param = ppm).
+    pub const SET_LOSS: u8 = 5;
+    /// Routing + symmetric groups recomputed and installed atomically.
+    pub const RECONVERGE: u8 = 6;
+    /// The post-fault queue/drop churn settled (time-to-requeue-stability).
+    pub const STABLE: u8 = 7;
+
+    /// Human name for a kind code.
+    pub fn name(kind: u8) -> &'static str {
+        match kind {
+            LINK_DOWN => "link-down",
+            LINK_UP => "link-up",
+            SWITCH_DOWN => "switch-down",
+            SWITCH_UP => "switch-up",
+            DEGRADE => "degrade",
+            SET_LOSS => "set-loss",
+            RECONVERGE => "reconverge",
+            STABLE => "stable",
+            _ => "unknown",
+        }
+    }
+}
+
+/// A control-plane fault or reconvergence event, as seen by probes.
+///
+/// `a`/`b` identify the affected switches (`u32::MAX` when unused, e.g.
+/// `b` for switch crashes or both for reconvergence); `param` carries the
+/// kind-specific payload (degradation fraction, loss ppm, reconvergence
+/// generation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// One of the [`fault_kind`] codes.
+    pub kind: u8,
+    /// First affected switch (`u32::MAX` when unused).
+    pub a: u32,
+    /// Second affected switch (`u32::MAX` when unused).
+    pub b: u32,
+    /// Kind-specific payload.
+    pub param: u64,
 }
 
 /// A forwarding engine's port choice, with the ground truth it could not
@@ -198,6 +258,10 @@ pub trait Probe {
     /// A packet was dropped at a host NIC (buffer overflow).
     #[inline]
     fn on_nic_drop(&mut self, now: Time, host: u32, pkt: &PacketMeta) {}
+
+    /// A control-plane fault or reconvergence event fired (chaos engine).
+    #[inline]
+    fn on_fault(&mut self, now: Time, info: &FaultInfo) {}
 }
 
 /// The disabled probe: every hook is an empty `#[inline]` body and
@@ -285,6 +349,12 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         self.0.on_nic_drop(now, host, pkt);
         self.1.on_nic_drop(now, host, pkt);
     }
+
+    #[inline]
+    fn on_fault(&mut self, now: Time, info: &FaultInfo) {
+        self.0.on_fault(now, info);
+        self.1.on_fault(now, info);
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +389,9 @@ mod tests {
         fn on_nic_drop(&mut self, _: Time, _: u32, _: &PacketMeta) {
             self.calls += 1;
         }
+        fn on_fault(&mut self, _: Time, _: &FaultInfo) {
+            self.calls += 1;
+        }
     }
 
     fn fire_all<P: Probe>(p: &mut P) {
@@ -330,6 +403,7 @@ mod tests {
         p.on_dequeue(Time::ZERO, 0, 0, 1, 0, 10);
         p.on_drop(Time::ZERO, 0, 0, 0, &m, DropReason::TailDrop);
         p.on_nic_drop(Time::ZERO, 0, &m);
+        p.on_fault(Time::ZERO, &FaultInfo::default());
     }
 
     #[test]
@@ -342,8 +416,8 @@ mod tests {
     fn tuple_fans_out_and_ors_enabled() {
         let mut pair = (CountingProbe::default(), CountingProbe::default());
         fire_all(&mut pair);
-        assert_eq!(pair.0.calls, 7);
-        assert_eq!(pair.1.calls, 7);
+        assert_eq!(pair.0.calls, 8);
+        assert_eq!(pair.1.calls, 8);
         assert!(<(CountingProbe, CountingProbe)>::ENABLED);
         assert!(<(NoopProbe, CountingProbe)>::ENABLED);
         assert!(!<(NoopProbe, NoopProbe)>::ENABLED);
@@ -356,10 +430,31 @@ mod tests {
             DropReason::LinkDown,
             DropReason::NoRoute,
             DropReason::NicOverflow,
+            DropReason::LinkLoss,
         ] {
             assert_eq!(DropReason::from_code(r.code()), Some(r));
             assert!(!r.name().is_empty());
         }
         assert_eq!(DropReason::from_code(250), None);
+    }
+
+    #[test]
+    fn fault_kind_names_are_distinct() {
+        let kinds = [
+            fault_kind::LINK_DOWN,
+            fault_kind::LINK_UP,
+            fault_kind::SWITCH_DOWN,
+            fault_kind::SWITCH_UP,
+            fault_kind::DEGRADE,
+            fault_kind::SET_LOSS,
+            fault_kind::RECONVERGE,
+            fault_kind::STABLE,
+        ];
+        let names: Vec<_> = kinds.iter().map(|&k| fault_kind::name(k)).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(!n.is_empty());
+            assert!(!names[..i].contains(n), "duplicate name {n}");
+        }
+        assert_eq!(fault_kind::name(200), "unknown");
     }
 }

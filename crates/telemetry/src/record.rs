@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use drill_sim::Time;
 
-use crate::probe::{DropReason, EngineChoice, PacketMeta, Probe};
+use crate::probe::{DropReason, EngineChoice, FaultInfo, PacketMeta, Probe};
 
 /// One recorded lifecycle event. Field meanings match the [`Probe`] hooks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +105,19 @@ pub enum TraceEvent {
         /// Packet id.
         pkt_id: u64,
     },
+    /// A control-plane fault or reconvergence event (chaos engine).
+    Fault {
+        /// Event time.
+        t: Time,
+        /// One of the [`crate::fault_kind`] codes.
+        kind: u8,
+        /// First affected switch (`u32::MAX` when unused).
+        a: u32,
+        /// Second affected switch (`u32::MAX` when unused).
+        b: u32,
+        /// Kind-specific payload.
+        param: u64,
+    },
 }
 
 impl TraceEvent {
@@ -117,7 +130,8 @@ impl TraceEvent {
             | TraceEvent::Enqueue { t, .. }
             | TraceEvent::Dequeue { t, .. }
             | TraceEvent::Drop { t, .. }
-            | TraceEvent::NicDrop { t, .. } => *t,
+            | TraceEvent::NicDrop { t, .. }
+            | TraceEvent::Fault { t, .. } => *t,
         }
     }
 }
@@ -134,6 +148,8 @@ pub enum RingKind {
     },
     /// Host-side events (NIC accept/deliver/drop) for every host.
     Host,
+    /// Control-plane events (fault injection, reconvergence).
+    Control,
 }
 
 /// A bounded circular buffer of [`TraceEvent`]s that keeps the newest
@@ -208,7 +224,8 @@ pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 pub struct FlightRecorder {
     num_switches: usize,
     engines: usize,
-    /// Engine rings switch-major, then the host ring last.
+    /// Engine rings switch-major, then the host ring, then the control
+    /// ring last.
     rings: Vec<EventRing>,
     /// Per-(switch, port) FIFO of enqueuing engines, mirroring the port
     /// queue (including the in-flight packet).
@@ -220,7 +237,7 @@ impl FlightRecorder {
     /// engines each, `ring_capacity` events per ring.
     pub fn new(num_switches: usize, engines: usize, ring_capacity: usize) -> FlightRecorder {
         assert!(engines >= 1, "at least one engine");
-        let rings = (0..num_switches * engines + 1)
+        let rings = (0..num_switches * engines + 2)
             .map(|_| EventRing::new(ring_capacity))
             .collect();
         FlightRecorder {
@@ -241,21 +258,24 @@ impl FlightRecorder {
         self.engines
     }
 
-    /// Total rings (engine rings + the host ring).
+    /// Total rings (engine rings + the host ring + the control ring).
     pub fn ring_count(&self) -> usize {
         self.rings.len()
     }
 
     /// The ring at file index `idx` with its kind (engine rings
-    /// switch-major, host ring last).
+    /// switch-major, then the host ring, then the control ring).
     pub fn ring_at(&self, idx: usize) -> (RingKind, &EventRing) {
-        let kind = if idx < self.num_switches * self.engines {
+        let engine_rings = self.num_switches * self.engines;
+        let kind = if idx < engine_rings {
             RingKind::Engine {
                 switch: (idx / self.engines) as u32,
                 engine: (idx % self.engines) as u16,
             }
-        } else {
+        } else if idx == engine_rings {
             RingKind::Host
+        } else {
+            RingKind::Control
         };
         (kind, &self.rings[idx])
     }
@@ -283,6 +303,12 @@ impl FlightRecorder {
 
     #[inline]
     fn host_ring(&mut self) -> &mut EventRing {
+        let idx = self.num_switches * self.engines;
+        &mut self.rings[idx]
+    }
+
+    #[inline]
+    fn control_ring(&mut self) -> &mut EventRing {
         let last = self.rings.len() - 1;
         &mut self.rings[last]
     }
@@ -398,6 +424,17 @@ impl Probe for FlightRecorder {
             pkt_id: pkt.id,
         });
     }
+
+    #[inline]
+    fn on_fault(&mut self, now: Time, info: &FaultInfo) {
+        self.control_ring().push(TraceEvent::Fault {
+            t: now,
+            kind: info.kind,
+            a: info.a,
+            b: info.b,
+            param: info.param,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -439,7 +476,7 @@ mod tests {
     #[test]
     fn recorder_routes_events_to_engine_rings() {
         let mut rec = FlightRecorder::new(2, 2, 16);
-        assert_eq!(rec.ring_count(), 5); // 2 switches x 2 engines + host
+        assert_eq!(rec.ring_count(), 6); // 2 switches x 2 engines + host + control
         let m = PacketMeta {
             id: 7,
             size: 1500,
@@ -503,5 +540,32 @@ mod tests {
         rec.on_dequeue(Time::from_nanos(4), 0, 9, 77, 0, 1);
         assert_eq!(rec.ring_at(0).1.len(), 2);
         assert_eq!(rec.ring_at(1).1.len(), 0);
+    }
+
+    #[test]
+    fn fault_events_land_in_the_control_ring() {
+        let mut rec = FlightRecorder::new(2, 2, 16);
+        let info = FaultInfo {
+            kind: crate::fault_kind::LINK_DOWN,
+            a: 0,
+            b: 5,
+            param: 0,
+        };
+        rec.on_fault(Time::from_nanos(42), &info);
+        let last = rec.ring_count() - 1;
+        let (kind, ring) = rec.ring_at(last);
+        assert_eq!(kind, RingKind::Control);
+        assert_eq!(ring.len(), 1);
+        match ring.iter().next().unwrap() {
+            TraceEvent::Fault { t, kind, a, b, .. } => {
+                assert_eq!(t.as_nanos(), 42);
+                assert_eq!(*kind, crate::fault_kind::LINK_DOWN);
+                assert_eq!((*a, *b), (0, 5));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // The host ring is untouched (it now sits second to last).
+        assert_eq!(rec.ring_at(last - 1).0, RingKind::Host);
+        assert_eq!(rec.ring_at(last - 1).1.len(), 0);
     }
 }

@@ -27,6 +27,18 @@ echo "== golden suite with flight recorder attached (DRILL_TELEMETRY=1) =="
 DRILL_TELEMETRY=1 cargo test -q --test determinism_golden
 DRILL_TELEMETRY=1 cargo test -q --test determinism_golden --features heap-queue
 
+echo "== chaos determinism goldens (both queue builds, DRILL_THREADS=1/8) =="
+# The fault pipeline's replay contract: the pinned chaos schedule (flaps +
+# degradation + switch crash) must stay bit-identical across serial vs
+# threaded sweeps and with telemetry on/off, on both event-queue builds.
+# (The wheel build already ran above under DRILL_THREADS=1/8.)
+DRILL_THREADS=1 cargo test -q --test determinism_golden --features heap-queue
+DRILL_THREADS=8 cargo test -q --test determinism_golden --features heap-queue
+
+echo "== chaosbench --quick smoke =="
+cargo build --release -p drill-bench
+./target/release/chaosbench --quick > /dev/null
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -23,6 +23,8 @@
 //! * [`transport`] — TCP Reno/NewReno, GRO accounting, reordering shim.
 //! * [`workload`] — flow-size distributions, arrival processes, traffic
 //!   patterns, incast.
+//! * [`faults`] — the chaos engine: deterministic fault-injection
+//!   schedules (link flaps, switch outages, degradation, lossy links).
 //! * [`runtime`] — experiment configuration and execution.
 //! * [`hw`] — the hardware area model.
 //! * [`telemetry`] — zero-overhead probes, the flight recorder, queue
@@ -49,6 +51,7 @@
 
 pub use drill_core as core;
 pub use drill_exec as exec;
+pub use drill_faults as faults;
 pub use drill_hw as hw;
 pub use drill_lb as lb;
 pub use drill_net as net;

@@ -7,9 +7,11 @@
 //! pure refactor. Update the constants only when a behaviour change is
 //! intended, and say so in the commit.
 
+use drill::faults::FaultSchedule;
 use drill::net::{LeafSpineSpec, DEFAULT_PROP};
 use drill::runtime::{
-    run, run_recorded, ExperimentConfig, RunStats, Scheme, SweepSpec, TelemetrySpec, TopoSpec,
+    random_leaf_spine_failures, run, run_recorded, ExperimentConfig, RunStats, Scheme, SweepSpec,
+    TelemetrySpec, TopoSpec,
 };
 use drill::sim::Time;
 
@@ -68,6 +70,15 @@ fn full_fingerprint(st: &mut RunStats) -> Vec<u64> {
         st.dupacks.frac(0).to_bits(),
         st.reorders.frac(0).to_bits(),
         st.elephant_gbps.mean().to_bits(),
+        st.fault_events,
+        st.reconvergences,
+        st.fault_blackholed,
+        st.fault_window_ns,
+        st.stable_at.as_nanos(),
+        st.fct_fault_ms.count() as u64,
+        st.fct_fault_ms.mean().to_bits(),
+        st.fct_clear_ms.count() as u64,
+        st.fct_clear_ms.mean().to_bits(),
     ];
     fp.extend_from_slice(&st.hops.wait_ns);
     fp.extend_from_slice(&st.hops.wait_samples);
@@ -125,6 +136,126 @@ fn telemetry_probe_is_invisible_to_every_metric() {
             scheme.name()
         );
     }
+}
+
+/// The pinned chaos schedule for the golden topology: two link flaps, one
+/// capacity degradation, and one full switch crash + recovery, all inside
+/// the 3 ms arrival window. Pair selection goes through
+/// `random_leaf_spine_failures` with a fixed seed, so the schedule is a
+/// deterministic function of the topology alone.
+fn chaos_schedule(topo: &TopoSpec) -> FaultSchedule {
+    let built = topo.build();
+    let pairs = random_leaf_spine_failures(&built, 4, 0xC405);
+    let mut s = FaultSchedule::new(Time::from_micros(300));
+    s.link_flap(
+        pairs[0].0,
+        pairs[0].1,
+        Time::from_micros(500),
+        Time::from_micros(900),
+    );
+    s.link_flap(
+        pairs[1].0,
+        pairs[1].1,
+        Time::from_micros(1100),
+        Time::from_micros(1600),
+    );
+    s.degrade_window(
+        pairs[2].0,
+        pairs[2].1,
+        1,
+        4,
+        Time::from_micros(700),
+        Time::from_micros(1400),
+    );
+    s.switch_outage(pairs[3].1, Time::from_micros(1800), Time::from_micros(2300));
+    s
+}
+
+/// Chaos determinism golden: a nontrivial fault schedule (flaps +
+/// degradation + switch crash/recover, with staged reconvergence) must
+/// replay bit-identically across serial vs 8-thread sweep execution and
+/// with the telemetry recorder on vs off. This pins the entire fault
+/// pipeline — injection order, detection-window bookkeeping, atomic
+/// reinstall — to the deterministic-replay contract.
+#[test]
+fn chaos_schedule_replays_bit_identically_across_threads_and_telemetry() {
+    let fingerprint = |telemetry: bool, threads: Option<usize>| -> Vec<Vec<u64>> {
+        let mut base = golden_cfg(Scheme::drill_default());
+        base.telemetry = telemetry.then(TelemetrySpec::default);
+        base.faults = Some(chaos_schedule(&base.topo));
+        let mut spec = SweepSpec::new(base)
+            .schemes(vec![Scheme::Ecmp, Scheme::drill_default()])
+            .loads(vec![0.4]);
+        let res = if let Some(t) = threads {
+            spec = spec.threads(t);
+            spec.run()
+        } else {
+            spec.run_serial()
+        };
+        res.into_stats()
+            .into_iter()
+            .map(|mut st| full_fingerprint(&mut st))
+            .collect()
+    };
+
+    let serial = fingerprint(false, None);
+    assert_eq!(serial.len(), 2);
+    // The schedule actually fired: 2 flaps (4 events) + degrade window
+    // (2) + switch outage (2) = 8, with at least one reconvergence and a
+    // nonempty graceful-degradation window on every scheme.
+    for (point, scheme) in serial.iter().zip(["ECMP", "DRILL(2,1)"]) {
+        // full_fingerprint positions: fault_events is directly after the
+        // 25 headline slots (see the vec! above).
+        let fault_events = point[25];
+        let reconvergences = point[26];
+        let window_ns = point[28];
+        assert_eq!(fault_events, 8, "{scheme}: schedule did not fully fire");
+        assert!(reconvergences >= 1, "{scheme}: no reconvergence happened");
+        assert!(window_ns > 0, "{scheme}: no degradation window recorded");
+    }
+
+    for telemetry in [false, true] {
+        for threads in [Some(1), Some(8)] {
+            assert_eq!(
+                serial,
+                fingerprint(telemetry, threads),
+                "chaos replay diverged (telemetry={telemetry}, threads={threads:?})"
+            );
+        }
+    }
+    // Telemetry-on serial replay matches too.
+    assert_eq!(serial, fingerprint(true, None));
+}
+
+/// Satellite regression: fault events scheduled after the last packet has
+/// drained must be inert — filtered at prime time, never enqueued — so
+/// they neither hang the timing wheel waiting on far-future slots nor
+/// perturb a single stat relative to the fault-free run.
+#[test]
+fn post_drain_faults_are_inert() {
+    let cfg = golden_cfg(Scheme::drill_default());
+    let mut plain = run(&cfg);
+
+    let mut chaotic_cfg = golden_cfg(Scheme::drill_default());
+    let topo = chaotic_cfg.topo.build();
+    let pairs = random_leaf_spine_failures(&topo, 1, 0xC405);
+    let past = chaotic_cfg.duration + chaotic_cfg.drain + Time::from_millis(1);
+    let mut s = FaultSchedule::new(Time::from_micros(300));
+    s.link_flap(pairs[0].0, pairs[0].1, past, past + Time::from_millis(2));
+    s.switch_outage(
+        pairs[0].1,
+        past + Time::from_millis(5),
+        past + Time::from_millis(6),
+    );
+    chaotic_cfg.faults = Some(s);
+    let mut chaotic = run(&chaotic_cfg);
+
+    assert_eq!(chaotic.fault_events, 0, "post-drain faults must never fire");
+    assert_eq!(
+        full_fingerprint(&mut plain),
+        full_fingerprint(&mut chaotic),
+        "post-drain fault schedule perturbed the simulation"
+    );
 }
 
 /// The executor's determinism contract, tested differentially: the same
