@@ -2,7 +2,7 @@
 //! perfect pipe (bounds the simulator's per-packet transport cost).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use drill_net::{FlowId, HostId, Packet};
+use drill_net::{FlowId, HostId, Packet, PacketArena};
 use drill_sim::Time;
 use drill_transport::{ShimBuffer, TcpConfig, TcpFlow, SHIM_DEFAULT_TIMEOUT};
 
@@ -39,6 +39,8 @@ fn bench_tcp(c: &mut Criterion) {
     g.bench_function("shim_in_order_1k_pkts", |b| {
         b.iter(|| {
             let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+            let mut arena = PacketArena::new();
+            let mut deliver = Vec::new();
             let mut delivered = 0usize;
             for i in 0..1000u64 {
                 let p = Packet::data(
@@ -51,7 +53,12 @@ fn bench_tcp(c: &mut Criterion) {
                     1442,
                     Time::ZERO,
                 );
-                delivered += s.on_packet(p, Time::from_nanos(i * 1200)).0.len();
+                let r = arena.insert(p);
+                s.on_packet(&arena, r, Time::from_nanos(i * 1200), &mut deliver);
+                delivered += deliver.len();
+                for d in deliver.drain(..) {
+                    arena.free(d);
+                }
             }
             delivered
         })
@@ -59,6 +66,8 @@ fn bench_tcp(c: &mut Criterion) {
     g.bench_function("shim_swapped_pairs_1k_pkts", |b| {
         b.iter(|| {
             let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+            let mut arena = PacketArena::new();
+            let mut deliver = Vec::new();
             let mut delivered = 0usize;
             for i in 0..500u64 {
                 let a = Packet::data(
@@ -81,8 +90,14 @@ fn bench_tcp(c: &mut Criterion) {
                     1442,
                     Time::ZERO,
                 );
-                delivered += s.on_packet(a, Time::from_nanos(i * 2400)).0.len();
-                delivered += s.on_packet(b2, Time::from_nanos(i * 2400 + 1200)).0.len();
+                let ra = arena.insert(a);
+                s.on_packet(&arena, ra, Time::from_nanos(i * 2400), &mut deliver);
+                let rb = arena.insert(b2);
+                s.on_packet(&arena, rb, Time::from_nanos(i * 2400 + 1200), &mut deliver);
+                delivered += deliver.len();
+                for d in deliver.drain(..) {
+                    arena.free(d);
+                }
             }
             delivered
         })

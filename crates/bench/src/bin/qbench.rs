@@ -13,6 +13,9 @@
 //! * **churn** — 1M scheduled events under a mixed push / cancel / pop
 //!   interleaving with a heavy-tailed deadline spread that exercises
 //!   every wheel level and the far-future overflow.
+//! * **hold4096_pay24 / _pay112** — hold(4096) with inert payloads sized
+//!   like a handle-based event vs a by-value packet: the micro half of
+//!   the `arena_ab` section (the e2e half A/Bs the `fat-events` build).
 //!
 //! Methodology: one warmup run, then the median of nine timed runs per
 //! (workload, queue) cell. Output is a JSON document on stdout; see
@@ -153,6 +156,35 @@ fn churn<Q: EventQ>(events: usize) -> (u64, f64) {
     (pushed + fired, start.elapsed().as_secs_f64())
 }
 
+/// hold(4096) with an `S`-byte inert payload: isolates the cost of event
+/// *size* in the queue (slab node copies, batch sorts) from everything
+/// else. 24 bytes matches the handle-based `Event`, 112 a by-value
+/// `Packet` — the micro half of the `arena_ab` section.
+fn hold_payload<const S: usize>(iters: usize) -> (u64, f64) {
+    #[derive(Clone)]
+    struct Pay<const S: usize>([u8; S]);
+    const N: usize = 4096;
+    let mut q: WheelQueue<Pay<S>> = WheelQueue::new();
+    let mut rng = SimRng::seed_from(42);
+    for i in 0..N {
+        q.push(
+            Time::from_nanos(1 + rng.below(10_000) as u64),
+            Pay([i as u8; S]),
+        );
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        let (t, p) = q.pop().expect("queue holds n events");
+        let gap = if rng.below(16) == 0 {
+            rng.below(1 << 22)
+        } else {
+            rng.below(4096)
+        };
+        q.push(t + Time::from_nanos(1 + gap as u64), black_box(p));
+    }
+    (iters as u64, start.elapsed().as_secs_f64())
+}
+
 /// One warmup, then the median of `runs` timed executions.
 fn median_of<F: FnMut() -> (u64, f64)>(mut f: F, runs: usize) -> (u64, f64) {
     f(); // warmup
@@ -226,6 +258,23 @@ fn micro() {
         },
         &mut cells,
     );
+    // Event-size micro for the arena A/B: same wheel, same workload, the
+    // payload alone grows from handle-sized to packet-sized.
+    let iters = 2_000_000;
+    let (ops, secs) = median_of(|| hold_payload::<24>(iters), RUNS);
+    cells.push(Cell {
+        workload: "hold4096_pay24".into(),
+        queue: "wheel",
+        ops,
+        secs,
+    });
+    let (ops, secs) = median_of(|| hold_payload::<112>(iters), RUNS);
+    cells.push(Cell {
+        workload: "hold4096_pay112".into(),
+        queue: "wheel",
+        ops,
+        secs,
+    });
 
     println!("{{");
     println!("  \"bench\": \"qbench\",");
@@ -244,9 +293,12 @@ fn micro() {
     }
     println!("  ],");
     println!("  \"speedup_wheel_over_heap\": {{");
+    // Only workloads benched on both queues enter the speedup table (the
+    // payload-size cells are wheel-only).
     let workloads: Vec<String> = {
         let mut w: Vec<String> = cells.iter().map(|c| c.workload.clone()).collect();
         w.dedup();
+        w.retain(|w| cells.iter().any(|c| &c.workload == w && c.queue == "heap"));
         w
     };
     for (i, w) in workloads.iter().enumerate() {
@@ -276,6 +328,11 @@ fn e2e(telemetry: bool) {
         "heap"
     } else {
         "wheel"
+    };
+    let layout = if cfg!(feature = "fat-events") {
+        "fat"
+    } else {
+        "arena"
     };
     let n = 20;
     let topo = TopoSpec::LeafSpine(LeafSpineSpec {
@@ -314,7 +371,7 @@ fn e2e(telemetry: bool) {
     let stats = run(&cfg);
     let wall = start.elapsed().as_secs_f64();
     println!(
-        "{{\"workload\": \"{workload}\", \"queue\": \"{queue}\", \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+        "{{\"workload\": \"{workload}\", \"queue\": \"{queue}\", \"layout\": \"{layout}\", \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
         wall,
         stats.events,
         stats.events as f64 / wall

@@ -21,11 +21,9 @@
 //! (the paper's footnote runs CONGA decisions at ToR+Agg and ECMP at the
 //! core; our agg decision uses the local half of CONGA's metric).
 
-use std::collections::HashMap;
-
 use drill_net::Packet;
 use drill_net::{HopClass, QueueView, SelectCtx, SwitchId, SwitchPolicy, Topology};
-use drill_sim::{SimRng, Time};
+use drill_sim::{FxHashMap, SimRng, Time};
 
 /// CONGA tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -94,7 +92,7 @@ pub struct CongaPolicy {
     /// Per-remote-leaf feedback round-robin pointer.
     fb_ptr: Vec<u16>,
     /// Active flowlets: flow hash -> (last packet time, port).
-    flowlets: HashMap<u64, (Time, u16)>,
+    flowlets: FxHashMap<u64, (Time, u16)>,
 }
 
 impl CongaPolicy {
@@ -138,7 +136,7 @@ impl CongaPolicy {
             to_table: vec![vec![0; max_uplinks]; n_leaves],
             from_table: vec![vec![0; max_uplinks]; n_leaves],
             fb_ptr: vec![0; n_leaves],
-            flowlets: HashMap::new(),
+            flowlets: FxHashMap::default(),
         }
     }
 

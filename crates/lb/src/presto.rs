@@ -7,11 +7,9 @@
 //! paths and reweights the rest *statically* by path capacity (the paper's
 //! §3.4 discussion: this is exactly what cannot adapt to load).
 
-use std::collections::HashMap;
-
 use drill_core::enumerate_shortest_paths;
 use drill_net::{FlowId, HostId, HostPolicy, NodeRef, Packet, RouteTable, Topology};
-use drill_sim::{SimRng, Time};
+use drill_sim::{FxHashMap, SimRng, Time};
 
 /// Presto's flowcell size (one maximal TSO segment).
 pub const FLOWCELL_BYTES: u64 = 64 * 1024;
@@ -43,7 +41,7 @@ pub struct PrestoHostPolicy {
     totals: Vec<u64>,
     /// Per-flow random starting offset, so concurrent flows don't
     /// synchronize their round robins.
-    offsets: HashMap<FlowId, u64>,
+    offsets: FxHashMap<FlowId, u64>,
     /// Destination host -> leaf index (captured from the topology).
     leaf_of: Vec<u32>,
     my_leaf: u32,
@@ -97,7 +95,7 @@ impl PrestoHostPolicy {
         PrestoHostPolicy {
             paths,
             totals,
-            offsets: HashMap::new(),
+            offsets: FxHashMap::default(),
             leaf_of,
             my_leaf,
         }

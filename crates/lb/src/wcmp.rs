@@ -1,11 +1,9 @@
 //! WCMP (Zhou et al., EuroSys 2014): ECMP with static per-port weights
 //! proportional to the capacity of the paths behind each port.
 
-use std::collections::HashMap;
-
 use drill_core::enumerate_shortest_paths;
 use drill_net::{QueueView, RouteTable, SelectCtx, SwitchId, SwitchPolicy, Topology};
-use drill_sim::SimRng;
+use drill_sim::{FxHashMap, SimRng};
 
 /// Weighted-cost multipath: per (destination leaf, port) weights derived
 /// from aggregate shortest-path capacity, flows hashed proportionally.
@@ -13,7 +11,7 @@ use drill_sim::SimRng;
 /// the heterogeneous topology experiment (Figure 13).
 pub struct WcmpPolicy {
     /// `[dst_leaf] -> (ports, cumulative weights)` (parallel vectors).
-    weights: Vec<HashMap<u16, u64>>,
+    weights: Vec<FxHashMap<u16, u64>>,
 }
 
 impl WcmpPolicy {
@@ -21,12 +19,12 @@ impl WcmpPolicy {
     /// Rebuild after failures (WCMP's controller does the same).
     pub fn build(topo: &Topology, routes: &RouteTable, switch: SwitchId) -> WcmpPolicy {
         let n_leaves = topo.num_leaves();
-        let mut weights = vec![HashMap::new(); n_leaves];
+        let mut weights = vec![FxHashMap::default(); n_leaves];
         for dst_leaf in 0..n_leaves as u32 {
             if routes.candidates(switch, dst_leaf).len() < 2 {
                 continue;
             }
-            let per_port: &mut HashMap<u16, u64> = &mut weights[dst_leaf as usize];
+            let per_port: &mut FxHashMap<u16, u64> = &mut weights[dst_leaf as usize];
             for path in enumerate_shortest_paths(topo, routes, switch, dst_leaf, 1 << 16) {
                 let cap = path
                     .iter()

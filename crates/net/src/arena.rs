@@ -1,0 +1,373 @@
+//! The in-flight packet arena: every packet between host send and final
+//! delivery/drop lives in one generational slab, and events carry a slim
+//! [`PacketRef`] handle instead of the ~100-byte [`Packet`] itself.
+//!
+//! # Why
+//!
+//! The timing wheel sizes its slab nodes for the largest event variant.
+//! With packets travelling by value inside `ArriveSwitch`/`ArriveHost`,
+//! every wheel push, level cascade, slot-drain sort and `EventSink` drain
+//! memcpys a full packet; with handles, events shrink to ≤ 24 bytes and
+//! the packet bytes are written exactly once, at [`PacketArena::insert`].
+//!
+//! # Lifecycle contract
+//!
+//! `insert` on host send → the handle threads through NIC queue, events,
+//! switch port FIFOs and (optionally) the shim reorder buffer → exactly
+//! one of:
+//!
+//! * [`PacketArena::take`] at final delivery (the transport layer wants
+//!   the packet by value), or
+//! * [`PacketArena::free`] at any drop site (tail drop, dead link, lossy
+//!   wire, NIC overflow, blackhole, switch rebuild).
+//!
+//! [`PacketArena::live`] counts outstanding handles; the determinism
+//! golden suite asserts it returns to zero after every drained run, which
+//! catches a forgotten `free` on any drop path.
+//!
+//! Slots are generation-stamped (the same scheme as the timing wheel's
+//! `EventToken`): freeing bumps the slot generation, so a stale handle
+//! can never silently alias a reused slot — dereferencing one trips a
+//! debug assertion.
+//!
+//! # The `fat-events` build
+//!
+//! With the off-by-default `fat-events` cargo feature, [`PacketRef`]
+//! *is* the packet (carried by value, as before this refactor) and the
+//! arena degenerates to a live counter. The API is identical, so every
+//! consumer compiles against both layouts unchanged and
+//! `scripts/qbench.sh` can A/B the two builds end to end — behaviour is
+//! bit-identical by construction because the arena changes where packets
+//! live, never what happens to them.
+
+use crate::packet::Packet;
+
+#[cfg(not(feature = "fat-events"))]
+mod slim {
+    use super::Packet;
+
+    /// A copyable handle to a packet interned in a [`PacketArena`]:
+    /// slab index + generation stamp, 8 bytes.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct PacketRef {
+        idx: u32,
+        gen: u32,
+    }
+
+    struct Slot {
+        /// Bumped on every free; a handle is valid iff its stamp matches.
+        gen: u32,
+        /// `None` while the slot sits on the free list.
+        pkt: Option<Packet>,
+    }
+
+    /// Generational slab arena for in-flight packets (see module docs).
+    #[derive(Default)]
+    pub struct PacketArena {
+        slots: Vec<Slot>,
+        /// Indices of free slots, reused LIFO (hottest cache lines first).
+        free: Vec<u32>,
+        live: usize,
+    }
+
+    impl PacketArena {
+        /// An empty arena.
+        pub const fn new() -> PacketArena {
+            PacketArena {
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+            }
+        }
+
+        /// Intern `pkt`, returning its handle. Reuses a freed slot when
+        /// one exists; grows the slab otherwise.
+        #[inline]
+        pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+            self.live += 1;
+            if let Some(idx) = self.free.pop() {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.pkt.is_none(), "free-list slot was occupied");
+                slot.pkt = Some(pkt);
+                PacketRef { idx, gen: slot.gen }
+            } else {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    pkt: Some(pkt),
+                });
+                PacketRef { idx, gen: 0 }
+            }
+        }
+
+        #[inline]
+        fn check(&self, r: &PacketRef) {
+            debug_assert_eq!(
+                self.slots[r.idx as usize].gen, r.gen,
+                "stale PacketRef: slot {} was freed and reused",
+                r.idx
+            );
+        }
+
+        /// Read the packet behind `r`.
+        ///
+        /// Debug builds assert the handle is current (a stale handle —
+        /// one whose slot was freed — is a lifecycle bug at the caller).
+        #[inline]
+        pub fn get<'a>(&'a self, r: &'a PacketRef) -> &'a Packet {
+            self.check(r);
+            self.slots[r.idx as usize]
+                .pkt
+                .as_ref()
+                .expect("PacketRef points at a freed slot")
+        }
+
+        /// Mutable access to the packet behind `r` (policy hooks mutate
+        /// source routes and CONGA tags in place).
+        ///
+        /// Takes the handle mutably so the `fat-events` build — where the
+        /// handle owns the bytes — presents the same signature.
+        #[inline]
+        pub fn get_mut<'a>(&'a mut self, r: &'a mut PacketRef) -> &'a mut Packet {
+            self.check(r);
+            self.slots[r.idx as usize]
+                .pkt
+                .as_mut()
+                .expect("PacketRef points at a freed slot")
+        }
+
+        /// Remove the packet behind `r` from the arena and return it by
+        /// value (final delivery). Frees the slot.
+        #[inline]
+        pub fn take(&mut self, r: PacketRef) -> Packet {
+            self.check(&r);
+            let slot = &mut self.slots[r.idx as usize];
+            let pkt = slot.pkt.take().expect("PacketRef points at a freed slot");
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(r.idx);
+            self.live -= 1;
+            pkt
+        }
+
+        /// Drop the packet behind `r` (any drop site). Frees the slot.
+        #[inline]
+        pub fn free(&mut self, r: PacketRef) {
+            let _ = self.take(r);
+        }
+
+        /// Number of packets currently interned. Zero once a run has
+        /// fully drained — the leak check the golden suite pins.
+        #[inline]
+        pub fn live(&self) -> usize {
+            self.live
+        }
+
+        /// Slab capacity in slots (high-water mark of concurrently live
+        /// packets; never shrinks).
+        #[inline]
+        pub fn capacity(&self) -> usize {
+            self.slots.len()
+        }
+    }
+}
+
+#[cfg(feature = "fat-events")]
+mod fat {
+    use super::Packet;
+
+    /// The `fat-events` handle: the packet itself, carried by value
+    /// through queues and events exactly as before the arena refactor.
+    /// Deliberately not `Copy` — the slim build's moves must compile
+    /// against a move-only handle so neither build double-frees.
+    #[derive(Debug)]
+    pub struct PacketRef {
+        pkt: Packet,
+    }
+
+    /// Pass-through arena: no storage, just the live-handle count so the
+    /// leak check exercises the same lifecycle contract on both builds.
+    #[derive(Default)]
+    pub struct PacketArena {
+        live: usize,
+    }
+
+    impl PacketArena {
+        /// An empty arena.
+        pub const fn new() -> PacketArena {
+            PacketArena { live: 0 }
+        }
+
+        /// Wrap `pkt` into a by-value handle.
+        #[inline]
+        pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+            self.live += 1;
+            PacketRef { pkt }
+        }
+
+        /// Read the packet inside `r`.
+        #[inline]
+        pub fn get<'a>(&'a self, r: &'a PacketRef) -> &'a Packet {
+            &r.pkt
+        }
+
+        /// Mutable access to the packet inside `r`.
+        #[inline]
+        pub fn get_mut<'a>(&'a mut self, r: &'a mut PacketRef) -> &'a mut Packet {
+            &mut r.pkt
+        }
+
+        /// Unwrap the handle (final delivery).
+        #[inline]
+        pub fn take(&mut self, r: PacketRef) -> Packet {
+            self.live -= 1;
+            r.pkt
+        }
+
+        /// Drop the handle (any drop site).
+        #[inline]
+        pub fn free(&mut self, r: PacketRef) {
+            self.live -= 1;
+            let _ = r;
+        }
+
+        /// Number of outstanding handles.
+        #[inline]
+        pub fn live(&self) -> usize {
+            self.live
+        }
+
+        /// No slab in this build; reported as the live count so capacity
+        /// is still monotone against `live` for diagnostics.
+        #[inline]
+        pub fn capacity(&self) -> usize {
+            self.live
+        }
+    }
+}
+
+#[cfg(feature = "fat-events")]
+pub use fat::{PacketArena, PacketRef};
+#[cfg(not(feature = "fat-events"))]
+pub use slim::{PacketArena, PacketRef};
+
+/// The slim handle must stay pocket-sized: it is the payload of the hot
+/// event variants, so its size bounds `NetEvent`'s.
+#[cfg(not(feature = "fat-events"))]
+const _: () = assert!(std::mem::size_of::<PacketRef>() == 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, HostId};
+    use drill_sim::{SimRng, Time};
+
+    fn pkt(id: u64) -> Packet {
+        Packet::data(
+            id,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            0xfeed,
+            0,
+            1000,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn insert_get_take_round_trip() {
+        let mut a = PacketArena::new();
+        let r = a.insert(pkt(7));
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.get(&r).id, 7);
+        let p = a.take(r);
+        assert_eq!(p.id, 7);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut a = PacketArena::new();
+        let mut r = a.insert(pkt(1));
+        a.get_mut(&mut r).push_route(42);
+        assert_eq!(a.get(&r).srcroute_len, 1);
+        assert_eq!(a.get_mut(&mut r).next_route_hop(), Some(42));
+        a.free(r);
+    }
+
+    #[cfg(not(feature = "fat-events"))]
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut a = PacketArena::new();
+        let r0 = a.insert(pkt(0));
+        let r1 = a.insert(pkt(1));
+        assert_eq!(a.capacity(), 2);
+        a.free(r0);
+        a.free(r1);
+        // LIFO reuse: the two replacement packets land in the same two
+        // slots, no slab growth.
+        let r2 = a.insert(pkt(2));
+        let r3 = a.insert(pkt(3));
+        assert_eq!(a.capacity(), 2, "freed slots reused, slab did not grow");
+        assert_eq!(a.get(&r2).id, 2);
+        assert_eq!(a.get(&r3).id, 3);
+        a.free(r2);
+        a.free(r3);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[cfg(not(feature = "fat-events"))]
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn stale_handle_deref_is_caught() {
+        let mut a = PacketArena::new();
+        let stale = a.insert(pkt(0));
+        let dup = stale; // Copy: same slot, same generation
+        a.free(dup);
+        let _reused = a.insert(pkt(1)); // same slot, new generation
+        let _ = a.get(&stale); // must trip the generation check
+    }
+
+    #[test]
+    fn grow_under_churn_keeps_handles_distinct() {
+        // Interleaved alloc/free with a rising live population: the slab
+        // grows while the free list cycles, and no two live handles may
+        // ever resolve to the same packet.
+        let mut a = PacketArena::new();
+        let mut rng = SimRng::seed_from(0xA11A);
+        let mut held: Vec<(super::PacketRef, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for round in 0..10_000usize {
+            // Bias toward growth early, churn later.
+            let grow = held.is_empty() || rng.below(100) < if round < 4000 { 70 } else { 45 };
+            if grow {
+                let r = a.insert(pkt(next_id));
+                held.push((r, next_id));
+                next_id += 1;
+            } else {
+                let i = rng.below(held.len());
+                let (r, id) = held.swap_remove(i);
+                assert_eq!(a.get(&r).id, id, "handle resolved to the wrong packet");
+                a.free(r);
+            }
+        }
+        assert_eq!(a.live(), held.len());
+        // Every surviving handle still resolves to its own packet, and
+        // all payloads are pairwise distinct.
+        let mut seen: Vec<u64> = held
+            .iter()
+            .map(|(r, id)| {
+                assert_eq!(a.get(r).id, *id);
+                *id
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), held.len(), "two live handles aliased");
+        for (r, _) in held.drain(..) {
+            a.free(r);
+        }
+        assert_eq!(a.live(), 0);
+    }
+}

@@ -6,8 +6,8 @@ use std::collections::VecDeque;
 use drill_sim::Time;
 use drill_telemetry::Probe;
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::ids::{HostId, NodeRef};
-use crate::packet::Packet;
 use crate::topology::Topology;
 use crate::{EventSink, NetEvent};
 
@@ -22,7 +22,9 @@ pub const HOST_NIC_BUF_BYTES: u64 = 4 * 1024 * 1024;
 /// access-link rate.
 pub struct HostNic {
     host: HostId,
-    q: VecDeque<Packet>,
+    /// FIFO of (handle, wire size); the size rides along so backlog
+    /// accounting never touches the arena.
+    q: VecDeque<(PacketRef, u32)>,
     q_bytes: u64,
     in_flight: bool,
     limit_bytes: u64,
@@ -59,37 +61,39 @@ impl HostNic {
     pub fn send<P: Probe>(
         &mut self,
         topo: &Topology,
-        pkt: Packet,
+        arena: &mut PacketArena,
+        pref: PacketRef,
         now: Time,
         out: &mut EventSink,
         probe: &mut P,
     ) {
         let link = topo.host_uplink(self.host);
+        let size = arena.get(&pref).size;
         if !self.in_flight {
             debug_assert!(self.q.is_empty());
             if P::ENABLED {
-                probe.on_host_send(now, self.host.0, &pkt.meta());
+                probe.on_host_send(now, self.host.0, &arena.get(&pref).meta());
             }
             self.in_flight = true;
-            self.q.push_back(pkt);
-            let size = self.q[0].size as u64;
+            self.q.push_back((pref, size));
             out.push((
-                now + Time::tx_time(size, link.rate_bps),
+                now + Time::tx_time(size as u64, link.rate_bps),
                 NetEvent::HostTxDone { host: self.host },
             ));
         } else {
-            if self.q_bytes + pkt.size as u64 > self.limit_bytes {
+            if self.q_bytes + size as u64 > self.limit_bytes {
                 self.drops += 1;
                 if P::ENABLED {
-                    probe.on_nic_drop(now, self.host.0, &pkt.meta());
+                    probe.on_nic_drop(now, self.host.0, &arena.get(&pref).meta());
                 }
+                arena.free(pref);
                 return;
             }
             if P::ENABLED {
-                probe.on_host_send(now, self.host.0, &pkt.meta());
+                probe.on_host_send(now, self.host.0, &arena.get(&pref).meta());
             }
-            self.q_bytes += pkt.size as u64;
-            self.q.push_back(pkt);
+            self.q_bytes += size as u64;
+            self.q.push_back((pref, size));
         }
     }
 
@@ -97,7 +101,7 @@ impl HostNic {
     /// the next.
     pub fn on_tx_done(&mut self, topo: &Topology, now: Time, out: &mut EventSink) {
         let link = topo.host_uplink(self.host);
-        let pkt = self.q.pop_front().expect("tx-done with empty NIC queue");
+        let (pkt, _) = self.q.pop_front().expect("tx-done with empty NIC queue");
         self.tx_pkts += 1;
         let arrive = now + link.prop;
         match link.dst {
@@ -111,11 +115,10 @@ impl HostNic {
             )),
             NodeRef::Host(h) => out.push((arrive, NetEvent::ArriveHost { host: h, pkt })),
         }
-        if let Some(next) = self.q.front() {
-            self.q_bytes -= next.size as u64;
-            let size = next.size as u64;
+        if let Some(&(_, size)) = self.q.front() {
+            self.q_bytes -= size as u64;
             out.push((
-                now + Time::tx_time(size, link.rate_bps),
+                now + Time::tx_time(size as u64, link.rate_bps),
                 NetEvent::HostTxDone { host: self.host },
             ));
         } else {
@@ -129,6 +132,7 @@ mod tests {
     use super::*;
     use crate::builders::{leaf_spine, LeafSpineSpec, DEFAULT_PROP};
     use crate::ids::FlowId;
+    use crate::packet::Packet;
     use drill_telemetry::NoopProbe;
 
     fn topo() -> Topology {
@@ -155,12 +159,24 @@ mod tests {
         )
     }
 
+    fn send(
+        nic: &mut HostNic,
+        t: &Topology,
+        arena: &mut PacketArena,
+        p: Packet,
+        out: &mut EventSink,
+    ) {
+        let r = arena.insert(p);
+        nic.send(t, arena, r, Time::ZERO, out, &mut NoopProbe);
+    }
+
     #[test]
     fn serializes_at_link_rate() {
         let t = topo();
         let mut nic = HostNic::new(HostId(0));
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
-        nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe); // 1500B wire
+        send(&mut nic, &t, &mut arena, pkt(1442), &mut out); // 1500B wire
         let (tx_at, _) = &out[0];
         assert_eq!(*tx_at, Time::from_nanos(1200));
         out.clear();
@@ -177,7 +193,7 @@ mod tests {
                 assert_eq!(*t_arrive, Time::from_nanos(1700));
                 assert_eq!(*switch, t.host_leaf(HostId(0)));
                 assert_eq!(*ingress, t.host_uplink(HostId(0)).dst_port);
-                assert_eq!(pkt.size, 1500);
+                assert_eq!(arena.get(pkt).size, 1500);
             }
             other => panic!("unexpected event {other:?}"),
         }
@@ -188,9 +204,10 @@ mod tests {
     fn back_to_back_packets_queue() {
         let t = topo();
         let mut nic = HostNic::new(HostId(0));
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
-        nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe);
-        nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe);
+        send(&mut nic, &t, &mut arena, pkt(1442), &mut out);
+        send(&mut nic, &t, &mut arena, pkt(1442), &mut out);
         // Only one TxDone scheduled for the head.
         assert_eq!(out.len(), 1);
         assert_eq!(nic.backlog_bytes(), 1500);
@@ -206,11 +223,14 @@ mod tests {
         let t = topo();
         let mut nic = HostNic::new(HostId(0));
         nic.limit_bytes = 3000;
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         for _ in 0..5 {
-            nic.send(&t, pkt(1442), Time::ZERO, &mut out, &mut NoopProbe);
+            send(&mut nic, &t, &mut arena, pkt(1442), &mut out);
         }
         // 1 in flight + 2 queued (3000B), rest dropped.
         assert_eq!(nic.drops, 2);
+        // The dropped packets' arena slots were released on the spot.
+        assert_eq!(arena.live(), 3);
     }
 }

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod builders;
 mod host;
 mod ids;
@@ -33,6 +34,7 @@ mod routing;
 mod switch;
 mod topology;
 
+pub use arena::{PacketArena, PacketRef};
 pub use builders::{
     fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Vl2Spec, DEFAULT_PROP,
 };
@@ -41,7 +43,7 @@ pub use ids::{FlowId, HostId, LinkId, NodeRef, SwitchId};
 pub use lbapi::{
     weighted_group_pick, HostPolicy, NullHostPolicy, PortGroup, QueueView, SelectCtx, SwitchPolicy,
 };
-pub use packet::{flags, CongaTag, Packet, PacketBufPool, ACK_WIRE_BYTES, HEADER_BYTES};
+pub use packet::{flags, BufPool, CongaTag, Packet, PacketBufPool, ACK_WIRE_BYTES, HEADER_BYTES};
 pub use routing::{RouteTable, UNREACHABLE};
 pub use switch::{PortQueues, PortStats, Switch, SwitchConfig};
 pub use topology::{HopClass, Link, SwitchKind, Topology};
@@ -50,6 +52,12 @@ use drill_sim::Time;
 
 /// Events produced by the network layer, to be embedded in the simulation's
 /// global event enum by the runtime.
+///
+/// Packet-carrying variants hold a [`PacketRef`] into the run's
+/// [`PacketArena`], not the packet itself: events are what the timing
+/// wheel's slab nodes, batch sorts and `EventSink` drains copy around, so
+/// they are pinned small by the `const` assert below (the `fat-events`
+/// A/B build carries packets by value and lifts the pin).
 #[derive(Debug)]
 pub enum NetEvent {
     /// A packet has fully arrived at a switch (store-and-forward).
@@ -58,15 +66,15 @@ pub enum NetEvent {
         switch: SwitchId,
         /// Ingress port at that switch (selects the forwarding engine).
         ingress: u16,
-        /// The packet.
-        pkt: Packet,
+        /// Handle to the packet.
+        pkt: PacketRef,
     },
     /// A packet has fully arrived at a host NIC.
     ArriveHost {
         /// Destination host.
         host: HostId,
-        /// The packet.
-        pkt: Packet,
+        /// Handle to the packet.
+        pkt: PacketRef,
     },
     /// A switch output port finished serializing its head packet.
     SwitchTxDone {
@@ -102,3 +110,9 @@ pub enum NetEvent {
 /// its global event queue; this avoids borrow entanglement between
 /// components and the queue.
 pub type EventSink = Vec<(Time, NetEvent)>;
+
+/// The whole point of the arena: handle-based events stay two words.
+/// `ArriveSwitch` (u32 switch + u16 ingress + 8-byte [`PacketRef`]) is the
+/// largest variant at 16 bytes including the discriminant.
+#[cfg(not(feature = "fat-events"))]
+const _: () = assert!(std::mem::size_of::<NetEvent>() <= 16);

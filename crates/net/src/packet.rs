@@ -215,38 +215,41 @@ impl Packet {
     }
 }
 
-/// A recycling pool of packet batch buffers.
+/// A recycling pool of batch buffers.
 ///
-/// The event loop repeatedly collects small bursts of packets (TCP
-/// transmissions, ACK batches, retransmissions) into a `Vec<Packet>`,
-/// hands each packet onward by value, and discards the vector. Allocating
-/// a fresh vector per event dominated the allocator profile of long runs;
-/// the pool keeps emptied buffers (capacity intact) for reuse, so the
+/// The event loop repeatedly collects small bursts of items (TCP
+/// transmissions, ACK batches, shim releases) into a `Vec`, hands each
+/// item onward by value, and discards the vector. Allocating a fresh
+/// vector per event dominated the allocator profile of long runs; the
+/// pool keeps emptied buffers (capacity intact) for reuse, so the
 /// steady-state hot path performs no allocation at all.
 ///
 /// Buffers are returned cleared; `get` on an empty pool falls back to a
 /// fresh `Vec`, so the pool is always safe to use and never a correctness
 /// concern — only a recycling hint.
 #[derive(Default)]
-pub struct PacketBufPool {
-    bufs: Vec<Vec<Packet>>,
+pub struct BufPool<T> {
+    bufs: Vec<Vec<T>>,
 }
 
-impl PacketBufPool {
+/// Pool of [`Packet`] batch buffers (TCP/ACK emission bursts).
+pub type PacketBufPool = BufPool<Packet>;
+
+impl<T> BufPool<T> {
     /// An empty pool.
-    pub const fn new() -> PacketBufPool {
-        PacketBufPool { bufs: Vec::new() }
+    pub const fn new() -> BufPool<T> {
+        BufPool { bufs: Vec::new() }
     }
 
     /// Take an empty buffer from the pool (or allocate one).
     #[inline]
-    pub fn get(&mut self) -> Vec<Packet> {
+    pub fn get(&mut self) -> Vec<T> {
         self.bufs.pop().unwrap_or_default()
     }
 
     /// Return a buffer to the pool for reuse. Contents are dropped.
     #[inline]
-    pub fn put(&mut self, mut buf: Vec<Packet>) {
+    pub fn put(&mut self, mut buf: Vec<T>) {
         buf.clear();
         self.bufs.push(buf);
     }

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use drill_sim::{SimRng, Time};
 use drill_telemetry::{DropReason, EngineChoice, Probe};
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::ids::{NodeRef, SwitchId};
 use crate::lbapi::{weighted_group_pick, QueueView, SelectCtx, SwitchPolicy};
 use crate::packet::Packet;
@@ -70,12 +71,21 @@ pub struct PortStats {
     pub wait_count: u64,
 }
 
+/// A packet resident in a port FIFO: its arena handle plus the wire size
+/// and enqueue time, cached inline so occupancy accounting and wait
+/// sampling never chase the arena.
+struct QueuedPkt {
+    r: PacketRef,
+    size: u32,
+    enq: Time,
+}
+
 struct OutPort {
-    q: VecDeque<(Packet, Time)>,
+    q: VecDeque<QueuedPkt>,
     /// Waiting bytes (excluding the packet being serialized).
     q_bytes: u64,
     /// Packet currently on the wire, with its enqueue time.
-    in_flight: Option<(Packet, Time)>,
+    in_flight: Option<QueuedPkt>,
     /// Committed (engine-visible) bytes, including the in-flight packet.
     visible_bytes: u64,
     /// Committed (engine-visible) packets, including the in-flight packet.
@@ -102,7 +112,7 @@ impl OutPort {
 
     /// Actual occupancy in bytes (waiting + in flight).
     fn bytes(&self) -> u64 {
-        self.q_bytes + self.in_flight.as_ref().map_or(0, |(p, _)| p.size as u64)
+        self.q_bytes + self.in_flight.as_ref().map_or(0, |q| q.size as u64)
     }
 }
 
@@ -246,7 +256,8 @@ impl Switch {
         &mut self,
         topo: &Topology,
         routes: &RouteTable,
-        mut pkt: Packet,
+        arena: &mut PacketArena,
+        mut pref: PacketRef,
         ingress: u16,
         now: Time,
         rng: &mut SimRng,
@@ -254,15 +265,28 @@ impl Switch {
         probe: &mut P,
     ) {
         let from_host = topo.ingress_link(self.id, ingress).hop == HopClass::HostUp;
-        self.policy.on_arrival(&mut pkt, now, topo, self.id);
+        let dst = {
+            let pkt = arena.get_mut(&mut pref);
+            self.policy.on_arrival(pkt, now, topo, self.id);
+            pkt.dst
+        };
 
         // 1. Local delivery?
-        let port = if topo.host_leaf(pkt.dst) == self.id {
-            topo.host_leaf_port(pkt.dst)
+        let port = if topo.host_leaf(dst) == self.id {
+            topo.host_leaf_port(dst)
         } else {
-            let dst_leaf = topo.host_leaf_index(pkt.dst);
-            match self.pick_fabric_port(topo, routes, &mut pkt, dst_leaf, ingress, now, rng, probe)
-            {
+            let dst_leaf = topo.host_leaf_index(dst);
+            let picked = self.pick_fabric_port(
+                topo,
+                routes,
+                arena.get_mut(&mut pref),
+                dst_leaf,
+                ingress,
+                now,
+                rng,
+                probe,
+            );
+            match picked {
                 Some(p) => p,
                 None => {
                     self.blackholed += 1;
@@ -273,19 +297,26 @@ impl Switch {
                             self.id.0,
                             u16::MAX,
                             engine,
-                            &pkt.meta(),
+                            &arena.get(&pref).meta(),
                             DropReason::NoRoute,
                         );
                     }
+                    arena.free(pref);
                     return;
                 }
             }
         };
 
-        self.policy
-            .on_forward(&mut pkt, port, now, topo, self.id, from_host);
+        self.policy.on_forward(
+            arena.get_mut(&mut pref),
+            port,
+            now,
+            topo,
+            self.id,
+            from_host,
+        );
         let engine = ingress as usize % self.cfg.engines;
-        self.enqueue_from_engine(topo, port, pkt, engine, now, out, probe);
+        self.enqueue_from_engine(topo, arena, port, pref, engine, now, out, probe);
     }
 
     /// Choose the egress port toward `dst_leaf`: source route if present and
@@ -399,16 +430,18 @@ impl Switch {
 
     /// Append a packet to `port`'s queue (tail drop), starting transmission
     /// if the port is idle. Attributed to engine 0.
+    #[allow(clippy::too_many_arguments)]
     pub fn enqueue<P: Probe>(
         &mut self,
         topo: &Topology,
+        arena: &mut PacketArena,
         port: u16,
-        pkt: Packet,
+        pref: PacketRef,
         now: Time,
         out: &mut EventSink,
         probe: &mut P,
     ) {
-        self.enqueue_from_engine(topo, port, pkt, 0, now, out, probe)
+        self.enqueue_from_engine(topo, arena, port, pref, 0, now, out, probe)
     }
 
     /// [`Switch::enqueue`] attributed to a specific forwarding engine (the
@@ -417,34 +450,40 @@ impl Switch {
     pub fn enqueue_from_engine<P: Probe>(
         &mut self,
         topo: &Topology,
+        arena: &mut PacketArena,
         port: u16,
-        pkt: Packet,
+        pref: PacketRef,
         engine: usize,
         now: Time,
         out: &mut EventSink,
         probe: &mut P,
     ) {
         let link = topo.egress(self.id, port);
+        let size = arena.get(&pref).size;
         let p = &mut self.ports[port as usize];
         if !link.up {
             p.stats.drops += 1;
-            p.stats.drop_bytes += pkt.size as u64;
+            p.stats.drop_bytes += size as u64;
             if P::ENABLED {
                 probe.on_drop(
                     now,
                     self.id.0,
                     port,
                     engine as u16,
-                    &pkt.meta(),
+                    &arena.get(&pref).meta(),
                     DropReason::LinkDown,
                 );
             }
+            arena.free(pref);
             return;
         }
-        // Copied only on the enabled path (the packet moves into the queue
+        // Copied only on the enabled path (the handle moves into the queue
         // below, before the hook fires).
-        let meta = if P::ENABLED { Some(pkt.meta()) } else { None };
-        let size = pkt.size;
+        let meta = if P::ENABLED {
+            Some(arena.get(&pref).meta())
+        } else {
+            None
+        };
         if p.in_flight.is_none() {
             debug_assert!(p.q.is_empty());
             // Commit event is pushed before TxDone so that for equal
@@ -466,7 +505,11 @@ impl Switch {
                 p.visible_pkts += 1;
             }
             let p = &mut self.ports[port as usize];
-            p.in_flight = Some((pkt, now));
+            p.in_flight = Some(QueuedPkt {
+                r: pref,
+                size,
+                enq: now,
+            });
             p.stats.wait_count += 1; // zero wait
             out.push((
                 now + Time::tx_time(size as u64, link.rate_bps),
@@ -489,6 +532,7 @@ impl Switch {
                         DropReason::TailDrop,
                     );
                 }
+                arena.free(pref);
                 return;
             }
             if self.cfg.model_enqueue_commit {
@@ -509,7 +553,11 @@ impl Switch {
             }
             let p = &mut self.ports[port as usize];
             p.q_bytes += size as u64;
-            p.q.push_back((pkt, now));
+            p.q.push_back(QueuedPkt {
+                r: pref,
+                size,
+                enq: now,
+            });
         }
         if let Some(m) = meta {
             let p = &self.ports[port as usize];
@@ -539,6 +587,7 @@ impl Switch {
     pub fn on_tx_done<P: Probe>(
         &mut self,
         topo: &Topology,
+        arena: &mut PacketArena,
         port: u16,
         now: Time,
         rng: &mut SimRng,
@@ -547,38 +596,46 @@ impl Switch {
     ) {
         let link = topo.egress(self.id, port);
         let p = &mut self.ports[port as usize];
-        let (pkt, enq) = p
+        let QueuedPkt { r: pref, size, enq } = p
             .in_flight
             .take()
             .expect("tx-done with no packet in flight");
         debug_assert!(p.visible_pkts > 0, "departing packet must have committed");
-        p.visible_bytes -= pkt.size as u64;
+        p.visible_bytes -= size as u64;
         p.visible_pkts -= 1;
         p.stats.tx_pkts += 1;
-        p.stats.tx_bytes += pkt.size as u64;
+        p.stats.tx_bytes += size as u64;
         if P::ENABLED {
             // Full sojourn: append to end of serialization. Fires even if
             // the link died mid-flight (the packet did leave the queue);
             // the drop hook below records its fate.
             let depth = p.pkts();
-            probe.on_dequeue(now, self.id.0, port, pkt.id, depth, (now - enq).as_nanos());
+            probe.on_dequeue(
+                now,
+                self.id.0,
+                port,
+                arena.get(&pref).id,
+                depth,
+                (now - enq).as_nanos(),
+            );
         }
         let lost_on_wire =
             link.up && link.loss_ppm > 0 && rng.below(1_000_000) < link.loss_ppm as usize;
         if lost_on_wire {
             // Corrupted on a lossy wire: it left the queue but never arrives.
             p.stats.drops += 1;
-            p.stats.drop_bytes += pkt.size as u64;
+            p.stats.drop_bytes += size as u64;
             if P::ENABLED {
                 probe.on_drop(
                     now,
                     self.id.0,
                     port,
                     u16::MAX,
-                    &pkt.meta(),
+                    &arena.get(&pref).meta(),
                     DropReason::LinkLoss,
                 );
             }
+            arena.free(pref);
         } else if link.up {
             let arrive = now + link.prop;
             match link.dst {
@@ -588,18 +645,18 @@ impl Switch {
                         NetEvent::ArriveSwitch {
                             switch: s,
                             ingress: link.dst_port,
-                            pkt,
+                            pkt: pref,
                         },
                     ));
                 }
                 NodeRef::Host(h) => {
-                    out.push((arrive, NetEvent::ArriveHost { host: h, pkt }));
+                    out.push((arrive, NetEvent::ArriveHost { host: h, pkt: pref }));
                 }
             }
         } else {
             // Link died while the packet was serializing: it is lost.
             p.stats.drops += 1;
-            p.stats.drop_bytes += pkt.size as u64;
+            p.stats.drop_bytes += size as u64;
             if P::ENABLED {
                 // Engine unknown at this point (u16::MAX); the recorder's
                 // port FIFO recovers it from the matching dequeue.
@@ -608,14 +665,15 @@ impl Switch {
                     self.id.0,
                     port,
                     u16::MAX,
-                    &pkt.meta(),
+                    &arena.get(&pref).meta(),
                     DropReason::LinkDown,
                 );
             }
+            arena.free(pref);
         }
-        if let Some((next, enq)) = p.q.pop_front() {
+        if let Some(next) = p.q.pop_front() {
             p.q_bytes -= next.size as u64;
-            p.stats.wait_ns_sum += (now - enq).as_nanos();
+            p.stats.wait_ns_sum += (now - next.enq).as_nanos();
             p.stats.wait_count += 1;
             out.push((
                 now + Time::tx_time(next.size as u64, link.rate_bps),
@@ -624,7 +682,26 @@ impl Switch {
                     port,
                 },
             ));
-            p.in_flight = Some((next, enq));
+            p.in_flight = Some(next);
+        }
+    }
+
+    /// Drain every port FIFO and free the arena slot of each queued or
+    /// in-flight packet.
+    ///
+    /// Used when a control-plane rebuild replaces this switch object
+    /// (WCMP reconvergence): those packets were always dropped with the
+    /// old switch; with the arena their slots must be released explicitly
+    /// or the end-of-run leak check would count them as lost.
+    pub fn free_queued(&mut self, arena: &mut PacketArena) {
+        for p in self.ports.iter_mut() {
+            if let Some(q) = p.in_flight.take() {
+                arena.free(q.r);
+            }
+            for q in p.q.drain(..) {
+                arena.free(q.r);
+            }
+            p.q_bytes = 0;
         }
     }
 }
@@ -678,23 +755,52 @@ mod tests {
         )
     }
 
+    /// Intern `p` and hand it to the switch (what the event loop does).
+    #[allow(clippy::too_many_arguments)]
+    fn recv(
+        sw: &mut Switch,
+        topo: &Topology,
+        routes: &RouteTable,
+        arena: &mut PacketArena,
+        p: Packet,
+        ingress: u16,
+        now: Time,
+        rng: &mut SimRng,
+        out: &mut EventSink,
+    ) {
+        let r = arena.insert(p);
+        sw.receive(
+            topo,
+            routes,
+            arena,
+            r,
+            ingress,
+            now,
+            rng,
+            out,
+            &mut NoopProbe,
+        );
+    }
+
     #[test]
     fn local_delivery_uses_host_port() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         // Host 1 is on leaf 0 (hosts 0,1 -> leaf0; 2,3 -> leaf1).
         let p = pkt(HostId(1), 1000);
         let ingress = 0; // from a spine
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         // One commit + one tx-done scheduled.
         assert_eq!(out.len(), 2);
@@ -706,18 +812,20 @@ mod tests {
     fn fabric_forwarding_consults_policy() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let p = pkt(HostId(2), 1000); // on leaf 1: must go via a spine
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         // FirstPort picks candidate 0 = port 0 (first spine).
         assert_eq!(sw.queue_pkts(0), 1);
@@ -728,19 +836,21 @@ mod tests {
     fn tx_done_emits_arrival_after_prop() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let p = pkt(HostId(2), 1442); // wire size 1500
         let t0 = Time::from_micros(10);
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             host_ingress,
             t0,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         // tx time of 1500B at 10G = 1200ns.
         let tx_at = out
@@ -766,7 +876,15 @@ mod tests {
             sw.on_enqueue_commit(port, bytes, engine);
         }
         out.clear();
-        sw.on_tx_done(&topo, 0, tx_at, &mut rng, &mut out, &mut NoopProbe);
+        sw.on_tx_done(
+            &topo,
+            &mut arena,
+            0,
+            tx_at,
+            &mut rng,
+            &mut out,
+            &mut NoopProbe,
+        );
         let (arrive_t, ev) = &out[0];
         assert_eq!(*arrive_t, tx_at + DEFAULT_PROP);
         assert!(matches!(ev, NetEvent::ArriveSwitch { .. }));
@@ -777,17 +895,19 @@ mod tests {
     fn visibility_lags_until_commit() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             pkt(HostId(2), 1000),
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         // Actual occupancy 1, visible 0 until the commit event fires.
         assert_eq!(sw.queue_pkts(0), 1);
@@ -823,17 +943,19 @@ mod tests {
         };
         let mut sw = Switch::new(l0, topo.num_ports(l0), cfg, Box::new(FirstPort));
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             pkt(HostId(1), 1000),
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         assert_eq!(sw.visible_pkts(0), 1, "visible immediately");
         // Only a TxDone was scheduled, no commit event.
@@ -844,21 +966,23 @@ mod tests {
     fn tail_drop_on_full_queue() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
         // Queue limit 150_000B; wire size 1058 each; one in flight + 141
         // waiting fills it (141*1058 = 149_178; next would exceed).
         let mut sent = 0;
         for _ in 0..200 {
-            sw.receive(
+            recv(
+                &mut sw,
                 &topo,
                 &routes,
+                &mut arena,
                 pkt(HostId(2), 1000),
                 host_ingress,
                 Time::ZERO,
                 &mut rng,
                 &mut out,
-                &mut NoopProbe,
             );
             sent += 1;
         }
@@ -892,17 +1016,19 @@ mod tests {
             Box::new(FirstPort),
         );
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             pkt(HostId(1), 500),
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         assert_eq!(sw.blackholed, 1);
         assert!(out.is_empty());
@@ -912,21 +1038,23 @@ mod tests {
     fn source_route_overrides_policy() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let mut p = pkt(HostId(2), 1000);
         // Spines are ids 2 and 3; route via spine 3 (port 1), while the
         // policy would pick port 0.
         p.push_route(3);
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         assert_eq!(sw.queue_pkts(1), 1);
         assert_eq!(sw.queue_pkts(0), 0);
@@ -939,19 +1067,21 @@ mod tests {
         topo.fail_switch_link(l0, SwitchId(3), 0);
         let routes = RouteTable::compute(&topo);
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let mut p = pkt(HostId(2), 1000);
         p.push_route(3); // spine 3 is now unreachable from l0
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         // Fell back to the remaining candidate (port 0 -> spine 2).
         assert_eq!(sw.queue_pkts(0), 1);
@@ -967,19 +1097,21 @@ mod tests {
         topo.fail_switch_link(l0, SwitchId(2), 0);
         sw.sync_link_state(&topo);
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
         for _ in 0..4 {
             let p = pkt(HostId(2), 1000);
-            sw.receive(
+            recv(
+                &mut sw,
                 &topo,
                 &routes,
+                &mut arena,
                 p,
                 host_ingress,
                 Time::ZERO,
                 &mut rng,
                 &mut out,
-                &mut NoopProbe,
             );
         }
         // All four took the surviving uplink (port 1 -> spine 3), none died.
@@ -992,15 +1124,16 @@ mod tests {
         topo.fail_switch_link(l0, SwitchId(3), 0);
         sw.sync_link_state(&topo);
         let p = pkt(HostId(2), 1000);
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         assert_eq!(sw.blackholed, 1);
 
@@ -1008,15 +1141,16 @@ mod tests {
         topo.restore_switch_link(l0, SwitchId(2), 0);
         sw.sync_link_state(&topo);
         let p = pkt(HostId(2), 1000);
-        sw.receive(
+        recv(
+            &mut sw,
             &topo,
             &routes,
+            &mut arena,
             p,
             host_ingress,
             Time::ZERO,
             &mut rng,
             &mut out,
-            &mut NoopProbe,
         );
         assert_eq!(sw.blackholed, 1);
         assert_eq!(sw.queue_pkts(0), 1);
@@ -1026,20 +1160,22 @@ mod tests {
     fn fifo_order_preserved_per_port() {
         let (topo, routes, mut sw) = setup();
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
         for i in 0..3u64 {
             let mut p = pkt(HostId(2), 1000);
             p.id = i;
-            sw.receive(
+            recv(
+                &mut sw,
                 &topo,
                 &routes,
+                &mut arena,
                 p,
                 host_ingress,
                 Time::ZERO,
                 &mut rng,
                 &mut out,
-                &mut NoopProbe,
             );
         }
         // Deliver the pending commits, as the event loop would before any
@@ -1065,6 +1201,7 @@ mod tests {
             out.clear();
             sw.on_tx_done(
                 &topo,
+                &mut arena,
                 0,
                 Time::from_micros(k + 10),
                 &mut rng,
@@ -1073,7 +1210,7 @@ mod tests {
             );
             for (_, e) in &out {
                 if let NetEvent::ArriveSwitch { pkt, .. } = e {
-                    ids.push(pkt.id);
+                    ids.push(arena.get(pkt).id);
                 }
             }
         }
@@ -1100,20 +1237,22 @@ mod tests {
             ],
         );
         let mut rng = SimRng::seed_from(1);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
         for i in 0..20u64 {
             let mut p = pkt(HostId(2), 500);
             p.flow_hash = i.wrapping_mul(0x9e3779b97f4a7c15);
-            sw.receive(
+            recv(
+                &mut sw,
                 &topo,
                 &routes,
+                &mut arena,
                 p,
                 host_ingress,
                 Time::ZERO,
                 &mut rng,
                 &mut out,
-                &mut NoopProbe,
             );
         }
         assert_eq!(sw.queue_pkts(0), 0, "zero-weight group unused");
@@ -1136,21 +1275,23 @@ mod tests {
             Box::new(FirstPort),
         );
         let mut rng = SimRng::seed_from(7);
+        let mut arena = PacketArena::new();
         let mut out = Vec::new();
         let host_ingress = topo.host_uplink(HostId(0)).dst_port;
         let n = 400u64;
         for i in 0..n {
             let mut p = pkt(HostId(2), 1000);
             p.id = i;
-            sw.receive(
+            recv(
+                &mut sw,
                 &topo,
                 &routes,
+                &mut arena,
                 p,
                 host_ingress,
                 Time::ZERO,
                 &mut rng,
                 &mut out,
-                &mut NoopProbe,
             );
         }
         for (port, bytes, engine) in out
@@ -1173,6 +1314,7 @@ mod tests {
             out.clear();
             sw.on_tx_done(
                 &topo,
+                &mut arena,
                 0,
                 Time::from_micros(k + 10),
                 &mut rng,

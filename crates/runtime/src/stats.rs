@@ -137,6 +137,9 @@ pub struct RunStats {
     pub events: u64,
     /// Final simulated time.
     pub sim_end: Time,
+    /// Packets still interned in the arena when the run ended. Zero for
+    /// fully drained runs; the golden suite asserts this as a leak check.
+    pub arena_live_at_end: u64,
 }
 
 impl RunStats {
@@ -169,6 +172,7 @@ impl RunStats {
             stable_at: Time::ZERO,
             events: 0,
             sim_end: Time::ZERO,
+            arena_live_at_end: 0,
         }
     }
 
@@ -245,6 +249,7 @@ impl RunStats {
         self.stable_at = self.stable_at.max(other.stable_at);
         self.events += other.events;
         self.sim_end = self.sim_end.max(other.sim_end);
+        self.arena_live_at_end += other.arena_live_at_end;
     }
 }
 

@@ -74,6 +74,16 @@ enum SlotState {
     Cancelled,
 }
 
+/// Size in bytes of one wheel slab entry for payload type `P`.
+///
+/// `Node` itself is private (its intrusive links are an implementation
+/// detail), but embedders pin their per-event memory footprint with
+/// `const` asserts — event payloads travel *inside* slab nodes, so an
+/// oversized payload variant taxes every push, cascade and slot drain.
+pub const fn node_size<P>() -> usize {
+    std::mem::size_of::<Node<P>>()
+}
+
 struct Node<P> {
     /// Absolute deadline in nanoseconds.
     time: u64,

@@ -1,0 +1,177 @@
+//! A deterministic, std-only FxHash-style hasher.
+//!
+//! `std::collections::HashMap`'s default `RandomState` seeds SipHash from
+//! process entropy. That is fine for determinism here — none of the
+//! simulator's maps are iterated, so the seed can never leak into event
+//! order — but SipHash is a full 64-bit ARX permutation per word, which is
+//! measurable overhead on maps probed once per packet (Presto flowcell
+//! offsets, CONGA flowlet tables, WCMP weights). This module vendors the
+//! multiply-rotate scheme popularized by rustc's FxHash: one rotate, one
+//! xor and one multiply per 8-byte word, with a fixed (seedless) initial
+//! state, so hashes are identical across processes and machines.
+//!
+//! Not collision-resistant against adversarial keys — only simulator
+//! state (flow ids, port numbers, 64-bit flow hashes) goes through it.
+//!
+//! The exact output stream is pinned by golden tests below: a change to
+//! these constants changes every `FxHashMap`'s bucket layout, which is
+//! invisible to simulation results (the maps are never iterated) but
+//! would silently alter the memory profile a perf investigation relies
+//! on.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Knuth's 2^64 golden-ratio multiplier, the FxHash diffusion constant.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The hasher state: a single 64-bit accumulator.
+///
+/// Implements [`Hasher`] by folding each written word as
+/// `state = (state.rotate_left(5) ^ word) * K`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // 8-byte words, then one zero-padded tail word. Padding (instead
+        // of 4/2/1-byte sub-reads) keeps the loop branch-free and is safe
+        // here because `Hash` impls delimit variable-length data
+        // themselves (e.g. `str` writes a 0xFF terminator).
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s from a fixed (empty) state.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    /// The hash-stream golden: pinned outputs for the key types the
+    /// per-packet maps use (u64 flow hashes, u32 flow ids, u16 ports).
+    /// These constants were captured from this implementation; if they
+    /// move, every FxHashMap's bucket layout moves with them — say so in
+    /// the commit.
+    #[test]
+    fn hash_stream_golden() {
+        let golden_u64: Vec<(u64, u64)> = vec![
+            (0, 0),
+            (1, 0x517cc1b727220a95),
+            (0xdead_beef, 0x67f3_c037_2953_771b),
+            (0x9e37_79b9_7f4a_7c15, 0x9308_e0be_acfd_0a39),
+            (u64::MAX, 0xae83_3e48_d8dd_f56b),
+        ];
+        for (input, want) in golden_u64 {
+            assert_eq!(
+                hash_of(input),
+                want,
+                "u64 hash stream moved for input {input:#x}"
+            );
+        }
+        assert_eq!(hash_of(7u32), 0x3a69_4c02_11ee_4a13, "u32 stream moved");
+        assert_eq!(hash_of(7u16), 0x3a69_4c02_11ee_4a13, "u16 widens to u64");
+        assert_eq!(
+            hash_of((3u32, 9u16)),
+            0xed66_f1c8_c58c_f8c3,
+            "tuple stream moved"
+        );
+    }
+
+    /// Byte-slice writes must agree across chunk boundaries with the
+    /// padded-tail scheme (7, 8 and 9 bytes cover tail-only, exact and
+    /// chunk+tail).
+    #[test]
+    fn byte_writes_are_deterministic() {
+        for len in [0usize, 1, 7, 8, 9, 16, 23] {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut a = FxHasher::default();
+            let mut b = FxHasher::default();
+            a.write(&bytes);
+            b.write(&bytes);
+            assert_eq!(a.finish(), b.finish(), "len {len}");
+        }
+        let mut h = FxHasher::default();
+        h.write(b"drill");
+        assert_eq!(h.finish(), 0x9dfd_1b41_a51f_7c34, "byte stream moved");
+    }
+
+    /// The map type is a drop-in: insert/lookup behave like the default
+    /// hasher's map (only bucket layout differs, and nothing iterates).
+    #[test]
+    fn fx_map_round_trips() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), Some(&i));
+        }
+        let mut s: FxHashSet<u16> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3) && !s.contains(&4));
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fx;
 mod heap;
 mod rng;
 mod time;
@@ -50,7 +51,8 @@ pub use event::EventQueue;
 pub use heap::HeapQueue as EventQueue;
 
 pub use event::EventQueue as WheelQueue;
-pub use event::EventToken;
+pub use event::{node_size, EventToken};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use heap::HeapQueue;
 pub use rng::SimRng;
 pub use time::Time;

@@ -8,10 +8,15 @@
 //! expected next byte are held in a small buffer. They are released as soon
 //! as the gap fills, or after a timeout (which signals a real loss, letting
 //! TCP's duplicate-ACK machinery engage).
+//!
+//! Packets are held as [`PacketRef`] handles into the runtime's
+//! [`PacketArena`]; released handles are appended to a caller-supplied
+//! buffer (the runtime recycles those buffers through a pool, so the
+//! per-packet fast path allocates nothing).
 
 use std::collections::BTreeMap;
 
-use drill_net::Packet;
+use drill_net::{PacketArena, PacketRef};
 use drill_sim::Time;
 
 /// Default hold timeout before a gap is declared a loss and the buffer is
@@ -33,7 +38,7 @@ pub const SHIM_FLUSH_THRESHOLD: usize = 3;
 #[derive(Debug)]
 pub struct ShimBuffer {
     expected: u64,
-    buf: BTreeMap<u64, Packet>,
+    buf: BTreeMap<u64, PacketRef>,
     threshold: usize,
     timeout: Time,
     /// Generation for lazy timer invalidation.
@@ -84,77 +89,91 @@ impl ShimBuffer {
 
     /// Offer an arriving data packet. In-order (and old/duplicate) packets
     /// are delivered immediately, together with any buffered packets they
-    /// release; ahead-of-sequence packets are held. Returns the packets to
-    /// deliver up the stack, and the flush deadline to (re-)arm if the
-    /// buffer became (or stays) non-empty.
-    pub fn on_packet(&mut self, pkt: Packet, now: Time) -> (Vec<Packet>, Option<(Time, u64)>) {
-        let mut deliver = Vec::new();
-        if pkt.seq <= self.expected {
-            self.expected = self.expected.max(pkt.seq_end());
-            deliver.push(pkt);
+    /// release; ahead-of-sequence packets are held. Handles to deliver up
+    /// the stack are appended to `deliver`; returns the flush deadline to
+    /// (re-)arm if the buffer became (or stays) non-empty.
+    pub fn on_packet(
+        &mut self,
+        arena: &PacketArena,
+        pref: PacketRef,
+        now: Time,
+        deliver: &mut Vec<PacketRef>,
+    ) -> Option<(Time, u64)> {
+        let (seq, seq_end) = {
+            let pkt = arena.get(&pref);
+            (pkt.seq, pkt.seq_end())
+        };
+        if seq <= self.expected {
+            self.expected = self.expected.max(seq_end);
+            deliver.push(pref);
             // Release buffered packets that are now in sequence.
             while let Some((&s, _)) = self.buf.first_key_value() {
                 if s > self.expected {
                     break;
                 }
                 let (_, p) = self.buf.pop_first().expect("checked non-empty");
-                self.expected = self.expected.max(p.seq_end());
+                self.expected = self.expected.max(arena.get(&p).seq_end());
                 self.reordered_held += 1;
                 deliver.push(p);
             }
             if self.buf.is_empty() {
                 self.armed = None;
                 self.timer_gen += 1;
-                return (deliver, None);
+                return None;
             }
             // Still gapped: keep the existing timer.
-            return (deliver, None);
+            return None;
         }
         // Ahead of sequence: hold — unless enough packets have already
         // passed the gap to call it a loss, in which case flush so TCP's
         // duplicate-ACK machinery engages without delay.
-        self.buf.insert(pkt.seq, pkt);
+        self.buf.insert(seq, pref);
         if self.buf.len() >= self.threshold {
             while let Some((_, p)) = self.buf.pop_first() {
-                self.expected = self.expected.max(p.seq_end());
+                self.expected = self.expected.max(arena.get(&p).seq_end());
                 self.timeout_flushes += 1;
                 deliver.push(p);
             }
             self.armed = None;
             self.timer_gen += 1;
-            return (deliver, None);
+            return None;
         }
         if self.armed.is_none() {
             let at = now + self.timeout;
             self.armed = Some(at);
             self.timer_gen += 1;
-            return (deliver, Some((at, self.timer_gen)));
+            return Some((at, self.timer_gen));
         }
-        (deliver, None)
+        None
     }
 
     /// A flush timer fired: if current, release everything held (in
-    /// sequence order) so TCP sees the loss. Returns packets to deliver.
-    pub fn on_timer(&mut self, generation: u64, _now: Time) -> Vec<Packet> {
+    /// sequence order) so TCP sees the loss. Released handles are appended
+    /// to `deliver`.
+    pub fn on_timer(
+        &mut self,
+        arena: &PacketArena,
+        generation: u64,
+        _now: Time,
+        deliver: &mut Vec<PacketRef>,
+    ) {
         if generation != self.timer_gen || self.buf.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut deliver = Vec::new();
         while let Some((_, p)) = self.buf.pop_first() {
-            self.expected = self.expected.max(p.seq_end());
+            self.expected = self.expected.max(arena.get(&p).seq_end());
             self.timeout_flushes += 1;
             deliver.push(p);
         }
         self.armed = None;
         self.timer_gen += 1;
-        deliver
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drill_net::{FlowId, HostId};
+    use drill_net::{FlowId, HostId, Packet};
 
     fn pkt(seq: u64, payload: u32) -> Packet {
         Packet::data(
@@ -169,11 +188,30 @@ mod tests {
         )
     }
 
+    /// Intern and offer a packet, returning the released handles by value
+    /// (tests don't pool buffers).
+    fn offer(
+        s: &mut ShimBuffer,
+        arena: &mut PacketArena,
+        p: Packet,
+        now: Time,
+    ) -> (Vec<PacketRef>, Option<(Time, u64)>) {
+        let r = arena.insert(p);
+        let mut deliver = Vec::new();
+        let timer = s.on_packet(arena, r, now, &mut deliver);
+        (deliver, timer)
+    }
+
+    fn seq_of(arena: &PacketArena, r: &PacketRef) -> u64 {
+        arena.get(r).seq
+    }
+
     #[test]
     fn in_order_passes_through() {
         let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
+        let mut arena = PacketArena::new();
         for i in 0..5u64 {
-            let (d, t) = s.on_packet(pkt(i * 100, 100), Time::from_micros(i));
+            let (d, t) = offer(&mut s, &mut arena, pkt(i * 100, 100), Time::from_micros(i));
             assert_eq!(d.len(), 1);
             assert!(t.is_none());
         }
@@ -185,20 +223,21 @@ mod tests {
     #[test]
     fn gap_holds_until_filled() {
         let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
-        let (d, t) = s.on_packet(pkt(0, 100), Time::ZERO);
+        let mut arena = PacketArena::new();
+        let (d, t) = offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
         assert_eq!(d.len(), 1);
         assert!(t.is_none());
         // Packet 2 arrives before packet 1: held, timer armed.
-        let (d, t) = s.on_packet(pkt(200, 100), Time::from_micros(1));
+        let (d, t) = offer(&mut s, &mut arena, pkt(200, 100), Time::from_micros(1));
         assert!(d.is_empty());
         let (at, _gen) = t.expect("timer armed");
         assert_eq!(at, Time::from_micros(1) + SHIM_DEFAULT_TIMEOUT);
         assert_eq!(s.held(), 1);
         // Gap fills: both delivered, in order.
-        let (d, t) = s.on_packet(pkt(100, 100), Time::from_micros(2));
+        let (d, t) = offer(&mut s, &mut arena, pkt(100, 100), Time::from_micros(2));
         assert_eq!(d.len(), 2);
-        assert_eq!(d[0].seq, 100);
-        assert_eq!(d[1].seq, 200);
+        assert_eq!(seq_of(&arena, &d[0]), 100);
+        assert_eq!(seq_of(&arena, &d[1]), 200);
         assert!(t.is_none());
         assert_eq!(s.expected(), 300);
         assert_eq!(s.reordered_held, 1);
@@ -207,39 +246,45 @@ mod tests {
     #[test]
     fn timeout_flushes_ascending() {
         let mut s = ShimBuffer::new(Time::from_micros(100));
-        s.on_packet(pkt(0, 100), Time::ZERO);
-        let (_, t) = s.on_packet(pkt(300, 100), Time::from_micros(1));
+        let mut arena = PacketArena::new();
+        offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
+        let (_, t) = offer(&mut s, &mut arena, pkt(300, 100), Time::from_micros(1));
         let (_at, gen) = t.unwrap();
-        let (d2, t2) = s.on_packet(pkt(200, 100), Time::from_micros(2));
+        let (d2, t2) = offer(&mut s, &mut arena, pkt(200, 100), Time::from_micros(2));
         assert!(d2.is_empty() && t2.is_none(), "timer already armed");
         // Fire the flush: both held packets released in seq order.
-        let flushed = s.on_timer(gen, Time::from_micros(101));
+        let mut flushed = Vec::new();
+        s.on_timer(&arena, gen, Time::from_micros(101), &mut flushed);
         assert_eq!(flushed.len(), 2);
-        assert_eq!(flushed[0].seq, 200);
-        assert_eq!(flushed[1].seq, 300);
+        assert_eq!(seq_of(&arena, &flushed[0]), 200);
+        assert_eq!(seq_of(&arena, &flushed[1]), 300);
         assert_eq!(s.timeout_flushes, 2);
         assert_eq!(s.expected(), 400);
         // The packet that eventually arrives late passes straight through.
-        let (d, _) = s.on_packet(pkt(100, 100), Time::from_micros(150));
+        let (d, _) = offer(&mut s, &mut arena, pkt(100, 100), Time::from_micros(150));
         assert_eq!(d.len(), 1);
     }
 
     #[test]
     fn stale_timer_ignored() {
         let mut s = ShimBuffer::new(Time::from_micros(100));
-        s.on_packet(pkt(0, 100), Time::ZERO);
-        let (_, t) = s.on_packet(pkt(200, 100), Time::from_micros(1));
+        let mut arena = PacketArena::new();
+        offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
+        let (_, t) = offer(&mut s, &mut arena, pkt(200, 100), Time::from_micros(1));
         let (_, gen) = t.unwrap();
         // Gap fills before the timer fires.
-        s.on_packet(pkt(100, 100), Time::from_micros(2));
-        assert!(s.on_timer(gen, Time::from_micros(101)).is_empty());
+        offer(&mut s, &mut arena, pkt(100, 100), Time::from_micros(2));
+        let mut flushed = Vec::new();
+        s.on_timer(&arena, gen, Time::from_micros(101), &mut flushed);
+        assert!(flushed.is_empty());
     }
 
     #[test]
     fn duplicates_pass_through() {
         let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
-        s.on_packet(pkt(0, 100), Time::ZERO);
-        let (d, _) = s.on_packet(pkt(0, 100), Time::from_micros(5));
+        let mut arena = PacketArena::new();
+        offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
+        let (d, _) = offer(&mut s, &mut arena, pkt(0, 100), Time::from_micros(5));
         assert_eq!(d.len(), 1, "retransmissions/duplicates not held");
         assert_eq!(s.expected(), 100);
     }
@@ -248,16 +293,19 @@ mod tests {
     fn flush_threshold_triggers_early_release() {
         // Default threshold 3: the third held packet flushes everything.
         let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
-        s.on_packet(pkt(0, 100), Time::ZERO);
-        assert!(s
-            .on_packet(pkt(200, 100), Time::from_micros(1))
-            .0
-            .is_empty());
-        assert!(s
-            .on_packet(pkt(300, 100), Time::from_micros(2))
-            .0
-            .is_empty());
-        let (d, t) = s.on_packet(pkt(400, 100), Time::from_micros(3));
+        let mut arena = PacketArena::new();
+        offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
+        assert!(
+            offer(&mut s, &mut arena, pkt(200, 100), Time::from_micros(1))
+                .0
+                .is_empty()
+        );
+        assert!(
+            offer(&mut s, &mut arena, pkt(300, 100), Time::from_micros(2))
+                .0
+                .is_empty()
+        );
+        let (d, t) = offer(&mut s, &mut arena, pkt(400, 100), Time::from_micros(3));
         assert_eq!(d.len(), 3, "threshold reached: all held packets flush");
         assert!(t.is_none());
         assert_eq!(s.timeout_flushes, 3);
@@ -268,31 +316,35 @@ mod tests {
     fn larger_threshold_absorbs_bigger_races() {
         // A Presto-style threshold holds a whole flowcell's worth.
         let mut s = ShimBuffer::with_threshold(SHIM_DEFAULT_TIMEOUT, 64);
-        s.on_packet(pkt(0, 100), Time::ZERO);
+        let mut arena = PacketArena::new();
+        offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
         for i in 2..40u64 {
-            let (d, _) = s.on_packet(pkt(i * 100, 100), Time::from_micros(i));
+            let (d, _) = offer(&mut s, &mut arena, pkt(i * 100, 100), Time::from_micros(i));
             assert!(d.is_empty(), "held under threshold");
         }
         // The straggler arrives: everything releases in order.
-        let (d, _) = s.on_packet(pkt(100, 100), Time::from_micros(50));
+        let (d, _) = offer(&mut s, &mut arena, pkt(100, 100), Time::from_micros(50));
         assert_eq!(d.len(), 39);
-        assert!(d.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(d
+            .windows(2)
+            .all(|w| seq_of(&arena, &w[0]) < seq_of(&arena, &w[1])));
         assert_eq!(s.timeout_flushes, 0, "no loss declared");
     }
 
     #[test]
     fn multiple_gaps_release_incrementally() {
         let mut s = ShimBuffer::new(SHIM_DEFAULT_TIMEOUT);
-        s.on_packet(pkt(0, 100), Time::ZERO);
-        s.on_packet(pkt(200, 100), Time::from_micros(1));
-        s.on_packet(pkt(400, 100), Time::from_micros(2));
+        let mut arena = PacketArena::new();
+        offer(&mut s, &mut arena, pkt(0, 100), Time::ZERO);
+        offer(&mut s, &mut arena, pkt(200, 100), Time::from_micros(1));
+        offer(&mut s, &mut arena, pkt(400, 100), Time::from_micros(2));
         assert_eq!(s.held(), 2);
         // Filling the first gap releases only up to the second gap.
-        let (d, _) = s.on_packet(pkt(100, 100), Time::from_micros(3));
+        let (d, _) = offer(&mut s, &mut arena, pkt(100, 100), Time::from_micros(3));
         assert_eq!(d.len(), 2);
         assert_eq!(s.held(), 1);
         assert_eq!(s.expected(), 300);
-        let (d, _) = s.on_packet(pkt(300, 100), Time::from_micros(4));
+        let (d, _) = offer(&mut s, &mut arena, pkt(300, 100), Time::from_micros(4));
         assert_eq!(d.len(), 2);
         assert_eq!(s.expected(), 500);
     }

@@ -35,6 +35,14 @@ echo "== chaos determinism goldens (both queue builds, DRILL_THREADS=1/8) =="
 DRILL_THREADS=1 cargo test -q --test determinism_golden --features heap-queue
 DRILL_THREADS=8 cargo test -q --test determinism_golden --features heap-queue
 
+echo "== packet-layout goldens (--features fat-events, DRILL_THREADS=1/8) =="
+# The arena contract: by-value packet events (the pre-arena layout) must
+# replay every golden — event counts, leak checks, chaos fingerprints —
+# bit-identically. Size asserts for the slim layout are compile-time and
+# ran with every build above.
+DRILL_THREADS=1 cargo test -q --test determinism_golden --features fat-events
+DRILL_THREADS=8 cargo test -q --test determinism_golden --features fat-events
+
 echo "== chaosbench --quick smoke =="
 cargo build --release -p drill-bench
 ./target/release/chaosbench --quick > /dev/null

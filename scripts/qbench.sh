@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Event-queue perf harness: in-process micro A/B (wheel vs heap), an
-# end-to-end fig2-style wall-clock A/B across the two queue builds, and a
-# telemetry-overhead A/B (NoopProbe build vs flight-recorder attached).
-# Writes results/qbench.json. Offline-safe: no external deps.
+# end-to-end fig2-style wall-clock A/B across the two queue builds, a
+# telemetry-overhead A/B (NoopProbe build vs flight-recorder attached),
+# and a packet-layout A/B (arena handles vs --features fat-events
+# by-value packets). Writes results/qbench.json. Offline-safe: no
+# external deps.
 #
-# Both queue builds are compiled up front and their binaries copied aside,
-# then the e2e runs alternate wheel/heap (and noop/telemetry) so
+# All builds are compiled up front and their binaries copied aside, then
+# the e2e runs alternate sides (wheel/heap, noop/telemetry, arena/fat) so
 # background-load drift on the host hits both sides evenly instead of
 # biasing whichever ran last.
 set -euo pipefail
@@ -21,7 +23,11 @@ echo "== building (heap-queue) =="
 cargo build --release -p drill-bench --features heap-queue
 cp target/release/qbench "$tmp/qbench-heap"
 
-echo "== building (wheel, default) =="
+echo "== building (fat-events) =="
+cargo build --release -p drill-bench --features fat-events
+cp target/release/qbench "$tmp/qbench-fat"
+
+echo "== building (wheel + arena, default) =="
 cargo build --release -p drill-bench
 cp target/release/qbench "$tmp/qbench-wheel"
 
@@ -49,6 +55,14 @@ echo "== e2e telemetry overhead, interleaved noop/recording x $E2E_RUNS each =="
 for i in $(seq "$E2E_RUNS"); do
   "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-noop.jsonl"
   "$tmp/qbench-wheel" --e2e-telemetry | tee -a "$tmp/e2e-telemetry.jsonl"
+done
+
+echo "== e2e packet layout, interleaved arena/fat x $E2E_RUNS each =="
+: > "$tmp/e2e-arena.jsonl"
+: > "$tmp/e2e-fat.jsonl"
+for i in $(seq "$E2E_RUNS"); do
+  "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-arena.jsonl"
+  "$tmp/qbench-fat" --e2e | tee -a "$tmp/e2e-fat.jsonl"
 done
 
 python3 - "$tmp" "$baseline" <<'EOF'
@@ -87,10 +101,29 @@ doc["telemetry_ab"] = {
     "noop_vs_previous_baseline_secs": baseline,
     "recording_overhead": round(tel["wall_secs"] / noop["wall_secs"] - 1, 3),
 }
+
+arena = median_run(f"{tmp}/e2e-arena.jsonl")
+fat = median_run(f"{tmp}/e2e-fat.jsonl")
+# Determinism contract: the arena changes the memory layout, never the
+# simulation.
+assert arena["events"] == fat["events"], "packet layout changed the simulation!"
+micro_pay = {c["workload"]: c for c in doc["results"] if c["workload"].startswith("hold4096_pay")}
+doc["arena_ab"] = {
+    "arena": arena,
+    "fat": fat,
+    "wall_clock_improvement": round(1 - arena["wall_secs"] / fat["wall_secs"], 3),
+    # The micro half: same wheel + workload, payload grown from
+    # handle-sized to packet-sized.
+    "micro_hold4096": {
+        "pay24_mops": round(micro_pay["hold4096_pay24"]["mops_per_sec"], 3),
+        "pay112_mops": round(micro_pay["hold4096_pay112"]["mops_per_sec"], 3),
+    },
+}
 json.dump(doc, open("results/qbench.json", "w"), indent=2)
 print("wrote results/qbench.json")
 print(f"e2e wall-clock improvement: {doc['e2e_fig2']['wall_clock_improvement']:.1%}")
 print(f"telemetry recording overhead: {doc['telemetry_ab']['recording_overhead']:.1%}")
+print(f"arena vs fat-events e2e improvement: {doc['arena_ab']['wall_clock_improvement']:.1%}")
 if baseline is not None:
     drift = noop["wall_secs"] / baseline - 1
     print(f"noop e2e vs pre-run baseline: {drift:+.1%}")

@@ -84,6 +84,9 @@ fn full_fingerprint(st: &mut RunStats) -> Vec<u64> {
     fp.extend_from_slice(&st.hops.wait_samples);
     fp.extend_from_slice(&st.hops.drops);
     fp.extend_from_slice(&st.hops.tx);
+    // Appended last: earlier slots are indexed by position (see the chaos
+    // test's point[25..29] reads).
+    fp.push(st.arena_live_at_end);
     fp
 }
 
@@ -93,6 +96,15 @@ fn assert_golden(scheme: Scheme, events: u64, flows_started: u64, flows_complete
         (stats.events, stats.flows_started, stats.flows_completed),
         (events, flows_started, flows_completed),
         "{} diverged from its golden trace",
+        scheme.name()
+    );
+    // Arena leak check: the drain phase runs until the network empties, so
+    // every packet interned during the run must have been taken (delivered)
+    // or freed (dropped) by the end.
+    assert_eq!(
+        stats.arena_live_at_end,
+        0,
+        "{} leaked packet-arena slots",
         scheme.name()
     );
 }
@@ -212,6 +224,11 @@ fn chaos_schedule_replays_bit_identically_across_threads_and_telemetry() {
         assert_eq!(fault_events, 8, "{scheme}: schedule did not fully fire");
         assert!(reconvergences >= 1, "{scheme}: no reconvergence happened");
         assert!(window_ns > 0, "{scheme}: no degradation window recorded");
+        // Leak check under chaos: blackholed, fault-dropped and
+        // rebuild-discarded packets must all release their arena slots
+        // (arena_live_at_end is the last fingerprint slot).
+        let arena_live = *point.last().expect("nonempty fingerprint");
+        assert_eq!(arena_live, 0, "{scheme}: leaked packet-arena slots");
     }
 
     for telemetry in [false, true] {

@@ -9,8 +9,8 @@
 
 use drill::core::{decompose_groups, DrillPolicy, Quiver};
 use drill::net::{
-    leaf_spine, FlowId, HostId, LeafSpineSpec, Packet, QueueView, RouteTable, SelectCtx, SwitchId,
-    SwitchPolicy, DEFAULT_PROP,
+    leaf_spine, FlowId, HostId, LeafSpineSpec, Packet, PacketArena, PacketRef, QueueView,
+    RouteTable, SelectCtx, SwitchId, SwitchPolicy, DEFAULT_PROP,
 };
 use drill::sim::{SimRng, Time};
 use drill::stats::{Distribution, Histogram, Moments};
@@ -144,32 +144,82 @@ proptest! {
         let mut rng = SimRng::seed_from(seed);
         let mut order: Vec<u64> = (0..n as u64).collect();
         rng.shuffle(&mut order);
+        let mut arena = PacketArena::new();
         let mut shim = ShimBuffer::new(Time::from_micros(timeout_us));
         let mut delivered: Vec<u64> = Vec::new();
+        let mut out: Vec<PacketRef> = Vec::new();
+        let mut drain = |arena: &mut PacketArena, out: &mut Vec<PacketRef>, sink: &mut Vec<u64>| {
+            for r in out.drain(..) {
+                let p = arena.take(r);
+                sink.push(p.seq / 100);
+            }
+        };
         let mut pending_timer: Option<(Time, u64)> = None;
         for (i, &k) in order.iter().enumerate() {
             let now = Time::from_micros(i as u64);
             // Fire an expired timer first, as the event loop would.
             if let Some((at, gen)) = pending_timer {
                 if at <= now {
-                    delivered.extend(shim.on_timer(gen, at).iter().map(|p| p.seq / 100));
+                    shim.on_timer(&arena, gen, at, &mut out);
+                    drain(&mut arena, &mut out, &mut delivered);
                     pending_timer = None;
                 }
             }
             let pkt = Packet::data(k, FlowId(0), HostId(0), HostId(1), 1, k * 100, 100, now);
-            let (out, timer) = shim.on_packet(pkt, now);
-            delivered.extend(out.iter().map(|p| p.seq / 100));
+            let r = arena.insert(pkt);
+            let timer = shim.on_packet(&arena, r, now, &mut out);
+            drain(&mut arena, &mut out, &mut delivered);
             if let Some(t) = timer {
                 pending_timer = Some(t);
             }
         }
         if let Some((at, gen)) = pending_timer {
-            delivered.extend(shim.on_timer(gen, at).iter().map(|p| p.seq / 100));
+            shim.on_timer(&arena, gen, at, &mut out);
+            drain(&mut arena, &mut out, &mut delivered);
         }
         // Exactly once.
         let mut sorted = delivered.clone();
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+        // And every delivery released its arena slot.
+        prop_assert_eq!(arena.live(), 0);
+    }
+
+    /// The packet arena never aliases two live handles: under an arbitrary
+    /// interleaving of inserts and frees, every live handle still reads
+    /// back the packet it was issued for, and `live()` tracks the ground
+    /// truth exactly.
+    #[test]
+    fn arena_alloc_free_never_aliases(
+        ops in proptest::collection::vec(proptest::bool::ANY, 1..300),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut arena = PacketArena::new();
+        let mut held: Vec<(PacketRef, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for &grow in &ops {
+            if grow || held.is_empty() {
+                let pkt = Packet::data(
+                    next_id, FlowId(0), HostId(0), HostId(1), 1, 0, 100, Time::ZERO,
+                );
+                held.push((arena.insert(pkt), next_id));
+                next_id += 1;
+            } else {
+                let (r, id) = held.swap_remove(rng.below(held.len()));
+                prop_assert_eq!(arena.take(r).id, id, "freed handle read wrong packet");
+            }
+            prop_assert_eq!(arena.live(), held.len());
+            // If any two live handles shared a slot, one of them would
+            // read back the other's packet here.
+            for (r, id) in &held {
+                prop_assert_eq!(arena.get(r).id, *id, "live handle aliased");
+            }
+        }
+        for (r, _) in held.drain(..) {
+            arena.free(r);
+        }
+        prop_assert_eq!(arena.live(), 0);
     }
 
     /// TCP delivers a transfer completely over a lossy, reordering pipe:
