@@ -367,14 +367,20 @@ fn e2e(telemetry: bool) {
     } else {
         "e2e_fig2"
     };
+    // The run resolves its shard count from DRILL_SHARDS (cfg.shards stays
+    // None here); record the same resolution so the shard_ab harness can
+    // label each line. Note the auto partitioner may clamp below this.
+    let shards = drill_exec::shards_from_env().unwrap_or(1);
     let start = Instant::now();
     let stats = run(&cfg);
     let wall = start.elapsed().as_secs_f64();
     println!(
-        "{{\"workload\": \"{workload}\", \"queue\": \"{queue}\", \"layout\": \"{layout}\", \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+        "{{\"workload\": \"{workload}\", \"queue\": \"{queue}\", \"layout\": \"{layout}\", \"shards\": {shards}, \"wall_secs\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \"shard_handoffs\": {}, \"shard_windows\": {}}}",
         wall,
         stats.events,
-        stats.events as f64 / wall
+        stats.events as f64 / wall,
+        stats.shard_handoffs,
+        stats.shard_windows
     );
 }
 

@@ -31,6 +31,7 @@ mod ids;
 mod lbapi;
 mod packet;
 mod routing;
+mod shard;
 mod switch;
 mod topology;
 
@@ -45,6 +46,7 @@ pub use lbapi::{
 };
 pub use packet::{flags, BufPool, CongaTag, Packet, PacketBufPool, ACK_WIRE_BYTES, HEADER_BYTES};
 pub use routing::{RouteTable, UNREACHABLE};
+pub use shard::ShardPlan;
 pub use switch::{PortQueues, PortStats, Switch, SwitchConfig};
 pub use topology::{HopClass, Link, SwitchKind, Topology};
 

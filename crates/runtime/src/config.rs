@@ -144,6 +144,31 @@ impl Default for TelemetrySpec {
     }
 }
 
+/// Sharded-execution knobs (see `drill_net::ShardPlan` and DESIGN.md
+/// §11). Attaching a spec splits the fabric into per-shard event wheels
+/// and packet arenas advanced in conservative lookahead windows; results
+/// stay bit-identical at every shard count. An explicit spec takes
+/// precedence over the `DRILL_SHARDS` environment variable.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Requested shard count for the automatic partitioner (clamped to
+    /// `1 + num_leaves`; `1` keeps the serial engine).
+    pub count: usize,
+    /// Manual override: explicit per-switch shard assignment (validated
+    /// by `ShardPlan::manual`; `count` is ignored when set).
+    pub switch_map: Option<Vec<u32>>,
+}
+
+impl ShardSpec {
+    /// Automatic partition into `count` shards.
+    pub fn count(count: usize) -> ShardSpec {
+        ShardSpec {
+            count,
+            switch_map: None,
+        }
+    }
+}
+
 /// One simulation run.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -205,6 +230,9 @@ pub struct ExperimentConfig {
     /// point through [`SweepSpec::configure`](crate::SweepSpec::configure),
     /// e.g. setting a distinct `trace_path` per grid cell.
     pub telemetry: Option<TelemetrySpec>,
+    /// Sharded execution (off by default = serial engine). `None` defers
+    /// to the `DRILL_SHARDS` environment variable.
+    pub shards: Option<ShardSpec>,
 }
 
 impl ExperimentConfig {
@@ -234,6 +262,7 @@ impl ExperimentConfig {
             raw_packet_mode: false,
             max_events: 0,
             telemetry: None,
+            shards: None,
         }
     }
 }

@@ -24,11 +24,14 @@
 
 mod config;
 mod scheme;
+mod shards;
 mod stats;
 mod sweep;
 mod world;
 
-pub use config::{ExperimentConfig, SyntheticMode, TelemetrySpec, TopoSpec, WorkloadSpec};
+pub use config::{
+    ExperimentConfig, ShardSpec, SyntheticMode, TelemetrySpec, TopoSpec, WorkloadSpec,
+};
 pub use scheme::Scheme;
 pub use stats::{hop_index, hop_name, HopReport, RunStats};
 pub use sweep::{derive_seed, run_many, SweepPoint, SweepResults, SweepSpec};

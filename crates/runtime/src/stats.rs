@@ -140,6 +140,18 @@ pub struct RunStats {
     /// Packets still interned in the arena when the run ended. Zero for
     /// fully drained runs; the golden suite asserts this as a leak check.
     pub arena_live_at_end: u64,
+    /// Cross-shard packet handoffs exchanged at window barriers (zero on
+    /// the serial engine). Deliberately *not* part of the determinism
+    /// fingerprint: it varies with the shard count while every simulated
+    /// metric stays bit-identical.
+    pub shard_handoffs: u64,
+    /// FNV-1a fingerprint of the barrier drain order `(src, dst, time,
+    /// seq)` — the mailbox-ordering golden asserts it is a pure function
+    /// of the event stream. `0` on the serial engine.
+    pub shard_handoff_hash: u64,
+    /// Lookahead windows the sharded engine advanced through (zero on
+    /// the serial engine).
+    pub shard_windows: u64,
 }
 
 impl RunStats {
@@ -173,6 +185,9 @@ impl RunStats {
             events: 0,
             sim_end: Time::ZERO,
             arena_live_at_end: 0,
+            shard_handoffs: 0,
+            shard_handoff_hash: 0,
+            shard_windows: 0,
         }
     }
 
@@ -250,6 +265,11 @@ impl RunStats {
         self.events += other.events;
         self.sim_end = self.sim_end.max(other.sim_end);
         self.arena_live_at_end += other.arena_live_at_end;
+        self.shard_handoffs += other.shard_handoffs;
+        self.shard_handoff_hash = self
+            .shard_handoff_hash
+            .wrapping_add(other.shard_handoff_hash);
+        self.shard_windows += other.shard_windows;
     }
 }
 

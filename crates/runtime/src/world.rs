@@ -4,15 +4,16 @@ use drill_core::install_symmetric_groups;
 use drill_faults::{FaultInjector, FaultKind};
 use drill_net::{
     BufPool, EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, PacketArena,
-    PacketBufPool, PacketRef, RouteTable, Switch, SwitchConfig, SwitchId, Topology,
+    PacketBufPool, PacketRef, RouteTable, ShardPlan, Switch, SwitchConfig, SwitchId, Topology,
 };
-use drill_sim::{EventQueue, SimRng, Time};
+use drill_sim::{SimRng, Time};
 use drill_stats::stdev_of;
 use drill_telemetry::{fault_kind, FaultInfo, FlightRecorder, NoopProbe, Probe, QueueSampler};
 use drill_transport::{ShimBuffer, TcpFlow};
 use drill_workload::{aggregate_flow_rate, ArrivalProcess, FlowSpec, TrafficPattern, WorkloadGen};
 
 use crate::config::ExperimentConfig;
+use crate::shards::EngineQueue;
 use crate::stats::{hop_index, RunStats};
 use crate::Scheme;
 
@@ -81,7 +82,10 @@ struct World<P: Probe> {
     measured: Vec<bool>,
     shims: Vec<Option<ShimBuffer>>,
     sched_gen: Vec<u64>,
-    queue: EventQueue<Event>,
+    queue: EngineQueue<Event>,
+    /// The fabric partition driving event ownership and arena residency;
+    /// the trivial single-shard plan on the serial engine.
+    plan: ShardPlan,
     rng_net: SimRng,
     rng_wl: SimRng,
     pkt_ids: u64,
@@ -90,8 +94,11 @@ struct World<P: Probe> {
     synth_pattern: Option<TrafficPattern>,
     net_buf: EventSink,
     /// Every in-flight packet, interned between host send and final
-    /// delivery/drop; events and queues carry [`PacketRef`] handles.
-    arena: PacketArena,
+    /// delivery/drop; events and queues carry [`PacketRef`] handles. One
+    /// arena per shard (a single arena on the serial engine): a packet
+    /// lives in the arena of the shard currently handling it and is
+    /// re-interned at the boundary when a wire hop crosses shards.
+    arenas: Vec<PacketArena>,
     /// Recycled `Vec<Packet>` buffers for TCP/ACK emission batches.
     pkt_pool: PacketBufPool,
     /// Recycled `Vec<PacketRef>` buffers for shim release batches.
@@ -340,6 +347,25 @@ impl<P: Probe> World<P> {
             }
         }
         faults.sort_by_key(|&(at, _, _)| at);
+
+        // Sharded execution: an explicit config spec wins, else the
+        // DRILL_SHARDS environment variable, else serial. The plan is
+        // computed on the (possibly pre-failed) topology; downed links
+        // still count toward the lookahead bound, so the window length is
+        // identical whether failures apply at build time or mid-run.
+        let plan = match &cfg.shards {
+            Some(spec) => match &spec.switch_map {
+                Some(map) => ShardPlan::manual(&topo, map.clone()),
+                None => ShardPlan::auto(&topo, spec.count),
+            },
+            None => ShardPlan::auto(&topo, drill_exec::shards_from_env().unwrap_or(1)),
+        };
+        let queue = if plan.num_shards > 1 {
+            EngineQueue::sharded(&plan)
+        } else {
+            EngineQueue::serial()
+        };
+        let arenas = (0..plan.num_shards).map(|_| PacketArena::new()).collect();
         World {
             cfg,
             topo,
@@ -352,7 +378,8 @@ impl<P: Probe> World<P> {
             measured: Vec::new(),
             shims: Vec::new(),
             sched_gen: Vec::new(),
-            queue: EventQueue::new(),
+            queue,
+            plan,
             rng_net,
             rng_wl,
             pkt_ids: 0,
@@ -360,7 +387,7 @@ impl<P: Probe> World<P> {
             pending_flow: None,
             synth_pattern,
             net_buf: Vec::new(),
-            arena: PacketArena::new(),
+            arenas,
             pkt_pool: PacketBufPool::new(),
             ref_pool: BufPool::new(),
             lens_scratch: Vec::new(),
@@ -385,12 +412,13 @@ impl<P: Probe> World<P> {
     fn prime(&mut self) {
         if let Some(g) = self.gen.as_mut() {
             let spec = g.next_flow(&mut self.rng_wl);
-            self.queue.push(Time::ZERO + spec.gap, Event::FlowArrival);
+            self.queue
+                .push_control(Time::ZERO + spec.gap, Event::FlowArrival);
             self.pending_flow = Some(spec);
         }
         if let Some(incast) = &self.cfg.workload.incast {
             self.queue
-                .push(self.cfg.warmup + incast.epoch_gap, Event::IncastEpoch);
+                .push_control(self.cfg.warmup + incast.epoch_gap, Event::IncastEpoch);
         }
         if let Some(synth) = self.cfg.synthetic.clone() {
             // One elephant per host, started immediately.
@@ -408,10 +436,10 @@ impl<P: Probe> World<P> {
                     Time::ZERO,
                 );
             }
-            self.queue.push(synth.mice_period, Event::MiceTick);
+            self.queue.push_control(synth.mice_period, Event::MiceTick);
         }
         if self.cfg.sample_queues {
-            self.queue.push(SAMPLE_PERIOD, Event::SampleQueues);
+            self.queue.push_control(SAMPLE_PERIOD, Event::SampleQueues);
         }
         for &(src, dst, bytes) in &self.cfg.static_flows.clone() {
             self.start_flow(src, dst, bytes, FlowClass::Elephant, Time::ZERO);
@@ -424,7 +452,8 @@ impl<P: Probe> World<P> {
         let deadline = self.cfg.duration + self.cfg.drain;
         for (idx, &(at, _, _)) in self.faults.iter().enumerate() {
             if at <= deadline {
-                self.queue.push(at, Event::Fault { idx: idx as u32 });
+                self.queue
+                    .push_control(at, Event::Fault { idx: idx as u32 });
             }
         }
     }
@@ -449,10 +478,11 @@ impl<P: Probe> World<P> {
                 ingress,
                 pkt,
             }) => {
+                let k = self.sw_shard(switch);
                 self.switches[switch.index()].receive(
                     &self.topo,
                     &self.routes,
-                    &mut self.arena,
+                    &mut self.arenas[k as usize],
                     pkt,
                     ingress,
                     now,
@@ -460,24 +490,26 @@ impl<P: Probe> World<P> {
                     &mut self.net_buf,
                     &mut self.probe,
                 );
-                self.drain_net();
+                self.drain_net(k);
             }
             Event::Net(NetEvent::ArriveHost { host, pkt }) => self.on_host_arrival(host, pkt, now),
             Event::Net(NetEvent::SwitchTxDone { switch, port }) => {
+                let k = self.sw_shard(switch);
                 self.switches[switch.index()].on_tx_done(
                     &self.topo,
-                    &mut self.arena,
+                    &mut self.arenas[k as usize],
                     port,
                     now,
                     &mut self.rng_net,
                     &mut self.net_buf,
                     &mut self.probe,
                 );
-                self.drain_net();
+                self.drain_net(k);
             }
             Event::Net(NetEvent::HostTxDone { host }) => {
+                let k = self.host_shard(host);
                 self.nics[host.index()].on_tx_done(&self.topo, now, &mut self.net_buf);
-                self.drain_net();
+                self.drain_net(k);
             }
             Event::Net(NetEvent::EnqueueCommit {
                 switch,
@@ -494,7 +526,7 @@ impl<P: Probe> World<P> {
                 if now <= self.arrivals_end {
                     if let Some(g) = self.gen.as_mut() {
                         let next = g.next_flow(&mut self.rng_wl);
-                        self.queue.push(now + next.gap, Event::FlowArrival);
+                        self.queue.push_control(now + next.gap, Event::FlowArrival);
                         self.pending_flow = Some(next);
                     }
                 }
@@ -506,7 +538,8 @@ impl<P: Probe> World<P> {
                         self.start_flow(server, requester, bytes, FlowClass::Incast, now);
                     }
                     if now + incast.epoch_gap <= self.arrivals_end {
-                        self.queue.push(now + incast.epoch_gap, Event::IncastEpoch);
+                        self.queue
+                            .push_control(now + incast.epoch_gap, Event::IncastEpoch);
                     }
                 }
             }
@@ -517,7 +550,8 @@ impl<P: Probe> World<P> {
                         self.start_flow(src, dst, synth.mice_bytes, FlowClass::Mice, now);
                     }
                     if now + synth.mice_period <= self.arrivals_end {
-                        self.queue.push(now + synth.mice_period, Event::MiceTick);
+                        self.queue
+                            .push_control(now + synth.mice_period, Event::MiceTick);
                     }
                 }
             }
@@ -536,9 +570,10 @@ impl<P: Probe> World<P> {
             }
             Event::ShimTimer { flow, gen } => {
                 if self.shims[flow as usize].is_some() {
+                    let k = self.host_shard(self.flows[flow as usize].dst);
                     let mut released = self.ref_pool.get();
                     let shim = self.shims[flow as usize].as_mut().expect("checked above");
-                    shim.on_timer(&self.arena, gen, now, &mut released);
+                    shim.on_timer(&self.arenas[k as usize], gen, now, &mut released);
                     for p in released.drain(..) {
                         self.recv_data(flow, p, now);
                     }
@@ -548,7 +583,8 @@ impl<P: Probe> World<P> {
             Event::SampleQueues => {
                 self.sample_queues();
                 if now + SAMPLE_PERIOD <= self.cfg.duration {
-                    self.queue.push(now + SAMPLE_PERIOD, Event::SampleQueues);
+                    self.queue
+                        .push_control(now + SAMPLE_PERIOD, Event::SampleQueues);
                 }
             }
             Event::Fault { idx } => {
@@ -560,6 +596,12 @@ impl<P: Probe> World<P> {
                 self.sync_switch_link_state();
                 if P::ENABLED {
                     self.probe.on_fault(now, &info);
+                }
+                // Attribute the strike to the shard owning the fault's
+                // primary switch (no-op on the serial engine).
+                if let [Some(sw), _] = kind.involved_switches() {
+                    let owner = self.sw_shard(SwitchId(sw));
+                    self.queue.note_fault(owner);
                 }
                 self.stats.fault_events += 1;
                 if kind.needs_reconvergence() {
@@ -573,7 +615,7 @@ impl<P: Probe> World<P> {
                     self.reconv_gen += 1;
                     let due = now + delay;
                     if due <= self.cfg.duration + self.cfg.drain {
-                        self.queue.push(
+                        self.queue.push_control(
                             due,
                             Event::Reconverge {
                                 gen: self.reconv_gen,
@@ -614,7 +656,8 @@ impl<P: Probe> World<P> {
                 // Packets queued at the replaced switch are dropped with
                 // it (as before the arena); release their slots so the
                 // end-of-run leak check stays exact.
-                self.switches[i].free_queued(&mut self.arena);
+                let k = self.plan.switch_shard[i] as usize;
+                self.switches[i].free_queued(&mut self.arenas[k]);
                 self.switches[i] = rebuild_switch(&self.topo, &self.switches[i], p, &self.cfg);
             }
             // Rebuilt switch objects start with an all-live pruning table.
@@ -684,12 +727,61 @@ impl<P: Probe> World<P> {
         }
     }
 
-    fn drain_net(&mut self) {
+    /// Shard owning a switch.
+    #[inline]
+    fn sw_shard(&self, s: SwitchId) -> u32 {
+        self.plan.switch_shard[s.index()]
+    }
+
+    /// Shard owning a host (always its leaf's shard).
+    #[inline]
+    fn host_shard(&self, h: HostId) -> u32 {
+        self.plan.host_shard[h.index()]
+    }
+
+    /// Drain newly emitted network events into the engine. `src` is the
+    /// shard whose component just ran; an event targeting another shard
+    /// is a wire hop crossing the partition, so its packet is re-interned
+    /// into the destination shard's arena and the event rides the
+    /// `(src, dst)` mailbox to the next window barrier.
+    fn drain_net(&mut self, src: u32) {
         // net_buf is a field to avoid per-event allocation. Drain in FIFO
         // order: components rely on push order as the tie-break for
         // same-timestamp events (enqueue-commit before tx-done).
         for (t, e) in self.net_buf.drain(..) {
-            self.queue.push(t, Event::Net(e));
+            let dst = match &e {
+                NetEvent::ArriveSwitch { switch, .. }
+                | NetEvent::SwitchTxDone { switch, .. }
+                | NetEvent::EnqueueCommit { switch, .. } => self.plan.switch_shard[switch.index()],
+                NetEvent::ArriveHost { host, .. } | NetEvent::HostTxDone { host } => {
+                    self.plan.host_shard[host.index()]
+                }
+            };
+            let e = if dst == src {
+                e
+            } else {
+                match e {
+                    NetEvent::ArriveSwitch {
+                        switch,
+                        ingress,
+                        pkt,
+                    } => {
+                        let p = self.arenas[src as usize].take(pkt);
+                        let pkt = self.arenas[dst as usize].insert(p);
+                        NetEvent::ArriveSwitch {
+                            switch,
+                            ingress,
+                            pkt,
+                        }
+                    }
+                    // Tx-done and enqueue-commit are switch/host-local,
+                    // and hosts are colocated with their leaf: the only
+                    // event that can cross shards is a switch-to-switch
+                    // wire hop.
+                    other => unreachable!("non-wire event crossed shards: {other:?}"),
+                }
+            };
+            self.queue.push_shard(t, dst, src, Event::Net(e));
         }
     }
 
@@ -759,44 +851,48 @@ impl<P: Probe> World<P> {
         if let Some((at, gen)) = self.flows[flow as usize].rto_deadline(now) {
             if self.sched_gen[flow as usize] != gen {
                 self.sched_gen[flow as usize] = gen;
-                self.queue.push(at, Event::TcpTimer { flow, gen });
+                self.queue.push_control(at, Event::TcpTimer { flow, gen });
             }
         }
     }
 
     fn host_send(&mut self, host: HostId, mut pkt: Packet, now: Time) {
+        let k = self.host_shard(host);
         self.host_policies[host.index()].on_send(&mut pkt, now, &mut self.rng_net);
-        // The packet enters the arena here and leaves it at final
-        // delivery (`take`) or at whichever drop site claims it (`free`).
-        let pref = self.arena.insert(pkt);
+        // The packet enters its host's shard arena here and leaves at
+        // final delivery (`take`) or at whichever drop site claims it
+        // (`free`) — re-interned along the way when a wire hop crosses
+        // shards (see `drain_net`).
+        let pref = self.arenas[k as usize].insert(pkt);
         self.nics[host.index()].send(
             &self.topo,
-            &mut self.arena,
+            &mut self.arenas[k as usize],
             pref,
             now,
             &mut self.net_buf,
             &mut self.probe,
         );
-        self.drain_net();
+        self.drain_net(k);
     }
 
     fn on_host_arrival(&mut self, host: HostId, pref: PacketRef, now: Time) {
+        let k = self.host_shard(host) as usize;
         if P::ENABLED {
             self.probe
-                .on_host_recv(now, host.0, &self.arena.get(&pref).meta());
+                .on_host_recv(now, host.0, &self.arenas[k].get(&pref).meta());
         }
         if self.cfg.raw_packet_mode {
             self.data_delivered += 1;
-            self.arena.free(pref);
+            self.arenas[k].free(pref);
             return;
         }
         let (flow, is_ack) = {
-            let pkt = self.arena.get(&pref);
+            let pkt = self.arenas[k].get(&pref);
             (pkt.flow.0, pkt.is_ack())
         };
         if is_ack {
             // Sender side.
-            let pkt = self.arena.take(pref);
+            let pkt = self.arenas[k].take(pref);
             debug_assert_eq!(self.flows[flow as usize].src, host);
             let mut out = self.pkt_pool.get();
             self.flows[flow as usize].on_ack(&pkt, now, &mut self.pkt_ids, &mut out);
@@ -820,9 +916,9 @@ impl<P: Probe> World<P> {
                 }
                 let mut deliver = self.ref_pool.get();
                 let shim = self.shims[flow as usize].as_mut().expect("just created");
-                let timer = shim.on_packet(&self.arena, pref, now, &mut deliver);
+                let timer = shim.on_packet(&self.arenas[k], pref, now, &mut deliver);
                 if let Some((at, gen)) = timer {
-                    self.queue.push(at, Event::ShimTimer { flow, gen });
+                    self.queue.push_control(at, Event::ShimTimer { flow, gen });
                 }
                 for p in deliver.drain(..) {
                     self.recv_data(flow, p, now);
@@ -836,8 +932,9 @@ impl<P: Probe> World<P> {
 
     fn recv_data(&mut self, flow: u32, pref: PacketRef, now: Time) {
         self.data_delivered += 1;
-        let pkt = self.arena.take(pref);
         let receiver = self.flows[flow as usize].dst;
+        let k = self.host_shard(receiver) as usize;
+        let pkt = self.arenas[k].take(pref);
         let mut acks = self.pkt_pool.get();
         self.flows[flow as usize].on_data(&pkt, now, &mut self.pkt_ids, &mut acks);
         for a in acks.drain(..) {
@@ -964,7 +1061,11 @@ impl<P: Probe> World<P> {
         // run ends at zero (every insert met its take/free); runs cut off
         // by the deadline or `max_events` legitimately leave packets in
         // flight, so the golden suite (not this method) asserts zero.
-        self.stats.arena_live_at_end = self.arena.live() as u64;
+        self.stats.arena_live_at_end = self.arenas.iter().map(|a| a.live() as u64).sum();
+        let (handoffs, hash, windows) = self.queue.shard_stats();
+        self.stats.shard_handoffs = handoffs;
+        self.stats.shard_handoff_hash = hash;
+        self.stats.shard_windows = windows;
         (self.stats, self.probe)
     }
 }

@@ -209,6 +209,29 @@ impl<P> EventQueue<P> {
         self.push(self.now + delay, payload);
     }
 
+    /// Schedule `payload` at `at` with a caller-supplied FIFO sequence
+    /// number instead of the internally stamped one.
+    ///
+    /// The sharded engine stamps one *global* sequence across every shard
+    /// wheel, so a cross-wheel merge by `(time, seq)` reproduces exactly
+    /// the order a single serial wheel would deliver. Supplied sequence
+    /// numbers may arrive out of order relative to earlier pushes (a
+    /// mailbox drain replays sequences stamped before later direct
+    /// pushes); the `(time, seq)` batch sort restores delivery order.
+    /// Internal stamping stays monotone past the largest supplied value,
+    /// so mixing both push flavours on one queue remains well-defined.
+    pub fn push_with_seq(&mut self, at: Time, seq: u64, payload: P) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.seq = self.seq.max(seq + 1);
+        let idx = self.alloc(at.as_nanos(), seq, payload);
+        self.live += 1;
+        self.insert(idx);
+    }
+
     /// Schedule a cancellable event; keep the token to [`cancel`] it.
     ///
     /// [`cancel`]: EventQueue::cancel
@@ -245,23 +268,39 @@ impl<P> EventQueue<P> {
     /// Deliver the next event, advancing the clock. Cancelled events are
     /// skipped silently (and their slots reclaimed).
     pub fn pop(&mut self) -> Option<(Time, P)> {
+        if !self.stage() {
+            return None;
+        }
+        let (time, _, idx) = self.ready[self.ready_pos];
+        self.ready_pos += 1;
+        let t = Time::from_nanos(time);
+        let payload = self.arena[idx as usize].payload.take().expect("live entry");
+        self.free(idx);
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.popped += 1;
+        self.live -= 1;
+        Some((t, payload))
+    }
+
+    /// Advance the staging machinery until `ready[ready_pos]` is a live
+    /// entry — the exact next event by `(time, seq)` — or the queue is
+    /// exhausted. Shared by [`pop`](EventQueue::pop) (which consumes the
+    /// entry) and [`peek_key`](EventQueue::peek_key) (which only reads
+    /// it); staging may advance the internal cursor but never the clock,
+    /// and later pushes landing inside the staged window splice into the
+    /// live batch at their `(time, seq)` position.
+    fn stage(&mut self) -> bool {
         loop {
-            // 1. Drain the staged level-0 batch first.
+            // 1. Shed cancelled entries at the head of the staged batch.
             while self.ready_pos < self.ready.len() {
-                let (time, _, idx) = self.ready[self.ready_pos];
-                self.ready_pos += 1;
+                let (_, _, idx) = self.ready[self.ready_pos];
                 if self.arena[idx as usize].state == SlotState::Cancelled {
                     self.free(idx);
+                    self.ready_pos += 1;
                     continue;
                 }
-                let t = Time::from_nanos(time);
-                let payload = self.arena[idx as usize].payload.take().expect("live entry");
-                self.free(idx);
-                debug_assert!(t >= self.now);
-                self.now = t;
-                self.popped += 1;
-                self.live -= 1;
-                return Some((t, payload));
+                return true;
             }
             self.ready.clear();
             self.ready_pos = 0;
@@ -287,7 +326,7 @@ impl<P> EventQueue<P> {
                             self.elapsed = t;
                             continue;
                         }
-                        None => return None,
+                        None => return false,
                     }
                 }
                 Some((0, slot)) => {
@@ -379,58 +418,26 @@ impl<P> EventQueue<P> {
     /// delivering it. Does not advance the clock; lazily reclaims any
     /// cancelled entries it walks past.
     pub fn peek_time(&mut self) -> Option<Time> {
-        while self.ready_pos < self.ready.len() {
-            let (time, _, idx) = self.ready[self.ready_pos];
-            if self.arena[idx as usize].state == SlotState::Cancelled {
-                self.free(idx);
-                self.ready_pos += 1;
-                continue;
-            }
-            return Some(Time::from_nanos(time));
-        }
-        self.ready.clear();
-        self.ready_pos = 0;
+        self.peek_key().map(|(t, _)| t)
+    }
 
-        self.replenish();
-        for level in 0..LEVELS {
-            while let Some(slot) = self.next_occupied(level) {
-                // Walk the first occupied slot: its minimum live deadline
-                // is the global minimum (lower levels are empty, higher
-                // levels and later slots hold strictly later deadlines).
-                let mut idx = self.levels[level][slot];
-                let mut kept = NIL;
-                let mut min_time = None;
-                while idx != NIL {
-                    let next = self.arena[idx as usize].next;
-                    if self.arena[idx as usize].state == SlotState::Cancelled {
-                        self.free(idx);
-                    } else {
-                        let t = self.arena[idx as usize].time;
-                        min_time = Some(min_time.map_or(t, |m: u64| m.min(t)));
-                        self.arena[idx as usize].next = kept;
-                        kept = idx;
-                    }
-                    idx = next;
-                }
-                self.levels[level][slot] = kept;
-                if kept == NIL {
-                    self.occupied[level] &= !(1u64 << slot);
-                    continue; // slot was all-cancelled; rescan this level
-                }
-                return min_time.map(Time::from_nanos);
-            }
+    /// The `(time, seq)` key of the next pending event, without
+    /// delivering it or advancing the clock.
+    ///
+    /// This is the primitive the sharded engine's cross-wheel merge is
+    /// built on: with one global sequence stamped across every wheel (see
+    /// [`push_with_seq`](EventQueue::push_with_seq)), popping from the
+    /// wheel whose peeked key is the minimum reproduces the exact
+    /// delivery order of a single serial wheel. Staging the next window
+    /// here makes the key exact — equal-time entries scattered across
+    /// levels are cascaded down and `(time, seq)`-sorted before the head
+    /// is reported — and amortizes to O(1) under repeated peeks.
+    pub fn peek_key(&mut self) -> Option<(Time, u64)> {
+        if !self.stage() {
+            return None;
         }
-        // Wheel empty: the overflow head (after shedding cancelled
-        // entries) is the answer.
-        while let Some(&Reverse((t, _, idx))) = self.overflow.peek() {
-            if self.arena[idx as usize].state == SlotState::Cancelled {
-                self.overflow.pop();
-                self.free(idx);
-                continue;
-            }
-            return Some(Time::from_nanos(t));
-        }
-        None
+        let (time, seq, _) = self.ready[self.ready_pos];
+        Some((Time::from_nanos(time), seq))
     }
 
     /// Take a slab slot off the free list (or grow the arena) and fill it.
@@ -848,6 +855,102 @@ mod tests {
         }
         assert_eq!(n, times.len());
         assert_eq!(last, *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn peek_key_matches_pop_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(50);
+        q.push(t, 0u64);
+        q.push(Time::from_nanos(10), 1);
+        q.push(t, 2);
+        // peek_key reports the exact (time, seq) of the next pop.
+        assert_eq!(q.peek_key(), Some((Time::from_nanos(10), 1)));
+        q.pop();
+        assert_eq!(q.peek_key(), Some((t, 0)));
+        q.pop();
+        assert_eq!(q.peek_key(), Some((t, 2)));
+        q.pop();
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn push_with_seq_orders_by_supplied_seq() {
+        // Two wheels fed from one global sequence: each wheel must
+        // deliver its share in global-seq order at equal timestamps,
+        // even though the seqs arrive at each wheel with gaps and (after
+        // a mailbox-style replay) out of push order.
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(100);
+        q.push_with_seq(t, 5, 5u64);
+        q.push_with_seq(t, 1, 1);
+        q.push_with_seq(t, 3, 3);
+        q.push_with_seq(Time::from_nanos(90), 7, 7);
+        assert_eq!(q.peek_key(), Some((Time::from_nanos(90), 7)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(90), 7)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 3)));
+        assert_eq!(q.pop(), Some((t, 5)));
+        // Internal stamping resumes past the largest supplied seq.
+        q.push(t, 99);
+        assert_eq!(q.peek_key(), Some((t, 8)));
+        assert_eq!(q.pop(), Some((t, 99)));
+    }
+
+    #[test]
+    fn push_after_peek_still_delivers_in_order() {
+        // peek_key stages the upcoming window; a later push landing
+        // before the staged entries must still deliver first.
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(1000), 1000u64);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(1000)));
+        q.push(Time::from_nanos(40), 40);
+        q.push(Time::from_nanos(990), 990);
+        assert_eq!(q.peek_key(), Some((Time::from_nanos(40), 1)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(40), 40)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(990), 990)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(1000), 1000)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn global_seq_merge_across_wheels_matches_serial() {
+        // The sharded-engine contract in miniature: route events from one
+        // serial reference stream across two wheels by a deterministic
+        // owner function, stamp a shared global seq, and pop by minimum
+        // peeked (time, seq). The merged stream must equal the serial one.
+        let mut reference = EventQueue::new();
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let mut seq = 0u64;
+        for i in 0..2000u64 {
+            let t = Time::from_nanos(1 + (i * 7919) % 4096);
+            reference.push(t, i);
+            let owner = if i % 3 == 0 { &mut a } else { &mut b };
+            owner.push_with_seq(t, seq, i);
+            seq += 1;
+        }
+        loop {
+            let ka = a.peek_key();
+            let kb = b.peek_key();
+            let merged = match (ka, kb) {
+                (None, None) => None,
+                (Some(_), None) => a.pop(),
+                (None, Some(_)) => b.pop(),
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        a.pop()
+                    } else {
+                        b.pop()
+                    }
+                }
+            };
+            let serial = reference.pop();
+            assert_eq!(merged, serial);
+            if serial.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -137,6 +137,25 @@ impl<P> HeapQueue<P> {
         self.push(self.now + delay, payload);
     }
 
+    /// Schedule `payload` at `at` with a caller-supplied FIFO sequence
+    /// number (see [`crate::EventQueue::push_with_seq`]): the sharded
+    /// engine stamps one global sequence across every shard queue so a
+    /// cross-queue merge by `(time, seq)` reproduces serial order.
+    pub fn push_with_seq(&mut self, at: Time, seq: u64, payload: P) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.seq = self.seq.max(seq + 1);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            token: 0,
+            payload,
+        });
+    }
+
     /// Schedule a cancellable event; keep the token to [`cancel`] it.
     ///
     /// [`cancel`]: HeapQueue::cancel
@@ -180,13 +199,20 @@ impl<P> HeapQueue<P> {
     /// Timestamp of the next (non-cancelled) pending event without
     /// delivering it.
     pub fn peek_time(&mut self) -> Option<Time> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// The `(time, seq)` key of the next pending event, without
+    /// delivering it (see [`crate::EventQueue::peek_key`]; the heap is
+    /// keyed by exactly this pair, so the head is the answer).
+    pub fn peek_key(&mut self) -> Option<(Time, u64)> {
         // Drain cancelled entries off the top so the answer is accurate.
         while let Some(e) = self.heap.peek() {
             if e.token != 0 && self.cancelled.contains(&e.token) {
                 let e = self.heap.pop().expect("peeked entry exists");
                 self.cancelled.remove(&e.token);
             } else {
-                return Some(e.time);
+                return Some((e.time, e.seq));
             }
         }
         None
@@ -216,6 +242,25 @@ mod tests {
         q.push(Time::from_nanos(20), "kept");
         q.cancel(tok);
         assert_eq!(q.pop(), Some((Time::from_nanos(20), "kept")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_with_seq_and_peek_key_mirror_the_wheel() {
+        let mut q = HeapQueue::new();
+        let t = Time::from_nanos(100);
+        q.push_with_seq(t, 5, 5u64);
+        q.push_with_seq(t, 1, 1);
+        q.push_with_seq(Time::from_nanos(90), 7, 7);
+        assert_eq!(q.peek_key(), Some((Time::from_nanos(90), 7)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(90), 7)));
+        assert_eq!(q.peek_key(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 5)));
+        // Internal stamping resumes past the largest supplied seq.
+        q.push(t, 99);
+        assert_eq!(q.peek_key(), Some((t, 8)));
+        assert_eq!(q.pop(), Some((t, 99)));
         assert_eq!(q.pop(), None);
     }
 }

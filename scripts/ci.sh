@@ -43,6 +43,17 @@ echo "== packet-layout goldens (--features fat-events, DRILL_THREADS=1/8) =="
 DRILL_THREADS=1 cargo test -q --test determinism_golden --features fat-events
 DRILL_THREADS=8 cargo test -q --test determinism_golden --features fat-events
 
+echo "== sharded-engine goldens (DRILL_SHARDS=1/2/8 x wheel/heap/fat builds) =="
+# The sharding contract: every determinism golden — chaos schedule and
+# telemetry crossings included — must replay bit-identically at any shard
+# count, on every event-queue and packet-layout build. DRILL_SHARDS=1 runs
+# the serial engine, so the =1 rows also prove the env plumbing is inert.
+for shards in 1 2 8; do
+    DRILL_SHARDS=$shards cargo test -q --test determinism_golden
+    DRILL_SHARDS=$shards cargo test -q --test determinism_golden --features heap-queue
+    DRILL_SHARDS=$shards cargo test -q --test determinism_golden --features fat-events
+done
+
 echo "== chaosbench --quick smoke =="
 cargo build --release -p drill-bench
 ./target/release/chaosbench --quick > /dev/null

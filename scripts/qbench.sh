@@ -2,9 +2,10 @@
 # Event-queue perf harness: in-process micro A/B (wheel vs heap), an
 # end-to-end fig2-style wall-clock A/B across the two queue builds, a
 # telemetry-overhead A/B (NoopProbe build vs flight-recorder attached),
-# and a packet-layout A/B (arena handles vs --features fat-events
-# by-value packets). Writes results/qbench.json. Offline-safe: no
-# external deps.
+# a packet-layout A/B (arena handles vs --features fat-events by-value
+# packets), and a shard-count A/B (DRILL_SHARDS=1/2/8 against the sharded
+# engine, equal-event-count asserted). Writes results/qbench.json.
+# Offline-safe: no external deps.
 #
 # All builds are compiled up front and their binaries copied aside, then
 # the e2e runs alternate sides (wheel/heap, noop/telemetry, arena/fat) so
@@ -65,6 +66,16 @@ for i in $(seq "$E2E_RUNS"); do
   "$tmp/qbench-fat" --e2e | tee -a "$tmp/e2e-fat.jsonl"
 done
 
+echo "== e2e shard A/B, interleaved DRILL_SHARDS=1/2/8 x $E2E_RUNS each =="
+: > "$tmp/e2e-shard1.jsonl"
+: > "$tmp/e2e-shard2.jsonl"
+: > "$tmp/e2e-shard8.jsonl"
+for i in $(seq "$E2E_RUNS"); do
+  DRILL_SHARDS=1 "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-shard1.jsonl"
+  DRILL_SHARDS=2 "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-shard2.jsonl"
+  DRILL_SHARDS=8 "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-shard8.jsonl"
+done
+
 python3 - "$tmp" "$baseline" <<'EOF'
 import json, sys
 
@@ -119,11 +130,37 @@ doc["arena_ab"] = {
         "pay112_mops": round(micro_pay["hold4096_pay112"]["mops_per_sec"], 3),
     },
 }
+s1 = median_run(f"{tmp}/e2e-shard1.jsonl")
+s2 = median_run(f"{tmp}/e2e-shard2.jsonl")
+s8 = median_run(f"{tmp}/e2e-shard8.jsonl")
+# Determinism contract: sharding repartitions the engine, never the
+# simulation — the event count must not move with the shard count.
+assert s1["events"] == s2["events"] == s8["events"], "shard count changed the simulation!"
+assert s2["shard_handoffs"] > 0 and s8["shard_handoffs"] > 0, "sharded run exchanged no handoffs"
+import os
+cores = os.cpu_count() or 1
+doc["shard_ab"] = {
+    "shard1": s1,
+    "shard2": s2,
+    "shard8": s8,
+    "host_cores": cores,
+    "speedup_2_over_1": round(s1["wall_secs"] / s2["wall_secs"], 3),
+    "speedup_8_over_1": round(s1["wall_secs"] / s8["wall_secs"], 3),
+    # Honest accounting: the sharded engine is a deterministic global
+    # merge (parallelism only in the barrier drain), so this section
+    # records the true cost of windows + mailboxes + arena re-interning
+    # on this host rather than claiming a speedup a 1-core box cannot
+    # deliver. Speedups < 1.0 here are the measured sharding overhead.
+    "expectation": "parity-or-overhead" if cores <= 1 else "speedup-or-parity",
+}
 json.dump(doc, open("results/qbench.json", "w"), indent=2)
 print("wrote results/qbench.json")
 print(f"e2e wall-clock improvement: {doc['e2e_fig2']['wall_clock_improvement']:.1%}")
 print(f"telemetry recording overhead: {doc['telemetry_ab']['recording_overhead']:.1%}")
 print(f"arena vs fat-events e2e improvement: {doc['arena_ab']['wall_clock_improvement']:.1%}")
+print(f"shard A/B ({cores}-core host, expect {doc['shard_ab']['expectation']}): "
+      f"2-shard {doc['shard_ab']['speedup_2_over_1']:.3f}x, "
+      f"8-shard {doc['shard_ab']['speedup_8_over_1']:.3f}x vs serial")
 if baseline is not None:
     drift = noop["wall_secs"] / baseline - 1
     print(f"noop e2e vs pre-run baseline: {drift:+.1%}")

@@ -2,11 +2,14 @@
 # Parallel-sweep harness: runs the same fig2-style sweep grid under
 # DRILL_THREADS=1/2/8, byte-compares the result tables (the executor's
 # determinism contract), and records wall-clock per thread count in
-# results/sweepbench.json. Offline-safe: no external deps.
+# results/sweepbench.json. A second axis does the same under
+# DRILL_SHARDS=1/2/8 — the sharded engine's contract is that the table
+# stays byte-identical at any shard count. Offline-safe: no external deps.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREAD_COUNTS=(${THREAD_COUNTS:-1 2 8})
+SHARD_COUNTS=(${SHARD_COUNTS:-1 2 8})
 
 mkdir -p results
 tmp=$(mktemp -d)
@@ -30,6 +33,21 @@ for t in "${THREAD_COUNTS[@]:1}"; do
     && echo "table($ref threads) == table($t threads): byte-identical"
 done
 
+echo "== sweep under DRILL_SHARDS=${SHARD_COUNTS[*]} =="
+for s in "${SHARD_COUNTS[@]}"; do
+  echo "-- DRILL_SHARDS=$s"
+  DRILL_SHARDS="$s" ./target/release/sweepbench \
+    > "$tmp/table-shards-$s.txt" 2> "$tmp/time-shards-$s.json"
+  cat "$tmp/time-shards-$s.json"
+done
+
+echo "== byte-comparing shard-axis tables against the thread-axis reference =="
+for s in "${SHARD_COUNTS[@]}"; do
+  cmp "$tmp/table-$ref.txt" "$tmp/table-shards-$s.txt" \
+    && echo "table($ref threads) == table($s shards): byte-identical"
+done
+
+export SHARD_COUNTS_LIST="${SHARD_COUNTS[*]}"
 python3 - "$tmp" "${THREAD_COUNTS[@]}" <<'EOF'
 import json, os, sys
 
@@ -49,8 +67,22 @@ doc = {
         t: round(base / r["wall_secs"], 3) for t, r in runs.items()
     },
 }
+shard_counts = os.environ["SHARD_COUNTS_LIST"].split()
+shard_runs = {s: json.load(open(f"{tmp}/time-shards-{s}.json")) for s in shard_counts}
+doc["shard_axis"] = {
+    # The cmp pass above aborts the script on any divergence, so reaching
+    # here certifies every shard count reproduced the serial table.
+    "tables_byte_identical_to_serial": True,
+    "runs": shard_runs,
+    "wall_vs_1_shard": {
+        s: round(shard_runs[shard_counts[0]]["wall_secs"] / r["wall_secs"], 3)
+        for s, r in shard_runs.items()
+    },
+}
 json.dump(doc, open("results/sweepbench.json", "w"), indent=2)
 print("wrote results/sweepbench.json")
 for t, s in doc["speedup_vs_1_thread"].items():
     print(f"  {t} threads: {s}x vs 1 thread")
+for s, x in doc["shard_axis"]["wall_vs_1_shard"].items():
+    print(f"  {s} shards: {x}x vs 1 shard (table byte-identical)")
 EOF
