@@ -1,0 +1,286 @@
+//! scalebench: how the simulator scales with fabric size.
+//!
+//! Runs a ladder of topologies from the paper's 320-host leaf-spine up to
+//! a 16k-host oversubscribed k=32 fat-tree (plus a build-only k=64 point,
+//! 65k hosts) and records, per point:
+//!
+//! * **events/sec** — wall-clock event throughput of the run;
+//! * **bytes/host** — payload bytes delivered per host (work actually
+//!   simulated, so throughput numbers are comparable across sizes);
+//! * **fct_retained** — samples held by the FCT distribution, which stays
+//!   O(k log n) once the store spills into the quantile sketch;
+//! * **peak RSS** — `VmHWM` from `/proc/self/status` (kB; 0 off-Linux).
+//!
+//! Ladder points run open-loop packet trains (`raw_packet_mode`) with the
+//! arrival window shrunk as the fabric grows, keeping every point within
+//! a few million events. RSS is a process-wide high-water mark, so
+//! `scripts/scalebench.sh` runs each point in a fresh process
+//! (`--point NAME`) and assembles `results/scalebench.json`; invoking the
+//! binary with no arguments runs the ladder in-process (ascending size,
+//! so the per-point attribution stays honest) and prints a JSON array.
+//!
+//! `--quick` swaps in a seconds-scale ladder for CI smoke.
+
+use std::time::Instant;
+
+use drill_net::{ClosSpec, LeafSpineSpec, RouteTable, DEFAULT_PROP};
+use drill_runtime::{run, ExperimentConfig, Scheme, TopoSpec};
+use drill_sim::Time;
+
+/// One ladder entry: a named topology plus the arrival window that keeps
+/// its event count in the millions, or a build-only probe of topology +
+/// routing construction.
+struct Point {
+    name: &'static str,
+    topo: fn() -> TopoSpec,
+    /// Arrival window in microseconds; 0 = build-only (no traffic).
+    window_us: u64,
+}
+
+fn leafspine320() -> TopoSpec {
+    TopoSpec::LeafSpine(LeafSpineSpec::paper_baseline())
+}
+
+fn clos512() -> TopoSpec {
+    TopoSpec::Clos(ClosSpec {
+        pods: 8,
+        leaves_per_pod: 4,
+        aggs_per_pod: 4,
+        cores: 8,
+        hosts_per_leaf: 16,
+        host_rate: 10_000_000_000,
+        leaf_agg_rate: 40_000_000_000,
+        agg_core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    })
+}
+
+fn clos_smoke() -> TopoSpec {
+    TopoSpec::Clos(ClosSpec::smoke())
+}
+
+fn ft(k: usize) -> TopoSpec {
+    TopoSpec::FatTree {
+        k,
+        rate: 10_000_000_000,
+    }
+}
+
+/// k=32 with a 2:1 oversubscribed edge: 512 edge switches x 32 hosts =
+/// 16384 hosts, the acceptance-scale point.
+fn ft32x2() -> TopoSpec {
+    TopoSpec::FatTreeCustom {
+        k: 32,
+        hosts_per_edge: 32,
+        rate: 10_000_000_000,
+    }
+}
+
+const FULL: &[Point] = &[
+    Point {
+        name: "leafspine_320h",
+        topo: leafspine320,
+        window_us: 2000,
+    },
+    Point {
+        name: "clos_512h",
+        topo: clos512,
+        window_us: 1000,
+    },
+    Point {
+        name: "fattree16_1024h",
+        topo: || ft(16),
+        window_us: 600,
+    },
+    Point {
+        name: "fattree32_8192h",
+        topo: || ft(32),
+        window_us: 250,
+    },
+    Point {
+        name: "fattree32x2_16384h",
+        topo: ft32x2,
+        window_us: 200,
+    },
+    Point {
+        name: "fattree64_65536h_build",
+        topo: || ft(64),
+        window_us: 0,
+    },
+];
+
+const QUICK: &[Point] = &[
+    Point {
+        name: "leafspine_320h",
+        topo: leafspine320,
+        window_us: 300,
+    },
+    Point {
+        name: "clos_smoke_32h",
+        topo: clos_smoke,
+        window_us: 300,
+    },
+    Point {
+        name: "fattree8_128h",
+        topo: || ft(8),
+        window_us: 300,
+    },
+];
+
+/// Peak resident set (`VmHWM`) in kB; 0 when `/proc` is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn run_point(p: &Point) -> String {
+    let spec = (p.topo)();
+    let build_start = Instant::now();
+    let topo = spec.build();
+    let routes = RouteTable::compute(&topo);
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let hosts = topo.num_hosts();
+    let switches = topo.num_switches();
+    let link_entries = topo.links().len();
+    drop(routes);
+    drop(topo);
+
+    let (wall, events, flows, bytes, fct_retained, fct_exact) = if p.window_us == 0 {
+        // Build-only probe: topology + routing construction at a scale
+        // (65k hosts) where a traffic run would be CI-hostile.
+        (0.0, 0, 0, 0, 0, true)
+    } else {
+        let mut cfg = ExperimentConfig::new(
+            spec,
+            Scheme::Drill {
+                d: 2,
+                m: 1,
+                shim: false,
+            },
+            0.25,
+        );
+        // The §3.4 symmetric-component control plane enumerates every
+        // leaf-pair shortest path (O(leaves^2 * paths) — gigabytes and
+        // minutes at k=32). Every ladder fabric is symmetric, where the
+        // decomposition provably yields a single all-candidates group per
+        // entry, so skip it: scalebench measures data-plane scaling.
+        cfg.asymmetry_handling = false;
+        cfg.raw_packet_mode = true;
+        cfg.duration = Time::from_micros(p.window_us);
+        cfg.drain = Time::from_millis(5);
+        cfg.warmup = Time::ZERO;
+        let start = Instant::now();
+        let stats = run(&cfg);
+        (
+            start.elapsed().as_secs_f64(),
+            stats.events,
+            stats.flows_started,
+            stats.bytes_delivered,
+            stats.fct_ms.retained(),
+            stats.fct_ms.is_exact(),
+        )
+    };
+    let eps = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"point\": \"{}\", \"hosts\": {hosts}, \"switches\": {switches}, \"link_entries\": {link_entries}, \
+\"build_secs\": {build_secs:.3}, \"window_us\": {}, \"wall_secs\": {wall:.3}, \"events\": {events}, \
+\"events_per_sec\": {eps:.0}, \"flows_started\": {flows}, \"bytes_delivered\": {bytes}, \
+\"bytes_per_host\": {:.1}, \"fct_retained\": {fct_retained}, \"fct_exact\": {fct_exact}, \
+\"peak_rss_kb\": {}}}",
+        p.name,
+        p.window_us,
+        bytes as f64 / hosts as f64,
+        peak_rss_kb()
+    )
+}
+
+/// Sketch-scaling section: feed n heavy-tailed samples into a forced-sketch
+/// [`drill_stats::Distribution`] and report retained memory plus the
+/// measured rank error of p50/p90/p99 against the exact order statistics —
+/// the "peak memory sublinear in flow count" evidence at sample counts the
+/// exact store could not hold per-run.
+fn sketch_ladder(quick: bool) {
+    use drill_stats::Distribution;
+    let ns: &[usize] = if quick {
+        &[100_000, 1_000_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000]
+    };
+    println!("[");
+    for (i, &n) in ns.iter().enumerate() {
+        let mut rng = drill_sim::SimRng::seed_from(0x5CA1E);
+        let mut sk = Distribution::sketched();
+        let mut exact: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Pareto-ish heavy tail, the shape of FCT distributions.
+            let u = (rng.below(u32::MAX as usize) as f64 + 1.0) / (u32::MAX as f64 + 1.0);
+            let x = 1.0 / u.powf(0.5);
+            sk.add(x);
+            exact.push(x);
+        }
+        exact.sort_unstable_by(|a, b| a.total_cmp(b));
+        let rank_err = |q: f64, est: f64| -> f64 {
+            let r = exact.partition_point(|&v| v <= est);
+            (r as f64 / n as f64 - q).abs()
+        };
+        let (p50, p90, p99) = (sk.quantile(0.5), sk.quantile(0.9), sk.quantile(0.99));
+        let comma = if i + 1 < ns.len() { "," } else { "" };
+        println!(
+            "  {{\"samples\": {n}, \"retained\": {}, \"eps_bound\": {:.5}, \
+\"p50_rank_err\": {:.5}, \"p90_rank_err\": {:.5}, \"p99_rank_err\": {:.5}}}{comma}",
+            sk.retained(),
+            sk.rank_error_bound().expect("sketch mode"),
+            rank_err(0.5, p50),
+            rank_err(0.9, p90),
+            rank_err(0.99, p99),
+        );
+    }
+    println!("]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--sketch") {
+        sketch_ladder(quick);
+        return;
+    }
+    let ladder = if quick { QUICK } else { FULL };
+    if args.iter().any(|a| a == "--list") {
+        for p in ladder {
+            println!("{}", p.name);
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--point") {
+        let name = args.get(i + 1).expect("--point NAME");
+        // The active ladder wins when a name appears in both (the quick
+        // ladder reuses full-ladder names with smaller arrival windows).
+        let other = if quick { FULL } else { QUICK };
+        let p = ladder
+            .iter()
+            .chain(other.iter())
+            .find(|p| p.name == *name)
+            .unwrap_or_else(|| panic!("unknown point {name}"));
+        println!("{}", run_point(p));
+        return;
+    }
+    // In-process ladder, ascending size so the RSS high-water mark per
+    // point remains attributable.
+    println!("[");
+    for (i, p) in ladder.iter().enumerate() {
+        let comma = if i + 1 < ladder.len() { "," } else { "" };
+        println!("  {}{comma}", run_point(p));
+    }
+    println!("]");
+}

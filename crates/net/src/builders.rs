@@ -174,6 +174,24 @@ pub fn vl2(spec: &Vl2Spec) -> Topology {
 /// switches, `(k/2)^2` cores, `k/2` hosts per edge switch, all links equal
 /// rate. `k` must be even.
 pub fn fat_tree(k: usize, link_rate: u64, prop: Time) -> Topology {
+    fat_tree_custom(k, k / 2, link_rate, link_rate, prop)
+}
+
+/// Build a k-ary fat-tree with a custom edge subscription: `hosts_per_edge`
+/// hosts at `host_rate` bps on each edge switch instead of the rearrangeably
+/// non-blocking `k/2`. `hosts_per_edge > k/2` yields an oversubscribed
+/// fabric (ratio `hosts_per_edge / (k/2)` at the edge tier) — the common
+/// production trade and the configuration `scalebench` uses to reach 16k
+/// hosts on a k=32 fabric. Wiring above the edge tier is identical to
+/// [`fat_tree`], including construction order, so `fat_tree(k, r, p)` ==
+/// `fat_tree_custom(k, k/2, r, r, p)` switch-for-switch and link-for-link.
+pub fn fat_tree_custom(
+    k: usize,
+    hosts_per_edge: usize,
+    link_rate: u64,
+    host_rate: u64,
+    prop: Time,
+) -> Topology {
     assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
     let half = k / 2;
     let mut t = Topology::new();
@@ -208,8 +226,159 @@ pub fn fat_tree(k: usize, link_rate: u64, prop: Time) -> Topology {
     }
     for pod_edges in &edges {
         for &e in pod_edges {
-            for _ in 0..half {
-                t.add_host(e, link_rate, prop);
+            for _ in 0..hosts_per_edge {
+                t.add_host(e, host_rate, prop);
+            }
+        }
+    }
+    t.validate();
+    t
+}
+
+/// Parameters for a general three-tier folded Clos (leaf - pod aggregation -
+/// core), the fabric shape CAFT and the randomized fat-tree routing papers
+/// evaluate on. Unlike [`fat_tree`], every tier width is independent, so
+/// pod radix, core plane width, and edge subscription can each be swept.
+#[derive(Clone, Debug)]
+pub struct ClosSpec {
+    /// Number of pods.
+    pub pods: usize,
+    /// Leaf switches per pod.
+    pub leaves_per_pod: usize,
+    /// Aggregation switches per pod.
+    pub aggs_per_pod: usize,
+    /// Core switches, split into `aggs_per_pod` equal planes; must be a
+    /// positive multiple of `aggs_per_pod`.
+    pub cores: usize,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Host-to-leaf link rate (bps).
+    pub host_rate: u64,
+    /// Leaf-to-aggregation link rate (bps).
+    pub leaf_agg_rate: u64,
+    /// Aggregation-to-core link rate (bps).
+    pub agg_core_rate: u64,
+    /// Per-hop propagation delay.
+    pub prop: Time,
+}
+
+impl ClosSpec {
+    /// A small three-tier Clos for CI goldens: 4 pods x (2 leaves + 2 aggs),
+    /// 4 cores, 4 hosts per leaf (32 hosts), 10/40 Gbps edge/core.
+    pub fn smoke() -> ClosSpec {
+        ClosSpec {
+            pods: 4,
+            leaves_per_pod: 2,
+            aggs_per_pod: 2,
+            cores: 4,
+            hosts_per_leaf: 4,
+            host_rate: 10_000_000_000,
+            leaf_agg_rate: 40_000_000_000,
+            agg_core_rate: 40_000_000_000,
+            prop: DEFAULT_PROP,
+        }
+    }
+
+    /// Hosts in the fabric.
+    pub fn num_hosts(&self) -> usize {
+        self.pods * self.leaves_per_pod * self.hosts_per_leaf
+    }
+
+    /// Switches in the fabric across all three tiers.
+    pub fn num_switches(&self) -> usize {
+        self.pods * (self.leaves_per_pod + self.aggs_per_pod) + self.cores
+    }
+
+    /// Core uplinks per aggregation switch (its plane width).
+    pub fn core_group(&self) -> usize {
+        self.cores / self.aggs_per_pod
+    }
+
+    /// Closed-form count of directed link entries ([`Topology::links`]
+    /// records each physical link twice, once per direction): per-pod
+    /// leaf-agg full mesh, one agg-core link per (pod, core) pair, one
+    /// access link per host.
+    pub fn expected_link_entries(&self) -> usize {
+        let leaf_agg = self.pods * self.leaves_per_pod * self.aggs_per_pod;
+        let agg_core = self.pods * self.cores;
+        let host = self.num_hosts();
+        2 * (leaf_agg + agg_core + host)
+    }
+
+    /// One-direction bisection bandwidth of the core tier: every
+    /// pod-to-pod path crosses a core, and each core carries one link per
+    /// pod, so splitting the pods in half cuts `cores * pods/2` links.
+    pub fn bisection_bps(&self) -> u64 {
+        (self.cores * (self.pods / 2)) as u64 * self.agg_core_rate
+    }
+}
+
+/// Build a three-tier folded Clos from `spec`.
+///
+/// Wiring rules (validated in tests and proptests):
+/// * within each pod, leaves and aggregation switches form a full bipartite
+///   mesh (`leaves_per_pod * aggs_per_pod` links per pod);
+/// * the core tier is split into `aggs_per_pod` planes of
+///   `cores / aggs_per_pod` switches; aggregation switch `j` of every pod
+///   connects to exactly the switches of plane `j`, so every core switch
+///   sees every pod exactly once and has exactly `pods` ports.
+///
+/// Construction order (leaves+aggs per pod, then cores, then links, then
+/// hosts) is fixed and documented because switch ids feed the deterministic
+/// replay goldens.
+pub fn clos(spec: &ClosSpec) -> Topology {
+    assert!(spec.pods >= 2, "need at least two pods");
+    assert!(
+        spec.leaves_per_pod >= 1 && spec.aggs_per_pod >= 1 && spec.hosts_per_leaf >= 1,
+        "tier widths must be positive"
+    );
+    assert!(
+        spec.cores >= spec.aggs_per_pod && spec.cores.is_multiple_of(spec.aggs_per_pod),
+        "cores ({}) must be a positive multiple of aggs_per_pod ({})",
+        spec.cores,
+        spec.aggs_per_pod
+    );
+    let group = spec.core_group();
+    let mut t = Topology::new();
+    let mut leaves = Vec::new();
+    let mut aggs = Vec::new();
+    for _pod in 0..spec.pods {
+        leaves.push(
+            (0..spec.leaves_per_pod)
+                .map(|_| t.add_switch(SwitchKind::Leaf))
+                .collect::<Vec<_>>(),
+        );
+        aggs.push(
+            (0..spec.aggs_per_pod)
+                .map(|_| t.add_switch(SwitchKind::Agg))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let cores: Vec<SwitchId> = (0..spec.cores)
+        .map(|_| t.add_switch(SwitchKind::Spine))
+        .collect();
+    for pod in 0..spec.pods {
+        for &l in &leaves[pod] {
+            for &a in &aggs[pod] {
+                t.connect_switches(l, a, spec.leaf_agg_rate, spec.leaf_agg_rate, spec.prop);
+            }
+        }
+        for (j, &a) in aggs[pod].iter().enumerate() {
+            for c in 0..group {
+                t.connect_switches(
+                    a,
+                    cores[j * group + c],
+                    spec.agg_core_rate,
+                    spec.agg_core_rate,
+                    spec.prop,
+                );
+            }
+        }
+    }
+    for pod_leaves in &leaves {
+        for &l in pod_leaves {
+            for _ in 0..spec.hosts_per_leaf {
+                t.add_host(l, spec.host_rate, spec.prop);
             }
         }
     }
@@ -325,5 +494,95 @@ mod tests {
     #[should_panic(expected = "even")]
     fn fat_tree_odd_arity_panics() {
         fat_tree(3, 1_000_000_000, DEFAULT_PROP);
+    }
+
+    #[test]
+    fn fat_tree_custom_matches_fat_tree_at_full_subscription() {
+        let a = fat_tree(4, 10_000_000_000, DEFAULT_PROP);
+        let b = fat_tree_custom(4, 2, 10_000_000_000, 10_000_000_000, DEFAULT_PROP);
+        assert_eq!(a.num_switches(), b.num_switches());
+        assert_eq!(a.num_hosts(), b.num_hosts());
+        assert_eq!(
+            format!("{:?}", a.links()),
+            format!("{:?}", b.links()),
+            "identical wiring, link for link"
+        );
+    }
+
+    #[test]
+    fn fat_tree_custom_oversubscribed_edge() {
+        // k=4 with 4 hosts per edge: 2:1 oversubscription, 32 hosts.
+        let t = fat_tree_custom(4, 4, 10_000_000_000, 10_000_000_000, DEFAULT_PROP);
+        assert_eq!(t.num_hosts(), 32);
+        for &e in t.leaves() {
+            // 2 agg uplinks + 4 host ports.
+            assert_eq!(t.num_ports(e), 6);
+        }
+        // Core wiring unchanged by the edge subscription.
+        let core = SwitchId((t.num_switches() - 1) as u32);
+        assert_eq!(t.num_ports(core), 4);
+    }
+
+    #[test]
+    fn clos_structure_and_closed_forms() {
+        let spec = ClosSpec::smoke();
+        let t = clos(&spec);
+        assert_eq!(t.num_switches(), spec.num_switches());
+        assert_eq!(t.num_hosts(), spec.num_hosts());
+        assert_eq!(t.num_leaves(), spec.pods * spec.leaves_per_pod);
+        assert_eq!(t.links().len(), spec.expected_link_entries());
+        // Every leaf: aggs_per_pod uplinks + hosts_per_leaf host ports.
+        for &l in t.leaves() {
+            assert_eq!(t.num_ports(l), spec.aggs_per_pod + spec.hosts_per_leaf);
+        }
+        // Every core sees every pod exactly once.
+        let first_core = spec.pods * (spec.leaves_per_pod + spec.aggs_per_pod);
+        for c in 0..spec.cores {
+            let core = SwitchId((first_core + c) as u32);
+            assert_eq!(t.num_ports(core), spec.pods);
+        }
+        assert_eq!(spec.bisection_bps(), 8 * 40_000_000_000);
+    }
+
+    #[test]
+    fn clos_core_planes_are_disjoint() {
+        let spec = ClosSpec::smoke();
+        let t = clos(&spec);
+        // Aggregation switch j of pod p is switch p*(l+a) + l + j.
+        let stride = spec.leaves_per_pod + spec.aggs_per_pod;
+        let first_core = (spec.pods * stride) as u32;
+        let group = spec.core_group();
+        for pod in 0..spec.pods {
+            for j in 0..spec.aggs_per_pod {
+                let agg = SwitchId((pod * stride + spec.leaves_per_pod + j) as u32);
+                // Up-ports (after the leaf-facing ones) land exactly on
+                // plane j's cores.
+                for c in 0..group {
+                    let want = SwitchId(first_core + (j * group + c) as u32);
+                    assert_eq!(
+                        t.ports_to_switch(agg, want).len(),
+                        1,
+                        "agg {j} of pod {pod} must reach core plane {j} once"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clos_hop_classes() {
+        let t = clos(&ClosSpec::smoke());
+        let leaf = t.leaves()[0];
+        assert_eq!(t.egress(leaf, 0).hop, HopClass::LeafUp);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of aggs_per_pod")]
+    fn clos_rejects_ragged_core_planes() {
+        let spec = ClosSpec {
+            cores: 3,
+            ..ClosSpec::smoke()
+        };
+        clos(&spec);
     }
 }

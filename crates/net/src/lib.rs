@@ -14,7 +14,9 @@
 //!   synchronization effect (§3.2.3);
 //! * topology builders for every network evaluated in the paper (two-stage
 //!   leaf-spine with arbitrary over-subscription, the scale-out variant,
-//!   heterogeneous/imbalanced striping, VL2 and fat-tree);
+//!   heterogeneous/imbalanced striping, VL2 and fat-tree), plus
+//!   production-scale fabrics: general three-tier Clos ([`clos`]) and
+//!   oversubscribed large fat-trees ([`fat_tree_custom`], k=32/64);
 //! * shortest-path (ECMP-style) routing with link-failure support.
 //!
 //! Load-balancing *policies* plug in through [`SwitchPolicy`] /
@@ -37,7 +39,8 @@ mod topology;
 
 pub use arena::{PacketArena, PacketRef};
 pub use builders::{
-    fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Vl2Spec, DEFAULT_PROP,
+    clos, fat_tree, fat_tree_custom, leaf_spine, leaf_spine_custom, vl2, ClosSpec, LeafSpineSpec,
+    Vl2Spec, DEFAULT_PROP,
 };
 pub use host::{HostNic, HOST_NIC_BUF_BYTES};
 pub use ids::{FlowId, HostId, LinkId, NodeRef, SwitchId};

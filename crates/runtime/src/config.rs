@@ -2,7 +2,8 @@
 
 use drill_faults::FaultSchedule;
 use drill_net::{
-    fat_tree, leaf_spine, leaf_spine_custom, vl2, LeafSpineSpec, Topology, Vl2Spec, DEFAULT_PROP,
+    clos, fat_tree, fat_tree_custom, leaf_spine, leaf_spine_custom, vl2, ClosSpec, LeafSpineSpec,
+    Topology, Vl2Spec, DEFAULT_PROP,
 };
 use drill_sim::Time;
 use drill_transport::TcpConfig;
@@ -32,6 +33,19 @@ pub enum TopoSpec {
         /// Link rate in bps.
         rate: u64,
     },
+    /// A k-ary fat-tree with a custom (possibly oversubscribed) edge:
+    /// `hosts_per_edge` hosts per edge switch instead of `k/2`. The
+    /// `scalebench` 16k-host point is `k: 32, hosts_per_edge: 32` (2:1).
+    FatTreeCustom {
+        /// Arity (even).
+        k: usize,
+        /// Hosts attached to each edge switch.
+        hosts_per_edge: usize,
+        /// Fabric link rate in bps (hosts attach at the same rate).
+        rate: u64,
+    },
+    /// A general three-tier folded Clos (independent tier widths).
+    Clos(ClosSpec),
 }
 
 impl TopoSpec {
@@ -52,6 +66,12 @@ impl TopoSpec {
             }
             TopoSpec::Vl2(spec) => vl2(spec),
             TopoSpec::FatTree { k, rate } => fat_tree(*k, *rate, DEFAULT_PROP),
+            TopoSpec::FatTreeCustom {
+                k,
+                hosts_per_edge,
+                rate,
+            } => fat_tree_custom(*k, *hosts_per_edge, *rate, *rate, DEFAULT_PROP),
+            TopoSpec::Clos(spec) => clos(spec),
         }
     }
 
@@ -286,6 +306,15 @@ mod tests {
             rate: 1_000_000_000,
         };
         assert_eq!(f.build().num_hosts(), 16);
+        let fo = TopoSpec::FatTreeCustom {
+            k: 4,
+            hosts_per_edge: 4,
+            rate: 1_000_000_000,
+        };
+        assert_eq!(fo.build().num_hosts(), 32);
+        let c = TopoSpec::Clos(ClosSpec::smoke());
+        assert_eq!(c.build().num_hosts(), 32);
+        assert!(c.core_capacity_bps() > 0);
     }
 
     #[test]

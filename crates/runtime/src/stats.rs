@@ -106,6 +106,9 @@ pub struct RunStats {
     pub gro_batches: u64,
     /// Data packets delivered to receivers (GRO normalization).
     pub data_pkts_delivered: u64,
+    /// Payload bytes delivered to receivers — the numerator of
+    /// `scalebench`'s bytes/host throughput metric.
+    pub bytes_delivered: u64,
     /// TCP retransmissions.
     pub retransmissions: u64,
     /// TCP timeouts.
@@ -171,6 +174,7 @@ impl RunStats {
             hops: HopReport::default(),
             gro_batches: 0,
             data_pkts_delivered: 0,
+            bytes_delivered: 0,
             retransmissions: 0,
             timeouts: 0,
             blackholed: 0,
@@ -228,12 +232,20 @@ impl RunStats {
     /// Fold another run's measurements into this one (cross-seed or
     /// cross-shard aggregation).
     ///
-    /// Sample stores concatenate (so quantiles over the merged
-    /// distribution are exact), histograms and per-hop tallies add,
-    /// streaming moments combine with the standard Chan et al. update,
-    /// counters sum, and `sim_end` keeps the latest end time. The scheme
-    /// name is kept from `self`; merging different schemes is a caller
-    /// bug and panics.
+    /// Distributions merge through [`drill_stats::Distribution::merge`]:
+    /// at figure scale both stores are still exact and concatenate, so
+    /// merged quantiles remain exact order statistics; past
+    /// [`drill_stats::EXACT_SPILL_LIMIT`] samples the merged store is a
+    /// deterministic quantile sketch and quantiles become rank-bounded
+    /// estimates (see `Distribution::rank_error_bound`). Either way the
+    /// merge is a pure function of the operand states, so a fixed merge
+    /// order reproduces bit-identical stores at any thread count.
+    /// Everything else stays exact regardless of scale: histograms and
+    /// per-hop tallies add, streaming moments combine with the standard
+    /// Chan et al. update, counters (including `bytes_delivered`) sum,
+    /// distribution counts/means/extrema are exact, and `sim_end` keeps
+    /// the latest end time. The scheme name is kept from `self`; merging
+    /// different schemes is a caller bug and panics.
     pub fn merge(&mut self, other: &RunStats) {
         assert_eq!(
             self.scheme, other.scheme,
@@ -251,6 +263,7 @@ impl RunStats {
         self.hops.merge(&other.hops);
         self.gro_batches += other.gro_batches;
         self.data_pkts_delivered += other.data_pkts_delivered;
+        self.bytes_delivered += other.bytes_delivered;
         self.retransmissions += other.retransmissions;
         self.timeouts += other.timeouts;
         self.blackholed += other.blackholed;

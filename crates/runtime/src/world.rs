@@ -112,6 +112,7 @@ struct World<P: Probe> {
     spine_down_ports: Vec<Vec<(usize, u16)>>,
     shim_enabled: bool,
     data_delivered: u64,
+    bytes_delivered: u64,
     /// The run's fault timeline: `(strike time, kind, detection delay)`,
     /// time-sorted (legacy `failed_links`/`fail_at` entries first on
     /// ties). Indexed by `Event::Fault`.
@@ -398,6 +399,7 @@ impl<P: Probe> World<P> {
             spine_down_ports,
             shim_enabled,
             data_delivered: 0,
+            bytes_delivered: 0,
             faults,
             injector: FaultInjector::new(),
             reconv_gen: 0,
@@ -883,6 +885,7 @@ impl<P: Probe> World<P> {
         }
         if self.cfg.raw_packet_mode {
             self.data_delivered += 1;
+            self.bytes_delivered += self.arenas[k].get(&pref).payload as u64;
             self.arenas[k].free(pref);
             return;
         }
@@ -935,6 +938,7 @@ impl<P: Probe> World<P> {
         let receiver = self.flows[flow as usize].dst;
         let k = self.host_shard(receiver) as usize;
         let pkt = self.arenas[k].take(pref);
+        self.bytes_delivered += pkt.payload as u64;
         let mut acks = self.pkt_pool.get();
         self.flows[flow as usize].on_data(&pkt, now, &mut self.pkt_ids, &mut acks);
         for a in acks.drain(..) {
@@ -1004,6 +1008,7 @@ impl<P: Probe> World<P> {
         }
         self.stats.nic_drops = self.nics.iter().map(|n| n.drops).sum();
         self.stats.data_pkts_delivered = self.data_delivered;
+        self.stats.bytes_delivered = self.bytes_delivered;
 
         // Per-flow metrics.
         let sim_end = self.queue.now();

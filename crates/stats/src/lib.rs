@@ -6,10 +6,13 @@
 //! building blocks:
 //!
 //! * [`Moments`] — streaming count/mean/variance/min/max (Welford).
-//! * [`Distribution`] — an exact sample store with quantiles and CDF export
-//!   (flow-completion times per run are at most a few hundred thousand
-//!   samples, so exact storage is both affordable and precise in the far
-//!   tail, where approximate sketches would distort the 99.99th percentile).
+//! * [`Distribution`] — a sample store with quantiles and CDF export. Exact
+//!   at figure scale (runs up to [`EXACT_SPILL_LIMIT`] samples keep every
+//!   value, so the 99.99th percentile is a true order statistic), spilling
+//!   into a bounded-memory [`QuantileSketch`] at production scale where
+//!   O(flows) storage would dominate the simulator's footprint.
+//! * [`QuantileSketch`] — the underlying deterministic, mergeable,
+//!   KLL-style sketch (O(k log n) memory, configured rank-error bound).
 //! * [`Histogram`] — fixed-bin counts (used for the dup-ACK distribution).
 //! * [`Table`] — minimal aligned-text table formatting for the experiment
 //!   binaries, so every figure harness prints rows the same way.
@@ -19,9 +22,11 @@
 mod histogram;
 mod moments;
 mod percentile;
+mod sketch;
 mod table;
 
 pub use histogram::Histogram;
 pub use moments::{stdev_of, Moments};
-pub use percentile::Distribution;
+pub use percentile::{Distribution, EXACT_SPILL_LIMIT};
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_K, MIN_LEVEL_CAP};
 pub use table::{f3, Table};

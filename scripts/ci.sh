@@ -58,6 +58,14 @@ echo "== chaosbench --quick smoke =="
 cargo build --release -p drill-bench
 ./target/release/chaosbench --quick > /dev/null
 
+echo "== scalebench --quick smoke =="
+# Seconds-scale scaling ladder (leaf-spine, small Clos, k=8 fat-tree)
+# plus the sketch rank-error section. The small-Clos determinism golden
+# itself rides in determinism_golden, which the DRILL_SHARDS=1/2/8 loop
+# above already crosses with every build.
+./target/release/scalebench --quick > /dev/null
+./target/release/scalebench --sketch --quick > /dev/null
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -8,12 +8,13 @@
 //! intended, and say so in the commit.
 
 use drill::faults::FaultSchedule;
-use drill::net::{LeafSpineSpec, DEFAULT_PROP};
+use drill::net::{ClosSpec, LeafSpineSpec, DEFAULT_PROP};
 use drill::runtime::{
     random_leaf_spine_failures, run, run_recorded, ExperimentConfig, RunStats, Scheme, ShardSpec,
     SweepSpec, TelemetrySpec, TopoSpec,
 };
 use drill::sim::Time;
+use drill::stats::Distribution;
 
 fn golden_cfg(scheme: Scheme) -> ExperimentConfig {
     let topo = TopoSpec::LeafSpine(LeafSpineSpec {
@@ -85,7 +86,9 @@ fn full_fingerprint(st: &mut RunStats) -> Vec<u64> {
     fp.extend_from_slice(&st.hops.drops);
     fp.extend_from_slice(&st.hops.tx);
     // Appended last: earlier slots are indexed by position (see the chaos
-    // test's point[25..29] reads).
+    // test's point[25..29] reads, which the slots below must not shift).
+    fp.push(st.bytes_delivered);
+    fp.push(st.fct_ms.digest());
     fp.push(st.arena_live_at_end);
     fp
 }
@@ -376,6 +379,139 @@ fn sharded_engine_replays_bit_identically_at_every_shard_count() {
                 scheme.name()
             );
         }
+    }
+}
+
+/// Three-tier Clos determinism golden: the smoke-scale Clos fabric (4
+/// pods x (2 leaves + 2 aggs), 4 cores, 32 hosts) replays bit-identically
+/// on the serial engine and at every shard count, pinning the sharded
+/// partitioner on a fabric with an aggregation tier between the leaves
+/// and the cores. The event-count constants were captured from a run of
+/// this configuration (see the module doc for the update policy).
+#[test]
+fn clos_smoke_replays_bit_identically_across_shard_counts() {
+    let mut cfg = golden_cfg(Scheme::drill_default());
+    cfg.topo = TopoSpec::Clos(ClosSpec::smoke());
+    cfg.shards = Some(ShardSpec::count(1));
+    let mut base = run(&cfg);
+    assert_eq!(
+        (base.events, base.flows_started, base.flows_completed),
+        (CLOS_GOLDEN.0, CLOS_GOLDEN.1, CLOS_GOLDEN.2),
+        "Clos smoke run diverged from its golden trace"
+    );
+    assert_eq!(base.arena_live_at_end, 0, "leaked packet-arena slots");
+    let base_fp = full_fingerprint(&mut base);
+    for count in [2usize, 8] {
+        let mut cfg = golden_cfg(Scheme::drill_default());
+        cfg.topo = TopoSpec::Clos(ClosSpec::smoke());
+        cfg.shards = Some(ShardSpec::count(count));
+        let mut st = run(&cfg);
+        assert!(
+            st.shard_handoffs > 0 && st.shard_windows > 0,
+            "{count} shards exercised no cross-shard handoffs on the Clos"
+        );
+        assert_eq!(
+            full_fingerprint(&mut st),
+            base_fp,
+            "{count}-shard Clos run diverged from the serial engine"
+        );
+    }
+}
+
+/// Golden constants for `clos_smoke_replays_bit_identically_across_shard_counts`:
+/// (events, flows_started, flows_completed).
+const CLOS_GOLDEN: (u64, u64, u64) = (1_623_884, 1_105, 1_105);
+
+/// Sketch differential golden: on every figure-scale golden run the FCT
+/// store is still exact; replaying those exact samples through a
+/// forced-sketch [`Distribution`] must land p50/p90/p99 within the
+/// sketch's configured rank-error bound of the exact order statistics.
+/// This pins the error contract on real simulation output (heavy-tailed
+/// FCTs), not just synthetic streams.
+#[test]
+fn sketch_quantiles_match_exact_stats_within_configured_bound() {
+    for scheme in [Scheme::Ecmp, Scheme::drill_default(), Scheme::Random] {
+        let st = golden_run(scheme);
+        let samples = st
+            .fct_ms
+            .exact_samples()
+            .expect("figure-scale runs stay exact")
+            .to_vec();
+        assert!(samples.len() > 500, "{}: too few FCTs", scheme.name());
+        let mut sk = Distribution::sketched();
+        for &x in &samples {
+            sk.add(x);
+        }
+        assert!(!sk.is_exact());
+        assert_eq!(sk.count(), samples.len());
+        let eps = sk.rank_error_bound().expect("sketch mode");
+        let mut sorted = samples.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let n = sorted.len();
+        for q in [0.5, 0.9, 0.99] {
+            let est = sk.quantile(q);
+            // Measured rank of the estimate vs the requested rank.
+            let rank = sorted.partition_point(|&v| v <= est) as f64 / n as f64;
+            assert!(
+                (rank - q).abs() <= eps,
+                "{}: sketch p{} = {est} has rank error {} > bound {eps}",
+                scheme.name(),
+                q * 100.0,
+                (rank - q).abs()
+            );
+        }
+        // Extrema stay exact in sketch mode.
+        assert_eq!(sk.min(), *sorted.first().unwrap());
+        assert_eq!(sk.max(), *sorted.last().unwrap());
+    }
+}
+
+/// The sketch-merge determinism contract behind the sweep executor: rep
+/// sketches built on 1/2/8 worker threads and merged in fixed slot order
+/// must produce byte-identical merged state (equal digests). Thread count
+/// may change *when* each rep sketch is built, never *what* the merge
+/// produces — the same property the executor relies on when it folds
+/// per-rep `RunStats` into a sweep cell.
+#[test]
+fn sketch_merge_is_bit_identical_across_thread_counts() {
+    const REPS: usize = 8;
+    const PER_REP: usize = 50_000;
+    let build_rep = |r: usize| -> Distribution {
+        let mut rng = drill::sim::SimRng::seed_from(0xABC0 + r as u64);
+        let mut d = Distribution::sketched();
+        for _ in 0..PER_REP {
+            let u = (rng.below(u32::MAX as usize) as f64 + 1.0) / (u32::MAX as f64 + 1.0);
+            d.add(1.0 / u.powf(0.5));
+        }
+        d
+    };
+    let merged_digest = |threads: usize| -> u64 {
+        let mut slots: Vec<Option<Distribution>> = (0..REPS).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (t, chunk) in slots.chunks_mut(REPS.div_ceil(threads)).enumerate() {
+                let base = t * REPS.div_ceil(threads);
+                s.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(build_rep(base + i));
+                    }
+                });
+            }
+        });
+        let mut acc = Distribution::sketched();
+        for slot in slots {
+            acc.merge(&slot.expect("all reps built"));
+        }
+        assert_eq!(acc.count(), REPS * PER_REP);
+        assert!(!acc.is_exact());
+        acc.digest()
+    };
+    let serial = merged_digest(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            serial,
+            merged_digest(threads),
+            "sketch merge diverged at {threads} threads"
+        );
     }
 }
 

@@ -9,8 +9,9 @@
 
 use drill::core::{decompose_groups, DrillPolicy, Quiver};
 use drill::net::{
-    leaf_spine, vl2, FlowId, HostId, LeafSpineSpec, Packet, PacketArena, PacketRef, QueueView,
-    RouteTable, SelectCtx, ShardPlan, SwitchId, SwitchPolicy, Topology, Vl2Spec, DEFAULT_PROP,
+    clos, fat_tree_custom, leaf_spine, vl2, ClosSpec, FlowId, HostId, LeafSpineSpec, NodeRef,
+    Packet, PacketArena, PacketRef, QueueView, RouteTable, SelectCtx, ShardPlan, SwitchId,
+    SwitchKind, SwitchPolicy, Topology, Vl2Spec, DEFAULT_PROP,
 };
 use drill::sim::{SimRng, Time};
 use drill::stats::{Distribution, Histogram, Moments};
@@ -30,6 +31,54 @@ prop_compose! {
             prop: DEFAULT_PROP,
         }
     }
+}
+
+// Randomized three-tier Clos specs: independent tier widths, cores always
+// a positive multiple of `aggs_per_pod` (the builder's wiring
+// precondition).
+prop_compose! {
+    fn clos_strategy()(pods in 2usize..5, lpp in 1usize..4, app in 1usize..4,
+                       group in 1usize..4, hosts in 1usize..4)
+        -> ClosSpec {
+        ClosSpec {
+            pods,
+            leaves_per_pod: lpp,
+            aggs_per_pod: app,
+            cores: app * group,
+            hosts_per_leaf: hosts,
+            host_rate: 10_000_000_000,
+            leaf_agg_rate: 40_000_000_000,
+            agg_core_rate: 40_000_000_000,
+            prop: DEFAULT_PROP,
+        }
+    }
+}
+
+/// Shared checker for the builder properties: the port maps are an exact
+/// disjoint cover of the directed link table. Every switch port and every
+/// host uplink resolves to a link whose `src`/`src_port` point back at it,
+/// and together those links account for every entry in
+/// [`Topology::links`] exactly once.
+fn assert_port_cover(topo: &Topology) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut ids: Vec<usize> = Vec::with_capacity(topo.links().len());
+    for si in 0..topo.num_switches() {
+        let s = SwitchId(si as u32);
+        prop_assert_eq!(topo.egress_links(s).len(), topo.num_ports(s));
+        for (port, &lid) in topo.egress_links(s).iter().enumerate() {
+            let l = topo.link(lid);
+            prop_assert_eq!(l.src, NodeRef::Switch(s));
+            prop_assert_eq!(l.src_port as usize, port);
+            ids.push(lid.index());
+        }
+    }
+    for h in 0..topo.num_hosts() {
+        let l = topo.host_uplink(HostId(h as u32));
+        prop_assert_eq!(l.src, NodeRef::Host(HostId(h as u32)));
+        ids.push(l.id.index());
+    }
+    ids.sort_unstable();
+    prop_assert_eq!(ids, (0..topo.links().len()).collect::<Vec<_>>());
+    Ok(())
 }
 
 /// Shared checker for the partitioner properties: disjoint exact cover,
@@ -434,5 +483,163 @@ proptest! {
                 merged.frac_at_least(v).to_bits()
             );
         }
+    }
+
+    /// Three-tier Clos builder: for any randomized spec the counts match
+    /// the closed forms (`num_hosts`, `num_switches`,
+    /// `expected_link_entries`), the port map is an exact disjoint cover,
+    /// every tier has the port width the wiring rules dictate, and every
+    /// leaf pair is reachable at the closed-form distance (2 intra-pod,
+    /// 4 across pods) with all pod aggs as first-hop candidates.
+    #[test]
+    fn clos_builder_invariants(spec in clos_strategy()) {
+        let topo = clos(&spec);
+        prop_assert_eq!(topo.num_hosts(), spec.num_hosts());
+        prop_assert_eq!(topo.num_switches(), spec.num_switches());
+        prop_assert_eq!(topo.links().len(), spec.expected_link_entries());
+        assert_port_cover(&topo)?;
+        for si in 0..topo.num_switches() {
+            let s = SwitchId(si as u32);
+            let want = match topo.switch_kind(s) {
+                SwitchKind::Leaf => spec.aggs_per_pod + spec.hosts_per_leaf,
+                SwitchKind::Agg => spec.leaves_per_pod + spec.core_group(),
+                SwitchKind::Spine => spec.pods,
+            };
+            prop_assert_eq!(topo.num_ports(s), want, "switch {} port width", si);
+        }
+        let routes = RouteTable::compute(&topo);
+        for (i, &a) in topo.leaves().iter().enumerate() {
+            for j in 0..topo.num_leaves() as u32 {
+                if i as u32 == j { continue; }
+                let same_pod = i / spec.leaves_per_pod == j as usize / spec.leaves_per_pod;
+                prop_assert_eq!(routes.dist(a, j), Some(if same_pod { 2 } else { 4 }));
+                prop_assert_eq!(routes.candidates(a, j).len(), spec.aggs_per_pod);
+            }
+        }
+    }
+
+    /// Fat-tree builder (including oversubscribed edges): counts match the
+    /// k-ary closed forms for any even k and edge subscription, the port
+    /// map is an exact disjoint cover, and every edge pair is reachable at
+    /// distance 2 (intra-pod) or 4 (across pods) with all `k/2` pod aggs
+    /// as candidates.
+    #[test]
+    fn fat_tree_builder_invariants(half in 1usize..5, hpe in 1usize..5) {
+        let k = 2 * half;
+        let topo = fat_tree_custom(k, hpe, 10_000_000_000, 10_000_000_000, DEFAULT_PROP);
+        prop_assert_eq!(topo.num_hosts(), k * half * hpe);
+        prop_assert_eq!(topo.num_switches(), k * k + half * half);
+        prop_assert_eq!(topo.links().len(), 2 * (2 * k * half * half + k * half * hpe));
+        assert_port_cover(&topo)?;
+        for si in 0..topo.num_switches() {
+            let s = SwitchId(si as u32);
+            let want = match topo.switch_kind(s) {
+                SwitchKind::Leaf => half + hpe,
+                SwitchKind::Agg | SwitchKind::Spine => k,
+            };
+            prop_assert_eq!(topo.num_ports(s), want, "switch {} port width", si);
+        }
+        let routes = RouteTable::compute(&topo);
+        for (i, &a) in topo.leaves().iter().enumerate() {
+            for j in 0..topo.num_leaves() as u32 {
+                if i as u32 == j { continue; }
+                let same_pod = i / half == j as usize / half;
+                prop_assert_eq!(routes.dist(a, j), Some(if same_pod { 2 } else { 4 }));
+                prop_assert_eq!(routes.candidates(a, j).len(), half);
+            }
+        }
+    }
+
+    /// VL2 builder: link entries match the closed form
+    /// `2 * (tors * uplinks + aggs * ints + hosts)`, the port map is an
+    /// exact disjoint cover, and every ToR pair is reachable (the agg-int
+    /// full mesh guarantees a 2- or 4-hop path even when ToRs are
+    /// under-connected).
+    #[test]
+    fn vl2_builder_invariants(
+        tors in 2usize..8,
+        aggs in 2usize..6,
+        ints in 1usize..5,
+        hosts in 1usize..4,
+        uplinks in 1usize..6,
+    ) {
+        let spec = Vl2Spec {
+            tors,
+            aggs,
+            ints,
+            hosts_per_tor: hosts,
+            host_rate: 1_000_000_000,
+            core_rate: 10_000_000_000,
+            tor_uplinks: uplinks.min(aggs),
+            prop: DEFAULT_PROP,
+        };
+        let topo = vl2(&spec);
+        prop_assert_eq!(topo.num_hosts(), tors * hosts);
+        prop_assert_eq!(topo.num_switches(), tors + aggs + ints);
+        prop_assert_eq!(
+            topo.links().len(),
+            2 * (tors * spec.tor_uplinks + aggs * ints + tors * hosts)
+        );
+        assert_port_cover(&topo)?;
+        let routes = RouteTable::compute(&topo);
+        for (i, &a) in topo.leaves().iter().enumerate() {
+            for j in 0..topo.num_leaves() as u32 {
+                if i as u32 == j { continue; }
+                let d = routes.dist(a, j);
+                prop_assert!(
+                    d == Some(2) || d == Some(4),
+                    "tor {} -> {} unreachable or off-distance: {:?}", i, j, d
+                );
+            }
+        }
+    }
+
+    /// Sketched distributions: merging shard sketches must agree with one
+    /// big stream on count, the merge must be a pure function of its
+    /// operands (replaying it yields bit-identical state), and every
+    /// quantile of the merged sketch stays within the configured
+    /// rank-error bound of the exact order statistics of the concatenated
+    /// stream. Rank error is measured against the closed interval of ranks
+    /// the estimate occupies, so duplicate-heavy streams (which proptest
+    /// shrinks toward) are scored fairly.
+    #[test]
+    fn sketch_merge_matches_single_stream_within_bound(
+        xs in proptest::collection::vec(0.0f64..1e6, 1..2000),
+        ys in proptest::collection::vec(0.0f64..1e6, 0..2000),
+    ) {
+        let build = |vals: &[f64]| {
+            let mut d = Distribution::sketched();
+            for &v in vals { d.add(v); }
+            d
+        };
+        let mut merged = build(&xs);
+        merged.merge(&build(&ys));
+        prop_assert!(!merged.is_exact());
+        prop_assert_eq!(merged.count(), xs.len() + ys.len());
+        let mut replay = build(&xs);
+        replay.merge(&build(&ys));
+        prop_assert_eq!(merged.digest(), replay.digest(), "merge replay diverged");
+
+        let mut exact: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        exact.sort_unstable_by(f64::total_cmp);
+        let n = exact.len() as f64;
+        let eps = merged.rank_error_bound().expect("sketch mode");
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let est = merged.quantile(q);
+            let lo = exact.partition_point(|&v| v < est) as f64 / n;
+            let hi = exact.partition_point(|&v| v <= est) as f64 / n;
+            let err = if lo <= q && q <= hi {
+                0.0
+            } else {
+                (lo - q).abs().min((hi - q).abs())
+            };
+            prop_assert!(
+                err <= eps + 1.0 / n,
+                "q={} est={} rank=[{}, {}] err={} > bound {}", q, est, lo, hi, err, eps
+            );
+        }
+        // Extrema stay exact in sketch mode.
+        prop_assert_eq!(merged.min().to_bits(), exact[0].to_bits());
+        prop_assert_eq!(merged.max().to_bits(), exact[exact.len() - 1].to_bits());
     }
 }
