@@ -20,11 +20,23 @@
 //! so the per-point attribution stays honest) and prints a JSON array.
 //!
 //! `--quick` swaps in a seconds-scale ladder for CI smoke.
+//!
+//! Crash recovery: `--checkpoint-every N` makes the traffic run write a
+//! `DRILLSNAP` checkpoint (`--checkpoint-path`, default
+//! `scalebench.ckpt`) every N events; `--die-after M` aborts the process
+//! after M events without reporting (a deterministic stand-in for a
+//! kill); `--resume PATH` restores the checkpoint in a fresh process and
+//! runs it to completion, reporting the same JSON — `scripts/ci.sh`
+//! smokes kill → resume and asserts the resumed totals match an
+//! uninterrupted run.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use drill_net::{ClosSpec, LeafSpineSpec, RouteTable, DEFAULT_PROP};
-use drill_runtime::{run, ExperimentConfig, Scheme, TopoSpec};
+use drill_runtime::{
+    run, CheckpointPolicy, CheckpointSpec, ExperimentConfig, Scheme, Snapshot, TopoSpec, World,
+};
 use drill_sim::Time;
 
 /// One ladder entry: a named topology plus the arrival window that keeps
@@ -139,7 +151,39 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn run_point(p: &Point) -> String {
+/// Crash-recovery knobs (see the module docs).
+#[derive(Default)]
+struct RecoveryOpts {
+    checkpoint_every: Option<u64>,
+    checkpoint_path: PathBuf,
+    die_after: Option<u64>,
+    resume: Option<PathBuf>,
+}
+
+fn point_cfg(p: &Point) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(
+        (p.topo)(),
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        },
+        0.25,
+    );
+    // The §3.4 symmetric-component control plane enumerates every
+    // leaf-pair shortest path (O(leaves^2 * paths) — gigabytes and
+    // minutes at k=32). Every ladder fabric is symmetric, where the
+    // decomposition provably yields a single all-candidates group per
+    // entry, so skip it: scalebench measures data-plane scaling.
+    cfg.asymmetry_handling = false;
+    cfg.raw_packet_mode = true;
+    cfg.duration = Time::from_micros(p.window_us);
+    cfg.drain = Time::from_millis(5);
+    cfg.warmup = Time::ZERO;
+    cfg
+}
+
+fn run_point(p: &Point, rec: &RecoveryOpts) -> String {
     let spec = (p.topo)();
     let build_start = Instant::now();
     let topo = spec.build();
@@ -156,27 +200,35 @@ fn run_point(p: &Point) -> String {
         // (65k hosts) where a traffic run would be CI-hostile.
         (0.0, 0, 0, 0, 0, true)
     } else {
-        let mut cfg = ExperimentConfig::new(
-            spec,
-            Scheme::Drill {
-                d: 2,
-                m: 1,
-                shim: false,
-            },
-            0.25,
-        );
-        // The §3.4 symmetric-component control plane enumerates every
-        // leaf-pair shortest path (O(leaves^2 * paths) — gigabytes and
-        // minutes at k=32). Every ladder fabric is symmetric, where the
-        // decomposition provably yields a single all-candidates group per
-        // entry, so skip it: scalebench measures data-plane scaling.
-        cfg.asymmetry_handling = false;
-        cfg.raw_packet_mode = true;
-        cfg.duration = Time::from_micros(p.window_us);
-        cfg.drain = Time::from_millis(5);
-        cfg.warmup = Time::ZERO;
+        let mut cfg = point_cfg(p);
         let start = Instant::now();
-        let stats = run(&cfg);
+        let stats = if let Some(path) = &rec.resume {
+            let snap =
+                Snapshot::load(path).unwrap_or_else(|e| panic!("resume {}: {e}", path.display()));
+            World::restore(&snap, &cfg)
+                .unwrap_or_else(|e| panic!("resume {}: {e}", path.display()))
+                .finish()
+        } else {
+            if let Some(n) = rec.checkpoint_every {
+                cfg.checkpoint = Some(CheckpointSpec {
+                    policy: CheckpointPolicy::EveryEvents(n),
+                    path: rec.checkpoint_path.clone(),
+                });
+            }
+            if let Some(n) = rec.die_after {
+                cfg.max_events = n;
+            }
+            run(&cfg)
+        };
+        if let Some(n) = rec.die_after {
+            // Simulated kill: the run stopped mid-flight after ~n events;
+            // exit without reporting, leaving only the checkpoint file.
+            eprintln!(
+                "scalebench: dying after {} events (--die-after {n})",
+                stats.events
+            );
+            std::process::exit(42);
+        }
         (
             start.elapsed().as_secs_f64(),
             stats.events,
@@ -255,6 +307,22 @@ fn main() {
         sketch_ladder(quick);
         return;
     }
+    let flag_val = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} VALUE"))
+                .clone()
+        })
+    };
+    let rec = RecoveryOpts {
+        checkpoint_every: flag_val("--checkpoint-every")
+            .map(|v| v.parse().expect("--checkpoint-every EVENTS")),
+        checkpoint_path: flag_val("--checkpoint-path")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("scalebench.ckpt")),
+        die_after: flag_val("--die-after").map(|v| v.parse().expect("--die-after EVENTS")),
+        resume: flag_val("--resume").map(PathBuf::from),
+    };
     let ladder = if quick { QUICK } else { FULL };
     if args.iter().any(|a| a == "--list") {
         for p in ladder {
@@ -272,7 +340,7 @@ fn main() {
             .chain(other.iter())
             .find(|p| p.name == *name)
             .unwrap_or_else(|| panic!("unknown point {name}"));
-        println!("{}", run_point(p));
+        println!("{}", run_point(p, &rec));
         return;
     }
     // In-process ladder, ascending size so the RSS high-water mark per
@@ -280,7 +348,7 @@ fn main() {
     println!("[");
     for (i, p) in ladder.iter().enumerate() {
         let comma = if i + 1 < ladder.len() { "," } else { "" };
-        println!("  {}{comma}", run_point(p));
+        println!("  {}{comma}", run_point(p, &rec));
     }
     println!("]");
 }

@@ -1,0 +1,158 @@
+//! snapbench: what a `DRILLSNAP` checkpoint costs and what warm-started
+//! sweeps buy.
+//!
+//! Two sections, JSON to stdout (`scripts/snapbench.sh` assembles
+//! `results/snapbench.json`):
+//!
+//! * **capture** — on the golden-shaped leaf-spine run, the serialized
+//!   snapshot size and the save (capture + encode) and restore (decode +
+//!   rebuild) wall latencies, median of several reps, plus a
+//!   resume-equality check (the restored run must finish with the
+//!   uninterrupted run's event count and FCT digest).
+//! * **warm_start** — a variants-sweep timed cold vs warm-started: N
+//!   divergent fault timelines forked off one snapshot taken deep into
+//!   the shared run prefix, serially on one thread so the ratio measures
+//!   amortization, not scheduling. `speedup` is cold/warm wall clock and
+//!   `identical` asserts the two sweeps' tables match bit for bit.
+//!
+//! `--quick` shrinks both sections to CI scale.
+
+use std::time::Instant;
+
+use drill_faults::FaultSchedule;
+use drill_net::{LeafSpineSpec, DEFAULT_PROP};
+use drill_runtime::{
+    random_leaf_spine_failures, run, ExperimentConfig, Scheme, Snapshot, SweepSpec, TopoSpec, World,
+};
+use drill_sim::Time;
+
+fn base_cfg(quick: bool) -> ExperimentConfig {
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: 4,
+        leaves: 4,
+        hosts_per_leaf: 2,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let mut cfg = ExperimentConfig::new(topo, Scheme::drill_default(), 0.4);
+    cfg.seed = 0xD211;
+    cfg.duration = Time::from_millis(if quick { 1 } else { 3 });
+    cfg.drain = Time::from_millis(20);
+    cfg.warmup = Time::from_micros(100);
+    cfg
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Snapshot size and save/restore latency at the midpoint of the run.
+fn capture_section(quick: bool) -> String {
+    let cfg = base_cfg(quick);
+    let snap_at = Time::from_nanos(cfg.duration.as_nanos() / 2);
+    let reps = if quick { 3 } else { 7 };
+
+    let mut w = World::new(&cfg);
+    w.run_to(snap_at);
+    let mut bytes = Vec::new();
+    let mut save_ms = Vec::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        bytes = w.snapshot().to_bytes();
+        save_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    drop(w);
+    let mut restore_ms = Vec::new();
+    let mut restored = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let snap = Snapshot::from_bytes(&bytes).expect("snapbench decode");
+        let w = World::restore(&snap, &cfg).expect("snapbench restore");
+        restore_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        restored = Some(w);
+    }
+    let resumed = restored.expect("reps > 0").finish();
+    let cold = run(&cfg);
+    let identical =
+        resumed.events == cold.events && resumed.fct_ms.digest() == cold.fct_ms.digest();
+
+    format!(
+        "{{\"topo\": \"leafspine_4x4x2\", \"snap_at_us\": {}, \"snapshot_bytes\": {}, \
+\"save_ms\": {:.3}, \"restore_ms\": {:.3}, \"resume_identical\": {identical}, \
+\"cold_events\": {}, \"resumed_events\": {}}}",
+        snap_at.as_nanos() / 1000,
+        bytes.len(),
+        median(save_ms),
+        median(restore_ms),
+        cold.events,
+        resumed.events,
+    )
+}
+
+/// Cold vs warm-started sweep over divergent fault timelines.
+fn warm_start_section(quick: bool) -> String {
+    let base = base_cfg(quick);
+    let variants = if quick { 4 } else { 6 };
+    // Snapshot deep into the run (5/6 of arrivals + drain): the long
+    // shared prefix is what each fork amortizes away. Events are spread
+    // near-uniformly over the whole run — the drain tail simulates the
+    // still-active heavy flows — so the snapshot instant, not the
+    // arrival window, sets the shareable fraction.
+    let snap_at = Time::from_nanos((base.duration + base.drain).as_nanos() * 5 / 6);
+    let pair = random_leaf_spine_failures(&base.topo.build(), 1, 0xC405)[0];
+    let spec = move || {
+        let names: Vec<String> = (0..variants)
+            .map(|i| {
+                if i == 0 {
+                    "clear".into()
+                } else {
+                    format!("flap+{i}")
+                }
+            })
+            .collect();
+        SweepSpec::new(base_cfg(quick))
+            .variants(names)
+            .threads(1)
+            .configure(move |cfg, p| {
+                if p.variant_idx > 0 {
+                    // Divergent timelines, every strike after the
+                    // snapshot point — the chaos-fork use case.
+                    let down = snap_at + Time::from_micros(20 * p.variant_idx as u64);
+                    let mut s = FaultSchedule::new(Time::from_micros(200));
+                    s.link_flap(pair.0, pair.1, down, down + Time::from_micros(400));
+                    cfg.faults = Some(s);
+                }
+            })
+    };
+
+    let t = Instant::now();
+    let cold = spec().run().into_stats();
+    let cold_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm = spec().warm_start(snap_at).run().into_stats();
+    let warm_secs = t.elapsed().as_secs_f64();
+    let identical = cold.len() == warm.len()
+        && cold
+            .iter()
+            .zip(&warm)
+            .all(|(c, w)| c.events == w.events && c.fct_ms.digest() == w.fct_ms.digest());
+
+    format!(
+        "{{\"variants\": {variants}, \"snap_at_us\": {}, \"cold_secs\": {cold_secs:.3}, \
+\"warm_secs\": {warm_secs:.3}, \"speedup\": {:.2}, \"identical\": {identical}}}",
+        snap_at.as_nanos() / 1000,
+        cold_secs / warm_secs,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{{");
+    println!("  \"bench\": \"snapbench\",");
+    println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    println!("  \"capture\": {},", capture_section(quick));
+    println!("  \"warm_start\": {}", warm_start_section(quick));
+    println!("}}");
+}

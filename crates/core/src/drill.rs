@@ -1,8 +1,10 @@
 //! The DRILL(d, m) scheduling policy (§3.2.2).
 
 use std::collections::HashMap;
+use std::io;
 
 use drill_net::{FlowId, QueueView, SelectCtx, SwitchPolicy};
+use drill_sim::codec::{invalid, put_varint, Decoder};
 use drill_sim::SimRng;
 
 /// DRILL(d, m): per-packet, per-engine "power of two choices with memory".
@@ -106,6 +108,33 @@ impl SwitchPolicy for DrillPolicy {
 
         best
     }
+
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.mem.len() as u64);
+        for m in &self.mem {
+            put_varint(buf, m.len() as u64);
+            for &p in m {
+                put_varint(buf, p as u64);
+            }
+        }
+    }
+
+    fn load_state(&mut self, d: &mut Decoder<'_>) -> io::Result<()> {
+        if d.varint_usize()? != self.mem.len() {
+            return Err(invalid("DRILL engine count mismatch"));
+        }
+        for m in &mut self.mem {
+            let n = d.varint_usize()?;
+            if n > self.m {
+                return Err(invalid("DRILL memory exceeds m"));
+            }
+            m.clear();
+            for _ in 0..n {
+                m.push(d.varint_u16()?);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The paper's "per-flow DRILL" strawman: the first packet of a flow makes
@@ -142,6 +171,29 @@ impl SwitchPolicy for PerFlowDrill {
         let p = self.inner.select(ctx, queues, rng);
         self.pins.insert(ctx.flow, p);
         p
+    }
+
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        // Sort: HashMap iteration order is nondeterministic.
+        let mut pins: Vec<(FlowId, u16)> = self.pins.iter().map(|(&f, &p)| (f, p)).collect();
+        pins.sort_unstable_by_key(|&(f, _)| f.0);
+        put_varint(buf, pins.len() as u64);
+        for (f, p) in pins {
+            put_varint(buf, f.0 as u64);
+            put_varint(buf, p as u64);
+        }
+        self.inner.save_state(buf);
+    }
+
+    fn load_state(&mut self, d: &mut Decoder<'_>) -> io::Result<()> {
+        let n = d.varint_usize()?;
+        self.pins.clear();
+        for _ in 0..n {
+            let f = FlowId(d.varint_u32()?);
+            let p = d.varint_u16()?;
+            self.pins.insert(f, p);
+        }
+        self.inner.load_state(d)
     }
 }
 

@@ -21,8 +21,11 @@
 //! (the paper's footnote runs CONGA decisions at ToR+Agg and ECMP at the
 //! core; our agg decision uses the local half of CONGA's metric).
 
+use std::io;
+
 use drill_net::Packet;
 use drill_net::{HopClass, QueueView, SelectCtx, SwitchId, SwitchPolicy, Topology};
+use drill_sim::codec::{invalid, put_f64, put_varint, Decoder};
 use drill_sim::{FxHashMap, SimRng, Time};
 
 /// CONGA tuning parameters.
@@ -252,6 +255,71 @@ impl SwitchPolicy for CongaPolicy {
         if pkt.conga.fb_valid && (pkt.conga.fb_path as usize) < self.max_uplinks {
             self.to_table[src_leaf][pkt.conga.fb_path as usize] = pkt.conga.fb_ce;
         }
+    }
+
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.dre.len() as u64);
+        for d in &self.dre {
+            put_f64(buf, d.x);
+            put_varint(buf, d.last.as_nanos());
+        }
+        for table in [&self.to_table, &self.from_table] {
+            put_varint(buf, table.len() as u64);
+            for row in table.iter() {
+                put_varint(buf, row.len() as u64);
+                buf.extend_from_slice(row);
+            }
+        }
+        put_varint(buf, self.fb_ptr.len() as u64);
+        for &p in &self.fb_ptr {
+            put_varint(buf, p as u64);
+        }
+        // Sort: FxHashMap iteration order depends on insertion history.
+        let mut fl: Vec<(u64, (Time, u16))> = self.flowlets.iter().map(|(&h, &v)| (h, v)).collect();
+        fl.sort_unstable_by_key(|&(h, _)| h);
+        put_varint(buf, fl.len() as u64);
+        for (h, (last, port)) in fl {
+            put_varint(buf, h);
+            put_varint(buf, last.as_nanos());
+            put_varint(buf, port as u64);
+        }
+    }
+
+    fn load_state(&mut self, d: &mut Decoder<'_>) -> io::Result<()> {
+        if d.varint_usize()? != self.dre.len() {
+            return Err(invalid("CONGA DRE count mismatch"));
+        }
+        for dre in &mut self.dre {
+            dre.x = d.f64_fixed()?;
+            dre.last = Time::from_nanos(d.varint()?);
+        }
+        for table in [&mut self.to_table, &mut self.from_table] {
+            if d.varint_usize()? != table.len() {
+                return Err(invalid("CONGA table leaf count mismatch"));
+            }
+            for row in table.iter_mut() {
+                let w = d.varint_usize()?;
+                if w != row.len() {
+                    return Err(invalid("CONGA table width mismatch"));
+                }
+                row.copy_from_slice(d.bytes(w)?);
+            }
+        }
+        if d.varint_usize()? != self.fb_ptr.len() {
+            return Err(invalid("CONGA feedback pointer count mismatch"));
+        }
+        for p in &mut self.fb_ptr {
+            *p = d.varint_u16()?;
+        }
+        let n = d.varint_usize()?;
+        self.flowlets.clear();
+        for _ in 0..n {
+            let h = d.varint()?;
+            let last = Time::from_nanos(d.varint()?);
+            let port = d.varint_u16()?;
+            self.flowlets.insert(h, (last, port));
+        }
+        Ok(())
     }
 }
 

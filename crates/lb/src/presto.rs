@@ -7,8 +7,11 @@
 //! paths and reweights the rest *statically* by path capacity (the paper's
 //! §3.4 discussion: this is exactly what cannot adapt to load).
 
+use std::io;
+
 use drill_core::enumerate_shortest_paths;
 use drill_net::{FlowId, HostId, HostPolicy, NodeRef, Packet, RouteTable, Topology};
+use drill_sim::codec::{put_varint, Decoder};
 use drill_sim::{FxHashMap, SimRng, Time};
 
 /// Presto's flowcell size (one maximal TSO segment).
@@ -146,6 +149,28 @@ impl HostPolicy for PrestoHostPolicy {
                 pkt.push_route(h);
             }
         }
+    }
+
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        // Sort: FxHashMap iteration order depends on insertion history.
+        let mut offs: Vec<(FlowId, u64)> = self.offsets.iter().map(|(&f, &o)| (f, o)).collect();
+        offs.sort_unstable_by_key(|&(f, _)| f.0);
+        put_varint(buf, offs.len() as u64);
+        for (f, o) in offs {
+            put_varint(buf, f.0 as u64);
+            put_varint(buf, o);
+        }
+    }
+
+    fn load_state(&mut self, d: &mut Decoder<'_>) -> io::Result<()> {
+        let n = d.varint_usize()?;
+        self.offsets.clear();
+        for _ in 0..n {
+            let f = FlowId(d.varint_u32()?);
+            let o = d.varint()?;
+            self.offsets.insert(f, o);
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,9 @@
 //! Load-oblivious baselines: ECMP, per-packet Random, per-packet RR.
 
+use std::io;
+
 use drill_net::{QueueView, SelectCtx, SwitchPolicy};
+use drill_sim::codec::{invalid, put_varint, Decoder};
 use drill_sim::SimRng;
 
 /// Classic ECMP: the flow's 5-tuple hash picks one candidate; every packet
@@ -46,6 +49,23 @@ impl SwitchPolicy for RoundRobinPolicy {
         let pick = ctx.candidates[(*c % ctx.candidates.len() as u64) as usize];
         *c += 1;
         pick
+    }
+
+    fn save_state(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.counters.len() as u64);
+        for &c in &self.counters {
+            put_varint(buf, c);
+        }
+    }
+
+    fn load_state(&mut self, d: &mut Decoder<'_>) -> io::Result<()> {
+        if d.varint_usize()? != self.counters.len() {
+            return Err(invalid("round-robin engine count mismatch"));
+        }
+        for c in &mut self.counters {
+            *c = d.varint()?;
+        }
+        Ok(())
     }
 }
 

@@ -44,7 +44,12 @@ use crate::packet::Packet;
 
 #[cfg(not(feature = "fat-events"))]
 mod slim {
+    use std::io;
+
+    use drill_sim::codec::{invalid, put_varint, Decoder};
+
     use super::Packet;
+    use crate::snapio::{get_packet, put_packet};
 
     /// A copyable handle to a packet interned in a [`PacketArena`]:
     /// slab index + generation stamp, 8 bytes.
@@ -168,12 +173,110 @@ mod slim {
         pub fn capacity(&self) -> usize {
             self.slots.len()
         }
+
+        /// Serialize the whole slab: every slot (generation + occupancy +
+        /// packet), the free list **in LIFO order**, and the live count.
+        ///
+        /// The free-list order is load-bearing: slot reuse after restore
+        /// must pick the same slots in the same order as the
+        /// uninterrupted run, or every later `PacketRef` diverges and
+        /// bit-identical replay breaks.
+        pub fn save_state(&self, buf: &mut Vec<u8>) {
+            put_varint(buf, self.slots.len() as u64);
+            for slot in &self.slots {
+                put_varint(buf, slot.gen as u64);
+                match &slot.pkt {
+                    Some(p) => {
+                        buf.push(1);
+                        put_packet(buf, p);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            put_varint(buf, self.free.len() as u64);
+            for &idx in &self.free {
+                put_varint(buf, idx as u64);
+            }
+            put_varint(buf, self.live as u64);
+        }
+
+        /// Rebuild an arena from [`save_state`](PacketArena::save_state)
+        /// output, returning it with the recorded live count (always
+        /// consistent here; the fat build reconstructs live lazily, so
+        /// callers cross-check uniformly).
+        pub fn load_state(d: &mut Decoder<'_>) -> io::Result<(PacketArena, usize)> {
+            let n = d.varint_usize()?;
+            let mut slots = Vec::with_capacity(n.min(1 << 20));
+            let mut occupied = 0usize;
+            for _ in 0..n {
+                let gen = d.varint_u32()?;
+                let pkt = match d.u8()? {
+                    0 => None,
+                    1 => {
+                        occupied += 1;
+                        Some(get_packet(d)?)
+                    }
+                    _ => return Err(invalid("bad slot occupancy byte")),
+                };
+                slots.push(Slot { gen, pkt });
+            }
+            let free_len = d.varint_usize()?;
+            if free_len != n - occupied {
+                return Err(invalid("free list disagrees with slot occupancy"));
+            }
+            let mut free = Vec::with_capacity(free_len.min(1 << 20));
+            let mut seen = vec![false; n];
+            for _ in 0..free_len {
+                let idx = d.varint_u32()?;
+                let slot = slots
+                    .get(idx as usize)
+                    .ok_or_else(|| invalid("free index out of bounds"))?;
+                if slot.pkt.is_some() || std::mem::replace(&mut seen[idx as usize], true) {
+                    return Err(invalid("free index occupied or duplicated"));
+                }
+                free.push(idx);
+            }
+            let live = d.varint_usize()?;
+            if live != occupied {
+                return Err(invalid("live count disagrees with slot occupancy"));
+            }
+            Ok((PacketArena { slots, free, live }, live))
+        }
+
+        /// Serialize a handle as its `(index, generation)` pair. Debug
+        /// builds assert the handle is current against this arena.
+        pub fn encode_ref(&self, buf: &mut Vec<u8>, r: &PacketRef) {
+            self.check(r);
+            put_varint(buf, r.idx as u64);
+            put_varint(buf, r.gen as u64);
+        }
+
+        /// Decode a handle written by
+        /// [`encode_ref`](PacketArena::encode_ref), validating that it
+        /// points at an occupied slot of matching generation.
+        pub fn decode_ref(&mut self, d: &mut Decoder<'_>) -> io::Result<PacketRef> {
+            let idx = d.varint_u32()?;
+            let gen = d.varint_u32()?;
+            let slot = self
+                .slots
+                .get(idx as usize)
+                .ok_or_else(|| invalid("PacketRef index out of bounds"))?;
+            if slot.gen != gen || slot.pkt.is_none() {
+                return Err(invalid("PacketRef is stale or points at a free slot"));
+            }
+            Ok(PacketRef { idx, gen })
+        }
     }
 }
 
 #[cfg(feature = "fat-events")]
 mod fat {
+    use std::io;
+
+    use drill_sim::codec::{put_varint, Decoder};
+
     use super::Packet;
+    use crate::snapio::{get_packet, put_packet};
 
     /// The `fat-events` handle: the packet itself, carried by value
     /// through queues and events exactly as before the arena refactor.
@@ -241,6 +344,34 @@ mod fat {
         #[inline]
         pub fn capacity(&self) -> usize {
             self.live
+        }
+
+        /// Serialize arena state: only the live count exists here (the
+        /// packets themselves travel with their handles, so
+        /// [`encode_ref`](PacketArena::encode_ref) writes them inline).
+        pub fn save_state(&self, buf: &mut Vec<u8>) {
+            put_varint(buf, self.live as u64);
+        }
+
+        /// Rebuild an arena: starts empty (`live == 0`; every decoded ref
+        /// re-inserts) and returns the recorded live count for the caller
+        /// to cross-check once all refs are decoded.
+        pub fn load_state(d: &mut Decoder<'_>) -> io::Result<(PacketArena, usize)> {
+            let live = d.varint_usize()?;
+            Ok((PacketArena::new(), live))
+        }
+
+        /// Serialize a handle: the packet travels inline in this build.
+        pub fn encode_ref(&self, buf: &mut Vec<u8>, r: &PacketRef) {
+            put_packet(buf, &r.pkt);
+        }
+
+        /// Decode a handle written by
+        /// [`encode_ref`](PacketArena::encode_ref), re-interning the
+        /// inline packet (which rebuilds the live count).
+        pub fn decode_ref(&mut self, d: &mut Decoder<'_>) -> io::Result<PacketRef> {
+            let pkt = get_packet(d)?;
+            Ok(self.insert(pkt))
         }
     }
 }

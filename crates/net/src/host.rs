@@ -2,7 +2,9 @@
 //! its access link.
 
 use std::collections::VecDeque;
+use std::io;
 
+use drill_sim::codec::{invalid, put_varint, Decoder};
 use drill_sim::Time;
 use drill_telemetry::Probe;
 
@@ -52,6 +54,45 @@ impl HostNic {
     /// Current transmit backlog in bytes.
     pub fn backlog_bytes(&self) -> u64 {
         self.q_bytes
+    }
+
+    /// Serialize this NIC's dynamic state (queued handles against `arena`,
+    /// backlog accounting, counters). `limit_bytes` is structural and not
+    /// serialized.
+    pub fn save_state(&self, arena: &PacketArena, buf: &mut Vec<u8>) {
+        put_varint(buf, self.q.len() as u64);
+        for (r, size) in &self.q {
+            arena.encode_ref(buf, r);
+            put_varint(buf, *size as u64);
+        }
+        put_varint(buf, self.q_bytes);
+        buf.push(self.in_flight as u8);
+        put_varint(buf, self.drops);
+        put_varint(buf, self.tx_pkts);
+    }
+
+    /// Restore state written by [`save_state`](HostNic::save_state) into a
+    /// freshly built NIC for the same host.
+    pub fn load_state(&mut self, arena: &mut PacketArena, d: &mut Decoder<'_>) -> io::Result<()> {
+        let qlen = d.varint_usize()?;
+        self.q.clear();
+        for _ in 0..qlen {
+            let r = arena.decode_ref(d)?;
+            let size = d.varint_u32()?;
+            self.q.push_back((r, size));
+        }
+        self.q_bytes = d.varint()?;
+        self.in_flight = match d.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(invalid("bad bool byte")),
+        };
+        if !self.in_flight && !self.q.is_empty() {
+            return Err(invalid("NIC queue without in-flight head"));
+        }
+        self.drops = d.varint()?;
+        self.tx_pkts = d.varint()?;
+        Ok(())
     }
 
     /// Queue a packet for transmission.

@@ -7,6 +7,9 @@
 //! baselines (`drill-lb`) implement these traits; `drill-net` only defines
 //! the contract.
 
+use std::io;
+
+use drill_sim::codec::Decoder;
 use drill_sim::{SimRng, Time};
 
 use crate::ids::{FlowId, SwitchId};
@@ -112,12 +115,36 @@ pub trait SwitchPolicy: Send {
     /// Called when a packet arrives at this switch, before forwarding.
     /// CONGA leaves harvest congestion metadata and feedback here.
     fn on_arrival(&mut self, _pkt: &mut Packet, _now: Time, _topo: &Topology, _switch: SwitchId) {}
+
+    /// Serialize the policy's *dynamic* state for a snapshot. Stateless
+    /// policies (ECMP, Random, WCMP — whose weights are structural and
+    /// rebuilt from the topology) keep the empty default; stateful ones
+    /// (DRILL engine memory, round-robin pointers, CONGA DREs/flowlet
+    /// tables) must write every field that influences future decisions,
+    /// in a deterministic order (sorted where the backing map is hashed).
+    fn save_state(&self, _buf: &mut Vec<u8>) {}
+
+    /// Restore state written by [`save_state`](SwitchPolicy::save_state)
+    /// into a freshly constructed policy of the same scheme and shape.
+    fn load_state(&mut self, _d: &mut Decoder<'_>) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// A sender-host policy applied to every packet entering the host NIC.
 pub trait HostPolicy: Send {
     /// Tag/modify an outgoing packet (e.g. attach a source route).
     fn on_send(&mut self, pkt: &mut Packet, now: Time, rng: &mut SimRng);
+
+    /// Serialize dynamic state for a snapshot (see
+    /// [`SwitchPolicy::save_state`]); Presto's flowcell offsets are the
+    /// only stateful host policy today.
+    fn save_state(&self, _buf: &mut Vec<u8>) {}
+
+    /// Restore state written by [`save_state`](HostPolicy::save_state).
+    fn load_state(&mut self, _d: &mut Decoder<'_>) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Host policy that does nothing (all schemes except Presto).

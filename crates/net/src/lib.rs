@@ -34,6 +34,7 @@ mod lbapi;
 mod packet;
 mod routing;
 mod shard;
+pub mod snapio;
 mod switch;
 mod topology;
 

@@ -18,7 +18,9 @@
 //!   instantaneous queue information.
 
 use std::collections::VecDeque;
+use std::io;
 
+use drill_sim::codec::{invalid, put_varint, Decoder};
 use drill_sim::{SimRng, Time};
 use drill_telemetry::{DropReason, EngineChoice, Probe};
 
@@ -219,6 +221,114 @@ impl Switch {
     /// Mutable access to the policy (tests, CONGA feedback inspection).
     pub fn policy_mut(&mut self) -> &mut dyn SwitchPolicy {
         &mut *self.policy
+    }
+
+    /// Serialize this switch's dynamic state: every port FIFO (handles
+    /// against `arena`, sizes, enqueue times), occupancy/visibility
+    /// counters, per-port stats, per-engine pending bytes, the
+    /// blackhole/forward counters, and the policy's state.
+    ///
+    /// `live_egress`/`any_dead` are *not* serialized — they mirror the
+    /// topology's link state, which restore rebuilds by replaying the
+    /// applied fault prefix and calling
+    /// [`sync_link_state`](Switch::sync_link_state).
+    pub fn save_state(&self, arena: &PacketArena, buf: &mut Vec<u8>) {
+        put_varint(buf, self.ports.len() as u64);
+        for p in &self.ports {
+            put_varint(buf, p.q.len() as u64);
+            for qp in &p.q {
+                arena.encode_ref(buf, &qp.r);
+                put_varint(buf, qp.size as u64);
+                put_varint(buf, qp.enq.as_nanos());
+            }
+            put_varint(buf, p.q_bytes);
+            match &p.in_flight {
+                Some(qp) => {
+                    buf.push(1);
+                    arena.encode_ref(buf, &qp.r);
+                    put_varint(buf, qp.size as u64);
+                    put_varint(buf, qp.enq.as_nanos());
+                }
+                None => buf.push(0),
+            }
+            put_varint(buf, p.visible_bytes);
+            put_varint(buf, p.visible_pkts as u64);
+            for word in [
+                p.stats.drops,
+                p.stats.drop_bytes,
+                p.stats.tx_pkts,
+                p.stats.tx_bytes,
+                p.stats.wait_ns_sum,
+                p.stats.wait_count,
+            ] {
+                put_varint(buf, word);
+            }
+        }
+        put_varint(buf, self.pending.len() as u64);
+        for &b in &self.pending {
+            put_varint(buf, b);
+        }
+        put_varint(buf, self.blackholed);
+        put_varint(buf, self.forwarded);
+        self.policy.save_state(buf);
+    }
+
+    /// Restore state written by [`save_state`](Switch::save_state) into a
+    /// freshly built switch of the same shape (same ports, engines,
+    /// scheme). The caller re-syncs link state afterwards.
+    pub fn load_state(&mut self, arena: &mut PacketArena, d: &mut Decoder<'_>) -> io::Result<()> {
+        let nports = d.varint_usize()?;
+        if nports != self.ports.len() {
+            return Err(invalid("switch port count mismatch"));
+        }
+        let read_qp = |arena: &mut PacketArena, d: &mut Decoder<'_>| -> io::Result<QueuedPkt> {
+            Ok(QueuedPkt {
+                r: arena.decode_ref(d)?,
+                size: d.varint_u32()?,
+                enq: Time::from_nanos(d.varint()?),
+            })
+        };
+        for i in 0..nports {
+            let qlen = d.varint_usize()?;
+            let mut q = VecDeque::with_capacity(qlen.min(1 << 16));
+            for _ in 0..qlen {
+                q.push_back(read_qp(arena, d)?);
+            }
+            let q_bytes = d.varint()?;
+            let in_flight = match d.u8()? {
+                0 => None,
+                1 => Some(read_qp(arena, d)?),
+                _ => return Err(invalid("bad in-flight byte")),
+            };
+            let visible_bytes = d.varint()?;
+            let visible_pkts = d.varint_u32()?;
+            let stats = PortStats {
+                drops: d.varint()?,
+                drop_bytes: d.varint()?,
+                tx_pkts: d.varint()?,
+                tx_bytes: d.varint()?,
+                wait_ns_sum: d.varint()?,
+                wait_count: d.varint()?,
+            };
+            self.ports[i] = OutPort {
+                q,
+                q_bytes,
+                in_flight,
+                visible_bytes,
+                visible_pkts,
+                stats,
+            };
+        }
+        let npending = d.varint_usize()?;
+        if npending != self.pending.len() {
+            return Err(invalid("switch engine-grid mismatch"));
+        }
+        for b in &mut self.pending {
+            *b = d.varint()?;
+        }
+        self.blackholed = d.varint()?;
+        self.forwarded = d.varint()?;
+        self.policy.load_state(d)
     }
 
     /// Actual queue occupancy in packets at `port` (waiting + in flight).

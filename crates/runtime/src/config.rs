@@ -253,6 +253,31 @@ pub struct ExperimentConfig {
     /// Sharded execution (off by default = serial engine). `None` defers
     /// to the `DRILL_SHARDS` environment variable.
     pub shards: Option<ShardSpec>,
+    /// Write `DRILLSNAP` state snapshots while the run executes (off by
+    /// default). Crash recovery resumes from the latest file via
+    /// [`World::restore`](crate::World::restore).
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+/// When to capture mid-run checkpoints.
+#[derive(Clone, Copy, Debug)]
+pub enum CheckpointPolicy {
+    /// Snapshot once, when the next pending event would reach `t` — the
+    /// state "as of `t⁻`". Drives warm-started sweeps: run the shared
+    /// warmup once, fork the grid from the file.
+    AtTime(Time),
+    /// Snapshot every `n` processed events, overwriting the same file —
+    /// the crash-recovery cadence (`scalebench --checkpoint-every`).
+    EveryEvents(u64),
+}
+
+/// A checkpoint policy plus the file it writes.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// When to snapshot.
+    pub policy: CheckpointPolicy,
+    /// Destination file, overwritten on each capture.
+    pub path: std::path::PathBuf,
 }
 
 impl ExperimentConfig {
@@ -283,6 +308,7 @@ impl ExperimentConfig {
             max_events: 0,
             telemetry: None,
             shards: None,
+            checkpoint: None,
         }
     }
 }

@@ -30,9 +30,11 @@ mod sweep;
 mod world;
 
 pub use config::{
-    ExperimentConfig, ShardSpec, SyntheticMode, TelemetrySpec, TopoSpec, WorkloadSpec,
+    CheckpointPolicy, CheckpointSpec, ExperimentConfig, ShardSpec, SyntheticMode, TelemetrySpec,
+    TopoSpec, WorkloadSpec,
 };
+pub use drill_snapshot::Snapshot;
 pub use scheme::Scheme;
 pub use stats::{hop_index, hop_name, HopReport, RunStats};
 pub use sweep::{derive_seed, run_many, SweepPoint, SweepResults, SweepSpec};
-pub use world::{random_leaf_spine_failures, run, run_probed, run_recorded, Telemetry};
+pub use world::{random_leaf_spine_failures, run, run_probed, run_recorded, Telemetry, World};

@@ -116,6 +116,113 @@ impl<P: Send> EngineQueue<P> {
         }
     }
 
+    /// The next global FIFO sequence number — recorded by snapshots so a
+    /// restored engine keeps stamping exactly where the saved one left
+    /// off.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        match self {
+            EngineQueue::Serial(q) => q.next_seq(),
+            EngineQueue::Sharded(s) => s.seq,
+        }
+    }
+
+    /// Schedule a control event carrying a caller-supplied sequence
+    /// number *without* consuming a global sequence (see
+    /// [`drill_sim::EventQueue::push_stamped`]): fault injections are
+    /// stamped from a reserved band so divergent fault schedules can be
+    /// re-injected at restore without perturbing any other event's seq.
+    #[inline]
+    pub fn push_control_stamped(&mut self, at: Time, seq: u64, ev: P) {
+        match self {
+            EngineQueue::Serial(q) => q.push_stamped(at, seq, ev),
+            EngineQueue::Sharded(s) => {
+                let control = s.num_shards;
+                s.wheels[control].push_stamped(at, seq, ev);
+            }
+        }
+    }
+
+    /// Visit every pending event as `(time, seq, &event)`, in arbitrary
+    /// order. Mailboxed cross-shard handoffs are included — where an event
+    /// *waits* is engine topology, not simulation state, so the snapshot
+    /// layer records a flat `(time, seq)`-sorted list that restores into
+    /// any engine shape.
+    pub fn for_each_pending<F: FnMut(Time, u64, &P)>(&self, mut f: F) {
+        match self {
+            EngineQueue::Serial(q) => q.for_each_pending(&mut f),
+            EngineQueue::Sharded(s) => {
+                for w in &s.wheels {
+                    w.for_each_pending(&mut f);
+                }
+                for mb in &s.mailboxes {
+                    for (t, seq, ev) in mb {
+                        f(*t, *seq, ev);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-insert a pending network event owned by shard `dst` during
+    /// restore, preserving its recorded global sequence. Goes straight
+    /// into the owner's wheel — never a mailbox — which is safe because
+    /// restore precedes the first window barrier (`window_end` is zero).
+    #[inline]
+    pub fn restore_net(&mut self, at: Time, seq: u64, dst: u32, ev: P) {
+        match self {
+            EngineQueue::Serial(q) => q.push_stamped(at, seq, ev),
+            EngineQueue::Sharded(s) => s.wheels[dst as usize].push_stamped(at, seq, ev),
+        }
+    }
+
+    /// Position a **fresh** engine at a restored clock: simulation time
+    /// `now`, next global sequence `seq`, and `popped` delivered events.
+    /// Must run before any `restore_net`/`push_control_stamped` calls.
+    ///
+    /// Every pending event restored afterwards carries `time >= now` (pop
+    /// order is globally `(time, seq)`-sorted, so nothing earlier than
+    /// the last popped instant can still be pending), which makes the
+    /// per-wheel cursor jump safe on the sharded engine too. Window and
+    /// handoff statistics restart from zero: they describe engine
+    /// mechanics, not simulation state, and are excluded from determinism
+    /// fingerprints.
+    pub fn restore_clock(&mut self, now: Time, seq: u64, popped: u64) {
+        match self {
+            EngineQueue::Serial(q) => q.restore_clock(now, seq, popped),
+            EngineQueue::Sharded(s) => {
+                for w in &mut s.wheels {
+                    w.restore_clock(now, 0, 0);
+                }
+                s.now = now;
+                s.seq = seq;
+                s.popped = popped;
+                s.window_end = 0;
+            }
+        }
+    }
+
+    /// Timestamp of the next pending event anywhere — wheels *and*
+    /// mailboxes (a mailboxed handoff can precede every wheel-resident
+    /// event) — without delivering it. Drives the at-time checkpoint
+    /// trigger: snapshot when the next event would cross the target.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            EngineQueue::Serial(q) => q.peek_time(),
+            EngineQueue::Sharded(s) => {
+                let mut best = s.min_key().map(|(t, _, _)| t);
+                for mb in &s.mailboxes {
+                    for &(t, _, _) in mb {
+                        if best.is_none_or(|b| t < b) {
+                            best = Some(t);
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
     /// Record a fault strike against its owning shard (no-op when
     /// serial); faults are control events, but attributing them keeps the
     /// per-shard accounting honest and testable.

@@ -12,10 +12,17 @@ use drill_telemetry::{fault_kind, FaultInfo, FlightRecorder, NoopProbe, Probe, Q
 use drill_transport::{ShimBuffer, TcpFlow};
 use drill_workload::{aggregate_flow_rate, ArrivalProcess, FlowSpec, TrafficPattern, WorkloadGen};
 
-use crate::config::ExperimentConfig;
+use crate::config::{CheckpointPolicy, CheckpointSpec, ExperimentConfig};
 use crate::shards::EngineQueue;
 use crate::stats::{hop_index, RunStats};
 use crate::Scheme;
+
+/// `DRILLSNAP` state capture and restore — a child module so it can walk
+/// `World`'s private fields without widening their visibility.
+#[path = "snapshot.rs"]
+mod snapshot;
+
+pub(crate) use snapshot::FAULT_SEQ_BASE;
 
 /// Queue-STDV sampling period (the paper samples every 10 µs).
 const SAMPLE_PERIOD: Time = Time::from_micros(10);
@@ -70,7 +77,13 @@ enum FlowClass {
     Elephant,
 }
 
-struct World<P: Probe> {
+/// One experiment mid-flight: the topology, every component's state, and
+/// the event engine. Built by [`World::new`], advanced by
+/// [`World::run_to`], captured/resumed by [`World::snapshot`] and
+/// [`World::restore`], and finished into [`RunStats`] by
+/// [`World::finish`]. The free functions [`run`]/[`run_probed`] drive the
+/// same type end to end.
+pub struct World<P: Probe = NoopProbe> {
     cfg: ExperimentConfig,
     topo: Topology,
     routes: RouteTable,
@@ -118,6 +131,12 @@ struct World<P: Probe> {
     /// ties). Indexed by `Event::Fault`.
     faults: Vec<(Time, FaultKind, Time)>,
     injector: FaultInjector,
+    /// Timeline entries that have struck so far (`faults[..faults_applied]`
+    /// are applied to the topology). Restore replays exactly this prefix.
+    faults_applied: u64,
+    /// `faults_applied` at the moment of the last reconvergence — the
+    /// fault prefix the current routing state was computed against.
+    faults_applied_at_reconv: u64,
     /// Latest scheduled reconvergence generation; only the newest
     /// generation's `Reconverge` pop actually recomputes.
     reconv_gen: u64,
@@ -216,6 +235,54 @@ pub fn run_recorded(cfg: &ExperimentConfig) -> (RunStats, Telemetry) {
             .unwrap_or_else(|e| panic!("telemetry trace {}: {e}", path.display()));
     }
     (stats, Telemetry { recorder, sampler })
+}
+
+impl World<NoopProbe> {
+    /// Build and prime an experiment without running it — the entry point
+    /// for stepwise execution: [`run_to`](World::run_to) →
+    /// [`snapshot`](World::snapshot) → [`finish`](World::finish).
+    pub fn new(cfg: &ExperimentConfig) -> World<NoopProbe> {
+        let mut w = World::build(cfg.clone(), NoopProbe);
+        w.prime();
+        w
+    }
+}
+
+impl<P: Probe> World<P> {
+    /// Advance the simulation until the next pending event would be at or
+    /// past `t` — the state "as of `t⁻`" — honouring the run deadline and
+    /// `max_events` exactly like a straight-through run.
+    pub fn run_to(&mut self, t: Time) {
+        let deadline = self.cfg.duration + self.cfg.drain;
+        loop {
+            match self.queue.peek_time() {
+                Some(next) if next < t => {}
+                _ => break,
+            }
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
+            if now > deadline {
+                break;
+            }
+            if self.cfg.max_events > 0 && self.queue.events_processed() > self.cfg.max_events {
+                break;
+            }
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// Run every remaining event and produce the final statistics.
+    pub fn finish(mut self) -> RunStats {
+        self.event_loop();
+        self.finalize().0
+    }
+
+    /// Events processed so far — stepwise progress inspection between
+    /// [`run_to`](World::run_to) calls.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
 }
 
 impl<P: Probe> World<P> {
@@ -402,6 +469,8 @@ impl<P: Probe> World<P> {
             bytes_delivered: 0,
             faults,
             injector: FaultInjector::new(),
+            faults_applied: 0,
+            faults_applied_at_reconv: 0,
             reconv_gen: 0,
             window_open_at: None,
             blackhole_mark: 0,
@@ -451,18 +520,54 @@ impl<P: Probe> World<P> {
         // deadline-discarded ones) in `events_processed`, so enqueueing
         // them would perturb the event-count golden of an otherwise
         // identical run — and a fault nobody can observe is a no-op.
+        // Faults are stamped from the reserved sequence band (they pop
+        // after every ordinary event sharing their timestamp) so that a
+        // restored run — which re-injects its not-yet-struck suffix from
+        // the restore config's timeline — reproduces the cold run's tie
+        // order exactly, and a warm-started fork can substitute a
+        // divergent schedule without perturbing any other event's seq.
         let deadline = self.cfg.duration + self.cfg.drain;
         for (idx, &(at, _, _)) in self.faults.iter().enumerate() {
             if at <= deadline {
-                self.queue
-                    .push_control(at, Event::Fault { idx: idx as u32 });
+                self.queue.push_control_stamped(
+                    at,
+                    FAULT_SEQ_BASE + idx as u64,
+                    Event::Fault { idx: idx as u32 },
+                );
             }
         }
     }
 
     fn event_loop(&mut self) {
         let deadline = self.cfg.duration + self.cfg.drain;
-        while let Some((now, ev)) = self.queue.pop() {
+        let ckpt = self.cfg.checkpoint.clone();
+        // An at-time checkpoint fires once, when the next pending event
+        // would reach the target instant (state "as of t⁻").
+        let mut at_armed = matches!(
+            ckpt,
+            Some(CheckpointSpec {
+                policy: CheckpointPolicy::AtTime(_),
+                ..
+            })
+        );
+        loop {
+            if at_armed {
+                if let Some(CheckpointSpec {
+                    policy: CheckpointPolicy::AtTime(t),
+                    path,
+                }) = ckpt.as_ref()
+                {
+                    if self.queue.peek_time().is_none_or(|next| next >= *t) {
+                        self.snapshot()
+                            .save(path)
+                            .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                        at_armed = false;
+                    }
+                }
+            }
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
             if now > deadline {
                 break;
             }
@@ -470,6 +575,17 @@ impl<P: Probe> World<P> {
                 break;
             }
             self.dispatch(now, ev);
+            if let Some(CheckpointSpec {
+                policy: CheckpointPolicy::EveryEvents(n),
+                path,
+            }) = ckpt.as_ref()
+            {
+                if *n > 0 && self.queue.events_processed().is_multiple_of(*n) {
+                    self.snapshot()
+                        .save(path)
+                        .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                }
+            }
         }
     }
 
@@ -591,6 +707,11 @@ impl<P: Probe> World<P> {
             }
             Event::Fault { idx } => {
                 let (_, kind, delay) = self.faults[idx as usize];
+                // Strikes arrive in timeline order (time-sorted, and the
+                // reserved-band seq `FAULT_SEQ_BASE + idx` orders ties by
+                // index), so the applied set is always `faults[..applied]`.
+                debug_assert_eq!(self.faults_applied, idx as u64);
+                self.faults_applied += 1;
                 let info = self.injector.apply(&mut self.topo, kind);
                 // Local reaction at line speed: every switch prunes its own
                 // dead egress members immediately; only the multi-hop
@@ -675,6 +796,7 @@ impl<P: Probe> World<P> {
         }
         self.stats.reconvergences += 1;
         self.stats.stable_at = now;
+        self.faults_applied_at_reconv = self.faults_applied;
         if P::ENABLED {
             self.probe.on_fault(
                 now,

@@ -176,6 +176,14 @@ impl<P> EventQueue<P> {
         self.popped
     }
 
+    /// The next internally stamped FIFO sequence number. Snapshot capture
+    /// records it so [`restore_clock`](EventQueue::restore_clock) can
+    /// resume the stream without perturbing any later push's sequence.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Number of pending (scheduled, not yet delivered or cancelled)
     /// events.
     #[inline]
@@ -230,6 +238,59 @@ impl<P> EventQueue<P> {
         let idx = self.alloc(at.as_nanos(), seq, payload);
         self.live += 1;
         self.insert(idx);
+    }
+
+    /// Schedule `payload` at `at` carrying a caller-supplied sequence
+    /// number *without* advancing the internal sequence counter.
+    ///
+    /// Snapshot restore uses this for out-of-band entries stamped from a
+    /// reserved sequence band (fault injections at `FAULT_SEQ_BASE`):
+    /// unlike [`push_with_seq`](EventQueue::push_with_seq), a huge banded
+    /// seq must not catapult the counter, or every subsequently pushed
+    /// event would change sequence and break bit-identical replay.
+    pub fn push_stamped(&mut self, at: Time, seq: u64, payload: P) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let idx = self.alloc(at.as_nanos(), seq, payload);
+        self.live += 1;
+        self.insert(idx);
+    }
+
+    /// Visit every pending (scheduled, non-cancelled) entry as
+    /// `(time, seq, &payload)`, in arbitrary order.
+    ///
+    /// Snapshot capture walks the slab directly — wheel slots, the staged
+    /// ready batch, and the overflow heap all keep their entries `Live` in
+    /// the slab until delivery — and normalizes order by sorting the
+    /// collected `(time, seq)` keys at the serialization layer.
+    pub fn for_each_pending<F: FnMut(Time, u64, &P)>(&self, mut f: F) {
+        for node in &self.arena {
+            if node.state == SlotState::Live {
+                let payload = node.payload.as_ref().expect("live entry has payload");
+                f(Time::from_nanos(node.time), node.seq, payload);
+            }
+        }
+    }
+
+    /// Position a **fresh** queue at a restored clock: simulation time
+    /// `now`, next internal sequence `seq`, and `popped` events already
+    /// delivered before the snapshot.
+    ///
+    /// Must run before any pushes — pending entries re-inserted afterwards
+    /// all carry `time >= now`, so the cursor jump never strands a live
+    /// event behind it.
+    pub fn restore_clock(&mut self, now: Time, seq: u64, popped: u64) {
+        debug_assert!(
+            self.live == 0 && self.popped == 0,
+            "restore_clock requires a fresh queue"
+        );
+        self.elapsed = now.as_nanos();
+        self.now = now;
+        self.seq = seq;
+        self.popped = popped;
     }
 
     /// Schedule a cancellable event; keep the token to [`cancel`] it.

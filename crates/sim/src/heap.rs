@@ -92,6 +92,13 @@ impl<P> HeapQueue<P> {
         self.popped
     }
 
+    /// The next internally stamped FIFO sequence number (see
+    /// [`crate::EventQueue::next_seq`]).
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Number of events still pending (including cancelled ones not yet
     /// drained).
     #[inline]
@@ -154,6 +161,47 @@ impl<P> HeapQueue<P> {
             token: 0,
             payload,
         });
+    }
+
+    /// Schedule `payload` at `at` with a caller-supplied sequence number
+    /// *without* advancing the internal counter (see
+    /// [`crate::EventQueue::push_stamped`]): snapshot restore stamps
+    /// reserved-band sequences that must not perturb later pushes.
+    pub fn push_stamped(&mut self, at: Time, seq: u64, payload: P) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            token: 0,
+            payload,
+        });
+    }
+
+    /// Visit every pending non-cancelled entry as `(time, seq, &payload)`,
+    /// in arbitrary order (see [`crate::EventQueue::for_each_pending`]).
+    pub fn for_each_pending<F: FnMut(Time, u64, &P)>(&self, mut f: F) {
+        for e in self.heap.iter() {
+            if e.token != 0 && self.cancelled.contains(&e.token) {
+                continue;
+            }
+            f(e.time, e.seq, &e.payload);
+        }
+    }
+
+    /// Position a **fresh** queue at a restored clock (see
+    /// [`crate::EventQueue::restore_clock`]). Must run before any pushes.
+    pub fn restore_clock(&mut self, now: Time, seq: u64, popped: u64) {
+        debug_assert!(
+            self.heap.is_empty() && self.popped == 0,
+            "restore_clock requires a fresh queue"
+        );
+        self.now = now;
+        self.seq = seq;
+        self.popped = popped;
     }
 
     /// Schedule a cancellable event; keep the token to [`cancel`] it.

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod event;
 mod fx;
 mod heap;

@@ -65,6 +65,23 @@ impl Moments {
         self.n
     }
 
+    /// The raw accumulator fields `(n, mean, m2, min, max)`, for exact
+    /// serialization (snapshots).
+    pub fn state(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`state`](Moments::state) — bit-exact.
+    pub fn from_state(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Moments {
+        Moments {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Arithmetic mean, or 0 if empty.
     #[inline]
     pub fn mean(&self) -> f64 {

@@ -56,76 +56,12 @@ mod tags {
     pub const FAULT: u8 = 8;
 }
 
-/// Append `v` as a LEB128 varint.
-pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
+// The varint/decoder primitives are shared with the `DRILLSNAP` snapshot
+// format; re-export them so existing `drill_telemetry::encode::{put_varint,
+// Decoder}` users keep working.
+pub use drill_sim::codec::{put_varint, Decoder};
 
-/// A slice decoder with a running position.
-pub struct Decoder<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-fn truncated() -> io::Error {
-    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated trace")
-}
-
-fn invalid(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
-}
-
-impl<'a> Decoder<'a> {
-    /// Decode from `buf` starting at offset 0.
-    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
-        Decoder { buf, pos: 0 }
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    /// Read one raw byte.
-    pub fn u8(&mut self) -> io::Result<u8> {
-        let b = *self.buf.get(self.pos).ok_or_else(truncated)?;
-        self.pos += 1;
-        Ok(b)
-    }
-
-    /// Read a LEB128 varint.
-    pub fn varint(&mut self) -> io::Result<u64> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let b = self.u8()?;
-            if shift >= 64 || (shift == 63 && b > 1) {
-                return Err(invalid("varint overflows u64"));
-            }
-            v |= ((b & 0x7f) as u64) << shift;
-            if b & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-        }
-    }
-
-    fn varint_u32(&mut self) -> io::Result<u32> {
-        u32::try_from(self.varint()?).map_err(|_| invalid("field exceeds u32"))
-    }
-
-    fn varint_u16(&mut self) -> io::Result<u16> {
-        u16::try_from(self.varint()?).map_err(|_| invalid("field exceeds u16"))
-    }
-}
+use drill_sim::codec::invalid;
 
 fn put_meta(buf: &mut Vec<u8>, m: &PacketMeta) {
     put_varint(buf, m.id);

@@ -15,9 +15,13 @@
 //! per-packet fast path allocates nothing).
 
 use std::collections::BTreeMap;
+use std::io;
 
 use drill_net::{PacketArena, PacketRef};
+use drill_sim::codec::{put_varint, Decoder};
 use drill_sim::Time;
+
+use crate::tcp::read_bool;
 
 /// Default hold timeout before a gap is declared a loss and the buffer is
 /// flushed (roughly one loaded fabric RTT: long enough to absorb
@@ -167,6 +171,49 @@ impl ShimBuffer {
         }
         self.armed = None;
         self.timer_gen += 1;
+    }
+
+    /// Serialize the buffer. Held handles are encoded against `arena`;
+    /// `threshold`/`timeout` are config, not serialized.
+    pub fn save_state(&self, arena: &PacketArena, buf: &mut Vec<u8>) {
+        put_varint(buf, self.expected);
+        put_varint(buf, self.buf.len() as u64);
+        for (&s, r) in &self.buf {
+            put_varint(buf, s);
+            arena.encode_ref(buf, r);
+        }
+        put_varint(buf, self.timer_gen);
+        match self.armed {
+            Some(t) => {
+                buf.push(1);
+                put_varint(buf, t.as_nanos());
+            }
+            None => buf.push(0),
+        }
+        put_varint(buf, self.timeout_flushes);
+        put_varint(buf, self.reordered_held);
+    }
+
+    /// Restore state written by [`save_state`](ShimBuffer::save_state) into
+    /// a freshly configured buffer.
+    pub fn load_state(&mut self, arena: &mut PacketArena, d: &mut Decoder<'_>) -> io::Result<()> {
+        self.expected = d.varint()?;
+        let n = d.varint_usize()?;
+        self.buf.clear();
+        for _ in 0..n {
+            let s = d.varint()?;
+            let r = arena.decode_ref(d)?;
+            self.buf.insert(s, r);
+        }
+        self.timer_gen = d.varint()?;
+        self.armed = if read_bool(d)? {
+            Some(Time::from_nanos(d.varint()?))
+        } else {
+            None
+        };
+        self.timeout_flushes = d.varint()?;
+        self.reordered_held = d.varint()?;
+        Ok(())
     }
 }
 

@@ -1,8 +1,10 @@
 //! Compact TCP Reno/NewReno.
 
 use std::collections::BTreeMap;
+use std::io;
 
 use drill_net::{flags, FlowId, HostId, Packet};
+use drill_sim::codec::{invalid, put_f64, put_u64, put_varint, Decoder};
 use drill_sim::Time;
 
 /// GRO merges in-order packets into batches of at most this many payload
@@ -471,6 +473,127 @@ impl TcpFlow {
         self.retransmissions += 1;
         out.push(p);
         true
+    }
+
+    /// Serialize the flow: identity plus every sender/receiver/GRO/metric
+    /// field. `cfg` is not serialized (it comes from the experiment config
+    /// at restore).
+    pub fn save_state(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.id.0 as u64);
+        put_varint(buf, self.src.0 as u64);
+        put_varint(buf, self.dst.0 as u64);
+        put_u64(buf, self.flow_hash);
+        put_u64(buf, self.size); // u64::MAX elephants stay 8 bytes
+        put_varint(buf, self.start.as_nanos());
+        put_varint(buf, self.snd_una);
+        put_varint(buf, self.snd_nxt);
+        put_f64(buf, self.cwnd);
+        put_f64(buf, self.ssthresh);
+        put_varint(buf, self.dup_acks as u64);
+        put_varint(buf, self.recover);
+        buf.push(self.in_recovery as u8);
+        match self.srtt_ns {
+            Some(s) => {
+                buf.push(1);
+                put_f64(buf, s);
+            }
+            None => buf.push(0),
+        }
+        put_f64(buf, self.rttvar_ns);
+        put_varint(buf, self.rto.as_nanos());
+        put_varint(buf, self.timer_gen);
+        put_varint(buf, self.emit_counter as u64);
+        put_varint(buf, self.last_partial_retx.as_nanos());
+        put_varint(buf, self.rcv_nxt);
+        put_varint(buf, self.ooo.len() as u64);
+        for (&s, &e) in &self.ooo {
+            put_varint(buf, s);
+            put_varint(buf, e);
+        }
+        put_u64(buf, self.last_ack_sent); // u64::MAX sentinel stays 8 bytes
+        put_varint(buf, self.gro_expected);
+        put_varint(buf, self.gro_cur_bytes as u64);
+        put_varint(buf, self.gro_batches);
+        put_varint(buf, self.dup_acks_sent as u64);
+        put_varint(buf, self.reorder_events as u64);
+        // Zigzag: max_emit_seen starts at -1.
+        put_varint(
+            buf,
+            ((self.max_emit_seen << 1) ^ (self.max_emit_seen >> 63)) as u64,
+        );
+        put_varint(buf, self.retransmissions as u64);
+        put_varint(buf, self.timeouts as u64);
+        match self.done {
+            Some(t) => {
+                buf.push(1);
+                put_varint(buf, t.as_nanos());
+            }
+            None => buf.push(0),
+        }
+        put_varint(buf, self.bytes_acked);
+    }
+
+    /// Rebuild a flow serialized by [`save_state`](TcpFlow::save_state).
+    pub fn load_state(d: &mut Decoder<'_>, cfg: TcpConfig) -> io::Result<TcpFlow> {
+        let id = FlowId(d.varint_u32()?);
+        let src = HostId(d.varint_u32()?);
+        let dst = HostId(d.varint_u32()?);
+        let flow_hash = d.u64_fixed()?;
+        let size = d.u64_fixed()?;
+        let start = Time::from_nanos(d.varint()?);
+        let mut f = TcpFlow::new(id, src, dst, flow_hash, size, start, cfg);
+        f.snd_una = d.varint()?;
+        f.snd_nxt = d.varint()?;
+        f.cwnd = d.f64_fixed()?;
+        f.ssthresh = d.f64_fixed()?;
+        f.dup_acks = d.varint_u32()?;
+        f.recover = d.varint()?;
+        f.in_recovery = read_bool(d)?;
+        f.srtt_ns = if read_bool(d)? {
+            Some(d.f64_fixed()?)
+        } else {
+            None
+        };
+        f.rttvar_ns = d.f64_fixed()?;
+        f.rto = Time::from_nanos(d.varint()?);
+        f.timer_gen = d.varint()?;
+        f.emit_counter = d.varint_u32()?;
+        f.last_partial_retx = Time::from_nanos(d.varint()?);
+        f.rcv_nxt = d.varint()?;
+        let n_ooo = d.varint_usize()?;
+        for _ in 0..n_ooo {
+            let s = d.varint()?;
+            let e = d.varint()?;
+            if e <= s {
+                return Err(invalid("empty out-of-order range"));
+            }
+            f.ooo.insert(s, e);
+        }
+        f.last_ack_sent = d.u64_fixed()?;
+        f.gro_expected = d.varint()?;
+        f.gro_cur_bytes = d.varint_u32()?;
+        f.gro_batches = d.varint()?;
+        f.dup_acks_sent = d.varint_u32()?;
+        f.reorder_events = d.varint_u32()?;
+        let z = d.varint()?;
+        f.max_emit_seen = ((z >> 1) as i64) ^ -((z & 1) as i64);
+        f.retransmissions = d.varint_u32()?;
+        f.timeouts = d.varint_u32()?;
+        f.done = if read_bool(d)? {
+            Some(Time::from_nanos(d.varint()?))
+        } else {
+            None
+        };
+        f.bytes_acked = d.varint()?;
+        Ok(f)
+    }
+}
+
+pub(crate) fn read_bool(d: &mut Decoder<'_>) -> io::Result<bool> {
+    match d.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(invalid("bad bool byte")),
     }
 }
 

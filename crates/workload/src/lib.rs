@@ -77,6 +77,17 @@ impl WorkloadGen {
         }
     }
 
+    /// The bound traffic pattern (snapshot access: the Shuffle pattern's
+    /// per-source cursors are mutable mid-run state).
+    pub fn pattern(&self) -> &TrafficPattern {
+        &self.pattern
+    }
+
+    /// Mutable access to the bound pattern (snapshot restore).
+    pub fn pattern_mut(&mut self) -> &mut TrafficPattern {
+        &mut self.pattern
+    }
+
     /// Draw the next flow arrival.
     pub fn next_flow(&mut self, rng: &mut SimRng) -> FlowSpec {
         let gap = self.arrivals.sample_gap(rng);

@@ -1,5 +1,8 @@
 //! Traffic patterns: who talks to whom.
 
+use std::io;
+
+use drill_sim::codec::{invalid, put_varint, Decoder};
 use drill_sim::SimRng;
 
 /// Destination-selection patterns (§4 "Synthetic workloads" plus the
@@ -88,6 +91,41 @@ impl TrafficPattern {
             }
             _ => panic!("pattern must be bound before use"),
         }
+    }
+
+    /// Serialize the pattern's *mutable* state. Bound structure
+    /// (permutations, shuffle orders) is derived deterministically from the
+    /// workload RNG at build time and is not serialized; only Shuffle's
+    /// per-source cursors advance mid-run.
+    pub fn save_cursors(&self, buf: &mut Vec<u8>) {
+        match self {
+            TrafficPattern::BoundShuffle(_, cursors, _) => {
+                put_varint(buf, cursors.len() as u64);
+                for &c in cursors {
+                    put_varint(buf, c as u64);
+                }
+            }
+            _ => put_varint(buf, 0),
+        }
+    }
+
+    /// Restore cursors written by [`save_cursors`](TrafficPattern::save_cursors)
+    /// into an identically bound pattern.
+    pub fn load_cursors(&mut self, d: &mut Decoder<'_>) -> io::Result<()> {
+        let n = d.varint_usize()?;
+        match self {
+            TrafficPattern::BoundShuffle(_, cursors, _) => {
+                if n != cursors.len() {
+                    return Err(invalid("shuffle cursor count mismatch"));
+                }
+                for c in cursors.iter_mut() {
+                    *c = d.varint_usize()?;
+                }
+            }
+            _ if n == 0 => {}
+            _ => return Err(invalid("cursor state for a cursorless pattern")),
+        }
+        Ok(())
     }
 }
 

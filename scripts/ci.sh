@@ -54,6 +54,18 @@ for shards in 1 2 8; do
     DRILL_SHARDS=$shards cargo test -q --test determinism_golden --features fat-events
 done
 
+echo "== snapshot-resume goldens (DRILL_SHARDS=1/2/8 x wheel/heap/fat builds) =="
+# The DRILLSNAP contract: a run checkpointed mid-flight and restored from
+# bytes must replay every golden bit-identically — on every engine and
+# packet layout, with warm-started sweeps matching cold ones. (The suite
+# already ran once per full-matrix `cargo test` above; these rows cross
+# the save/restore boundary over the engine matrix explicitly.)
+for shards in 1 2 8; do
+    DRILL_SHARDS=$shards cargo test -q --test snapshot_resume
+    DRILL_SHARDS=$shards cargo test -q --test snapshot_resume --features heap-queue
+    DRILL_SHARDS=$shards cargo test -q --test snapshot_resume --features fat-events
+done
+
 echo "== chaosbench --quick smoke =="
 cargo build --release -p drill-bench
 ./target/release/chaosbench --quick > /dev/null
@@ -65,6 +77,37 @@ echo "== scalebench --quick smoke =="
 # above already crosses with every build.
 ./target/release/scalebench --quick > /dev/null
 ./target/release/scalebench --sketch --quick > /dev/null
+
+echo "== scalebench kill-and-resume crash-recovery smoke =="
+# Checkpoint every 50k events, die mid-run (simulated kill, exit 42),
+# resume the checkpoint in a fresh process, and demand the resumed totals
+# match an uninterrupted run of the same point.
+ckpt=$(mktemp -u)
+clean=$(./target/release/scalebench --quick --point leafspine_320h)
+rc=0
+./target/release/scalebench --quick --point leafspine_320h \
+    --checkpoint-every 50000 --die-after 120000 --checkpoint-path "$ckpt" \
+    > /dev/null 2>&1 || rc=$?
+[[ "$rc" == 42 ]] || { echo "expected simulated-kill exit 42, got $rc"; exit 1; }
+[[ -f "$ckpt" ]] || { echo "no checkpoint file written before the kill"; exit 1; }
+resumed=$(./target/release/scalebench --quick --point leafspine_320h --resume "$ckpt")
+rm -f "$ckpt"
+clean_ev=$(grep -o '"events": [0-9]*' <<<"$clean")
+resumed_ev=$(grep -o '"events": [0-9]*' <<<"$resumed")
+clean_bytes=$(grep -o '"bytes_delivered": [0-9]*' <<<"$clean")
+resumed_bytes=$(grep -o '"bytes_delivered": [0-9]*' <<<"$resumed")
+if [[ "$clean_ev" != "$resumed_ev" || "$clean_bytes" != "$resumed_bytes" ]]; then
+    echo "resume diverged: clean [$clean_ev, $clean_bytes] vs resumed [$resumed_ev, $resumed_bytes]"
+    exit 1
+fi
+
+echo "== snapbench --quick smoke =="
+# DRILLSNAP size/latency + warm-start speedup, CI scale; the two
+# bit-identity flags inside must both read true.
+./target/release/snapbench --quick | tee /tmp/snapbench-ci.json
+if grep -q "false" /tmp/snapbench-ci.json; then
+    echo "snapbench reported a bit-identity failure"; exit 1
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# DRILLSNAP cost/payoff harness: snapshot size and save/restore latency
+# on the golden-shaped leaf-spine run, plus a cold vs warm-started
+# variants-sweep (divergent fault timelines forked off one shared
+# snapshot) with the measured speedup and a bit-identity check. Writes
+# results/snapbench.json. Offline-safe: no external deps. `--quick`
+# shrinks both sections to CI scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=""
+if [[ "${1:-}" == "--quick" ]]; then
+  MODE="--quick"
+fi
+
+mkdir -p results
+
+echo "== building (release) =="
+cargo build --release -p drill-bench --bin snapbench
+
+echo "== snapbench ($([[ -n "$MODE" ]] && echo quick || echo full)) =="
+./target/release/snapbench $MODE | tee results/snapbench.json
+
+echo "== wrote results/snapbench.json =="
