@@ -30,13 +30,16 @@
 //! the identical experiment with the `drill-telemetry` flight recorder +
 //! queue sampler attached, for the probe-overhead A/B in
 //! `scripts/qbench.sh` (the event count must match `--e2e` exactly:
-//! probes observe, never steer).
+//! probes observe, never steer). `--e2e-audit` runs it with the
+//! `drill-audit` invariant watchdogs evaluated at event-count boundaries,
+//! for the auditor-overhead A/B (same contract: audits observe, never
+//! steer, so the event count must again match `--e2e` exactly).
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use drill_net::{LeafSpineSpec, DEFAULT_PROP};
-use drill_runtime::{run, ExperimentConfig, Scheme, TelemetrySpec, TopoSpec};
+use drill_runtime::{run, AuditSpec, ExperimentConfig, Scheme, TelemetrySpec, TopoSpec};
 use drill_sim::{EventToken, HeapQueue, SimRng, Time, WheelQueue};
 
 /// The common surface of the two queue implementations.
@@ -320,10 +323,23 @@ fn micro() {
     println!("}}");
 }
 
+/// Which observation layer rides along on the e2e run. Every variant is
+/// the identical simulation — the A/B harness asserts equal event counts.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum E2eMode {
+    /// NoopProbe + NoopAudit: the plain build.
+    Plain,
+    /// Flight recorder + queue sampler attached.
+    Telemetry,
+    /// Invariant watchdogs evaluated at event-count boundaries.
+    Audit,
+}
+
 /// One fig2-shaped run (open-loop packet trains, queue sampling) against
-/// the compiled-in `EventQueue`. With `telemetry` the flight recorder +
-/// queue sampler ride along (same simulation, extra observation).
-fn e2e(telemetry: bool) {
+/// the compiled-in `EventQueue`. With [`E2eMode::Telemetry`] the flight
+/// recorder + queue sampler ride along; with [`E2eMode::Audit`] the
+/// invariant auditor does (same simulation, extra observation).
+fn e2e(mode: E2eMode) {
     let queue = if cfg!(feature = "heap-queue") {
         "heap"
     } else {
@@ -359,13 +375,16 @@ fn e2e(telemetry: bool) {
     cfg.sample_queues = true;
     cfg.drain = Time::from_millis(5);
     cfg.engines = 4;
-    if telemetry {
-        cfg.telemetry = Some(TelemetrySpec::default());
-    }
-    let workload = if telemetry {
-        "e2e_fig2_telemetry"
-    } else {
-        "e2e_fig2"
+    let workload = match mode {
+        E2eMode::Plain => "e2e_fig2",
+        E2eMode::Telemetry => {
+            cfg.telemetry = Some(TelemetrySpec::default());
+            "e2e_fig2_telemetry"
+        }
+        E2eMode::Audit => {
+            cfg.audit = Some(AuditSpec::default());
+            "e2e_fig2_audit"
+        }
     };
     // The run resolves its shard count from DRILL_SHARDS (cfg.shards stays
     // None here); record the same resolution so the shard_ab harness can
@@ -386,9 +405,11 @@ fn e2e(telemetry: bool) {
 
 fn main() {
     if std::env::args().any(|a| a == "--e2e-telemetry") {
-        e2e(true);
+        e2e(E2eMode::Telemetry);
+    } else if std::env::args().any(|a| a == "--e2e-audit") {
+        e2e(E2eMode::Audit);
     } else if std::env::args().any(|a| a == "--e2e") {
-        e2e(false);
+        e2e(E2eMode::Plain);
     } else {
         micro();
     }

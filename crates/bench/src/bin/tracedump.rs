@@ -12,12 +12,28 @@
 //!   apply as in the other harness binaries.
 //! * `--trace <path>` — decode an existing `DRILLTRC` file (written via
 //!   `ExperimentConfig::telemetry.trace_path`) and print the same tables.
+//! * `--sabotage <leak|blackhole> [--audit-dir <dir>]` — run a small
+//!   deterministic experiment with the `drill-audit` watchdogs attached
+//!   and a deliberately broken runtime (a leaked arena handle or a
+//!   blackholed flow). The trip dumps the snapshot ring, the faulted
+//!   instant and `anomaly.meta` into `<dir>` (default
+//!   `results/audit_demo`) and prints the typed report.
+//! * `--replay-from <dir>` — automatic rewind-replay: parse
+//!   `<dir>/anomaly.meta`, restore the newest clean ring snapshot with
+//!   the flight recorder attached, re-run exactly the window up to the
+//!   anomalous boundary, and print the decision-quality and queue tables
+//!   for that window alone.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use drill_bench::{banner, base_config, seed_from_env, Scale};
+use drill_faults::{SabotageKind, SabotageSpec};
 use drill_net::{LeafSpineSpec, DEFAULT_PROP};
-use drill_runtime::{run_recorded, Scheme, TelemetrySpec, TopoSpec};
+use drill_runtime::run_recorded;
+use drill_runtime::{
+    run_audited, AuditSpec, ExperimentConfig, Scheme, Snapshot, TelemetrySpec, TopoSpec, World,
+};
 use drill_sim::Time;
 use drill_stats::{f3, Table};
 use drill_telemetry::analyze::{
@@ -25,6 +41,7 @@ use drill_telemetry::analyze::{
     reordering,
 };
 use drill_telemetry::{fault_kind, read_trace, write_trace, RingKind, Trace, TraceEvent};
+use drill_telemetry::{FlightRecorder, QueueSampler};
 
 /// Sampling bucket for the reconstructed queue timelines (Fig. 2 samples
 /// every 10 µs).
@@ -344,8 +361,167 @@ fn decision_report(trace: &Trace) {
     println!("{}", t.render());
 }
 
+/// The deterministic demo experiment shared by `--sabotage` and
+/// `--replay-from`: both modes must rebuild the identical config, since a
+/// ring snapshot only restores against the experiment shape that wrote
+/// it. Closed-loop TCP (not raw packet trains) so the stuck-flow watchdog
+/// has per-flow progress to observe.
+fn audit_demo_cfg() -> ExperimentConfig {
+    let n = 4;
+    let topo = TopoSpec::LeafSpine(LeafSpineSpec {
+        spines: n,
+        leaves: n,
+        hosts_per_leaf: n,
+        host_rate: 10_000_000_000,
+        core_rate: 10_000_000_000,
+        prop: DEFAULT_PROP,
+    });
+    let mut cfg = ExperimentConfig::new(
+        topo,
+        Scheme::Drill {
+            d: 2,
+            m: 1,
+            shim: false,
+        },
+        0.8,
+    );
+    cfg.duration = Time::from_millis(2);
+    cfg.drain = Time::from_millis(2);
+    cfg.queue_limit_bytes = 20_000_000;
+    cfg.engines = 2;
+    cfg
+}
+
+/// The audit knobs for the demo: boundaries every 5k events so the ring
+/// holds several snapshots before the trip, and a stall threshold well
+/// inside the 4 ms run so a blackholed flow is caught before drain ends.
+fn audit_demo_spec() -> AuditSpec {
+    AuditSpec {
+        every_events: 5_000,
+        stuck_after: Time::from_millis(1),
+        ..AuditSpec::default()
+    }
+}
+
+/// `--sabotage`: break the runtime on purpose, let the watchdogs trip,
+/// and dump the diagnostics bundle for `--replay-from`.
+fn sabotage_run(kind: &str, dir: &Path) {
+    // The leak strikes mid-run so the ring holds clean snapshots first;
+    // the blackhole starts at t=0 so flow 0 — the earliest arrival — is
+    // swallowed from its very first data packet and can never complete.
+    let (kind, at) = match kind {
+        "leak" => (SabotageKind::LeakPacket, Time::from_micros(500)),
+        "blackhole" => (SabotageKind::BlackholeFlow { flow: 0 }, Time::from_nanos(0)),
+        other => panic!("unknown sabotage kind {other:?} (expected leak|blackhole)"),
+    };
+    let mut cfg = audit_demo_cfg();
+    let mut spec = audit_demo_spec();
+    spec.dump_dir = Some(dir.to_path_buf());
+    cfg.audit = Some(spec);
+    cfg.sabotage = Some(SabotageSpec { at, kind });
+    println!(
+        "sabotage: {kind:?} at {} us, audit dump dir {}",
+        at.as_nanos() / 1000,
+        dir.display()
+    );
+    let (stats, reports) = run_audited(&cfg);
+    println!(
+        "run: {} events, {} data pkts delivered, {} anomalies",
+        stats.events, stats.data_pkts_delivered, stats.anomalies
+    );
+    for r in &reports {
+        println!("anomaly: {r}");
+    }
+    assert!(
+        !reports.is_empty(),
+        "sabotaged run tripped no watchdog — the auditor missed it"
+    );
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("audit dump dir")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    println!("dumped: {}", names.join(", "));
+    println!("\nnext: tracedump --replay-from {}", dir.display());
+}
+
+/// `--replay-from`: the automatic rewind-replay loop. Everything needed —
+/// which snapshot to rewind to and how far to run — comes from
+/// `anomaly.meta`; no knowledge of the original run is required beyond
+/// the shared demo config.
+fn replay_from(dir: &Path) {
+    let meta_path = dir.join("anomaly.meta");
+    let text = std::fs::read_to_string(&meta_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", meta_path.display()));
+    let kv: BTreeMap<&str, &str> = text.lines().filter_map(|l| l.split_once('=')).collect();
+    let get = |k: &str| {
+        *kv.get(k)
+            .unwrap_or_else(|| panic!("anomaly.meta lacks {k}="))
+    };
+    let kind = get("kind");
+    let at_ns: u64 = get("at_ns").parse().expect("at_ns");
+    let events: u64 = get("events").parse().expect("events");
+    let rewind = kv.get("rewind").copied().unwrap_or_else(|| {
+        panic!("anomaly.meta has no rewind= line — the ring held no clean snapshot")
+    });
+    let rewind_events: u64 = get("rewind_events").parse().expect("rewind_events");
+    println!(
+        "anomaly: {kind} at {} us (event {events}); rewinding to {rewind} (event {rewind_events})",
+        at_ns / 1000
+    );
+
+    let snap = Snapshot::load(dir.join(rewind))
+        .unwrap_or_else(|e| panic!("cannot load ring snapshot {rewind}: {e}"));
+    let mut cfg = audit_demo_cfg();
+    // Stop the restored world exactly at the anomalous boundary: the
+    // flight recorder then covers nothing but the rewind window.
+    cfg.max_events = events;
+    let tspec = TelemetrySpec::default();
+    let recorder = FlightRecorder::new(
+        cfg.topo.build().num_switches(),
+        cfg.engines,
+        tspec.ring_capacity,
+    );
+    let sampler = QueueSampler::new(tspec.sample_every);
+    let w = World::restore_probed(&snap, &cfg, (recorder, sampler))
+        .unwrap_or_else(|e| panic!("cannot restore {rewind}: {e}"));
+    let (stats, (recorder, _sampler), _audit) = w.finish_parts();
+    println!(
+        "replayed window: events {rewind_events}..{} ({} recorder events)\n",
+        stats.events.min(events),
+        recorder.event_count()
+    );
+
+    let mut buf = Vec::new();
+    write_trace(&recorder, &mut buf).expect("in-memory encode");
+    let trace = read_trace(&mut &buf[..]).expect("in-memory decode");
+    header(&trace);
+    fig2_timeline(&trace);
+    trip_summary(&trace);
+    decision_report(&trace);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args[i + 1].clone())
+    };
+    if let Some(kind) = flag("--sabotage") {
+        banner("tracedump: sabotage + audit dump", Scale::from_env());
+        let dir = flag("--audit-dir").unwrap_or_else(|| "results/audit_demo".into());
+        sabotage_run(&kind, &PathBuf::from(dir));
+        return;
+    }
+    if let Some(dir) = flag("--replay-from") {
+        banner(
+            "tracedump: rewind-replay from audit dump",
+            Scale::from_env(),
+        );
+        replay_from(&PathBuf::from(dir));
+        return;
+    }
     let trace = match args.iter().position(|a| a == "--trace") {
         Some(i) => {
             let path = args.get(i + 1).expect("--trace needs a file path");

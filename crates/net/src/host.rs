@@ -56,6 +56,13 @@ impl HostNic {
         self.q_bytes
     }
 
+    /// Packets queued at the NIC, including the in-flight head (which
+    /// stays in the queue until its tx-done) — the NIC's contribution to
+    /// the audit packet-conservation holder walk.
+    pub fn backlog_pkts(&self) -> usize {
+        self.q.len()
+    }
+
     /// Serialize this NIC's dynamic state (queued handles against `arena`,
     /// backlog accounting, counters). `limit_bytes` is structural and not
     /// serialized.

@@ -341,6 +341,14 @@ impl Switch {
         self.ports[port as usize].bytes()
     }
 
+    /// Bytes *waiting* at `port`, excluding the in-flight head — exactly
+    /// the quantity admission control bounds against `queue_limit_bytes`
+    /// (the audit queue-ceiling watchdog checks this, not
+    /// [`queue_bytes`](Switch::queue_bytes)).
+    pub fn waiting_bytes(&self, port: u16) -> u64 {
+        self.ports[port as usize].q_bytes
+    }
+
     /// Engine-visible occupancy in packets at `port`.
     pub fn visible_pkts(&self, port: u16) -> u32 {
         self.ports[port as usize].visible_pkts

@@ -257,6 +257,52 @@ pub struct ExperimentConfig {
     /// default). Crash recovery resumes from the latest file via
     /// [`World::restore`](crate::World::restore).
     pub checkpoint: Option<CheckpointSpec>,
+    /// Run the invariant auditor alongside the simulation (off by
+    /// default). Watchdogs fire at event-count boundaries; results stay
+    /// bit-identical either way (audits observe, never steer).
+    pub audit: Option<AuditSpec>,
+    /// Deliberately break an invariant mid-run (auditor negative tests
+    /// and the `tracedump --sabotage` demo; off by default). Only honored
+    /// by audited builds — `NoopAudit` runs compile the hook away.
+    pub sabotage: Option<drill_faults::SabotageSpec>,
+}
+
+/// Invariant-auditor knobs (see `drill-audit` and DESIGN.md §14).
+/// Attaching a spec to [`ExperimentConfig::audit`] makes the run evaluate
+/// the watchdog suite at every boundary, retain the [`SnapshotRing`]
+/// (`drill_audit::SnapshotRing`), and on a trip dump ring + faulted
+/// snapshot + `anomaly.meta` into `dump_dir`.
+#[derive(Clone, Debug)]
+pub struct AuditSpec {
+    /// Evaluate watchdogs (and ring a checkpoint) every this many
+    /// processed events. 0 disables boundaries entirely.
+    pub every_events: u64,
+    /// A started, uncompleted flow with no newly acknowledged byte for
+    /// this long is reported stuck.
+    pub stuck_after: Time,
+    /// Snapshot-ring entry bound (oldest evicted first).
+    pub ring_entries: usize,
+    /// Snapshot-ring total-bytes bound (the newest entry always
+    /// survives).
+    pub ring_bytes: usize,
+    /// Where a trip dumps `ring-*.drillsnap`, `faulted.drillsnap`, and
+    /// `anomaly.meta`. `None` records reports only.
+    pub dump_dir: Option<std::path::PathBuf>,
+    /// Stop recording after this many anomaly reports.
+    pub max_reports: usize,
+}
+
+impl Default for AuditSpec {
+    fn default() -> AuditSpec {
+        AuditSpec {
+            every_events: 50_000,
+            stuck_after: Time::from_millis(500),
+            ring_entries: 4,
+            ring_bytes: 64 << 20,
+            dump_dir: None,
+            max_reports: 8,
+        }
+    }
 }
 
 /// When to capture mid-run checkpoints.
@@ -309,6 +355,8 @@ impl ExperimentConfig {
             telemetry: None,
             shards: None,
             checkpoint: None,
+            audit: None,
+            sabotage: None,
         }
     }
 }

@@ -19,6 +19,11 @@
 //!   `drill-telemetry` flight recorder + queue sampler (or any custom
 //!   [`Probe`](drill_telemetry::Probe)) attached; probes observe but never
 //!   steer, so every metric is bit-identical with telemetry on or off.
+//! * [`run_audited`] / [`run_with`] — the same run with the `drill-audit`
+//!   invariant watchdogs (packet conservation, stuck flows, queue
+//!   ceilings, time monotonicity, handoff fingerprints) evaluated at
+//!   event-count boundaries; audits observe but never steer, and a trip
+//!   dumps the snapshot ring for `tracedump --replay-from`.
 
 #![warn(missing_docs)]
 
@@ -30,11 +35,14 @@ mod sweep;
 mod world;
 
 pub use config::{
-    CheckpointPolicy, CheckpointSpec, ExperimentConfig, ShardSpec, SyntheticMode, TelemetrySpec,
-    TopoSpec, WorkloadSpec,
+    AuditSpec, CheckpointPolicy, CheckpointSpec, ExperimentConfig, ShardSpec, SyntheticMode,
+    TelemetrySpec, TopoSpec, WorkloadSpec,
 };
 pub use drill_snapshot::Snapshot;
 pub use scheme::Scheme;
 pub use stats::{hop_index, hop_name, HopReport, RunStats};
 pub use sweep::{derive_seed, run_many, SweepPoint, SweepResults, SweepSpec};
-pub use world::{random_leaf_spine_failures, run, run_probed, run_recorded, Telemetry, World};
+pub use world::{
+    random_leaf_spine_failures, run, run_audited, run_probed, run_recorded, run_with, Telemetry,
+    World,
+};

@@ -18,11 +18,14 @@
 
 use std::io;
 
+use drill_audit::{Audit, NoopAudit};
 use drill_core::install_symmetric_groups;
 use drill_faults::FaultKind;
 use drill_net::snapio::{get_net_event, put_net_event};
 use drill_net::{HostId, NetEvent, PacketArena, RouteTable, ShardPlan, SwitchId};
-use drill_sim::codec::{invalid, put_f64, put_u64, put_varint, Decoder};
+use drill_sim::codec::{
+    invalid, put_f64, put_u64, put_varint, CodecError, CodecErrorKind, Decoder,
+};
 use drill_sim::{SimRng, Time};
 use drill_snapshot::{Snapshot, SnapshotBuilder};
 use drill_stats::Moments;
@@ -164,11 +167,18 @@ fn net_dst(plan: &ShardPlan, ev: &NetEvent) -> u32 {
     }
 }
 
-/// The required section `tag`, as a decoder.
+/// The required section `tag`, as a decoder labeled with the tag so any
+/// decode error carries (section, byte offset).
 fn section<'a>(snap: &'a Snapshot, tag: u8) -> io::Result<Decoder<'a>> {
-    snap.section(tag)
-        .map(Decoder::new)
-        .ok_or_else(|| invalid("missing DRILLSNAP section"))
+    match snap.section(tag) {
+        Some(body) => Ok(Decoder::in_section(body, tag)),
+        None => Err(CodecError {
+            section: Some(tag),
+            offset: None,
+            kind: CodecErrorKind::Invalid("missing DRILLSNAP section".to_string()),
+        }
+        .into()),
+    }
 }
 
 /// Every section must be consumed exactly — trailing bytes mean the
@@ -180,7 +190,7 @@ fn done(d: &Decoder<'_>) -> io::Result<()> {
     Ok(())
 }
 
-impl<P: Probe> World<P> {
+impl<P: Probe, A: Audit> World<P, A> {
     /// Capture the complete dynamic state as a [`Snapshot`].
     ///
     /// Must be called between events (never from inside a dispatch); the
@@ -403,10 +413,24 @@ impl World<NoopProbe> {
     /// forks). Any mismatch or corruption surfaces as an error, never as
     /// a silently wrong simulation.
     pub fn restore(snap: &Snapshot, cfg: &ExperimentConfig) -> io::Result<World<NoopProbe>> {
+        World::restore_probed(snap, cfg, NoopProbe)
+    }
+}
+
+impl<P: Probe> World<P> {
+    /// [`restore`](World::restore), generic over the telemetry probe: the
+    /// decode layer is probe-agnostic, so a restored world can carry a
+    /// recording probe — rewind-replay restores a ring snapshot with a
+    /// `FlightRecorder` attached and re-runs the window to the anomaly.
+    pub fn restore_probed(
+        snap: &Snapshot,
+        cfg: &ExperimentConfig,
+        probe: P,
+    ) -> io::Result<World<P>> {
         if snap.fat_layout() != cfg!(feature = "fat-events") {
             return Err(invalid("snapshot packet layout differs from this build"));
         }
-        let mut w = World::build(cfg.clone(), NoopProbe);
+        let mut w = World::build(cfg.clone(), probe, NoopAudit);
 
         // META: engine identity must match the rebuilt world.
         let mut d = section(snap, SEC_META)?;

@@ -155,6 +155,11 @@ pub struct RunStats {
     /// Lookahead windows the sharded engine advanced through (zero on
     /// the serial engine).
     pub shard_windows: u64,
+    /// Invariant-watchdog anomaly reports recorded by an attached
+    /// auditor (always zero with `NoopAudit`). Deliberately *not* part of
+    /// the determinism fingerprint: the auditor observes, fingerprints
+    /// pin simulated behavior.
+    pub anomalies: u64,
 }
 
 impl RunStats {
@@ -192,6 +197,7 @@ impl RunStats {
             shard_handoffs: 0,
             shard_handoff_hash: 0,
             shard_windows: 0,
+            anomalies: 0,
         }
     }
 
@@ -283,6 +289,7 @@ impl RunStats {
             .shard_handoff_hash
             .wrapping_add(other.shard_handoff_hash);
         self.shard_windows += other.shard_windows;
+        self.anomalies += other.anomalies;
     }
 }
 

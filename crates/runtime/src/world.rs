@@ -1,7 +1,10 @@
 //! The simulation world: event loop tying every substrate together.
 
+use drill_audit::{
+    AnomalyReport, Audit, BoundarySample, FlowProgress, InvariantAuditor, NoopAudit, SnapshotRing,
+};
 use drill_core::install_symmetric_groups;
-use drill_faults::{FaultInjector, FaultKind};
+use drill_faults::{FaultInjector, FaultKind, SabotageKind, SabotageSpec};
 use drill_net::{
     BufPool, EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, PacketArena,
     PacketBufPool, PacketRef, RouteTable, ShardPlan, Switch, SwitchConfig, SwitchId, Topology,
@@ -83,7 +86,7 @@ enum FlowClass {
 /// [`World::restore`], and finished into [`RunStats`] by
 /// [`World::finish`]. The free functions [`run`]/[`run_probed`] drive the
 /// same type end to end.
-pub struct World<P: Probe = NoopProbe> {
+pub struct World<P: Probe = NoopProbe, A: Audit = NoopAudit> {
     cfg: ExperimentConfig,
     topo: Topology,
     routes: RouteTable,
@@ -151,6 +154,22 @@ pub struct World<P: Probe = NoopProbe> {
     /// recording probe observes but never steers (no access to RNGs, the
     /// event queue, or packets), so metrics are bit-identical either way.
     probe: P,
+    /// Invariant auditor, mirroring the probe pattern: `NoopAudit`
+    /// (`ENABLED = false`) compiles the whole boundary path away; the
+    /// real auditor observes samples but never steers, so auditor-on
+    /// fingerprints are pinned bit-identical to auditor-off.
+    audit: A,
+    /// Recycled per-flow progress rows for audit boundaries.
+    audit_scratch: Vec<FlowProgress>,
+    /// Last-K `DRILLSNAP` ring retaining the most recent *clean*
+    /// boundaries (audited builds only); the rewind pool a trip dumps.
+    audit_ring: Option<SnapshotRing>,
+    /// Audit boundary period in processed events (0 = no boundaries).
+    audit_every: u64,
+    /// A trip dumps ring + faulted snapshot + meta exactly once.
+    audit_dumped: bool,
+    /// One-shot sabotage bookkeeping (`LeakPacket` fires a single time).
+    sabotage_done: bool,
 }
 
 /// Fail the link pair `(a, b)`, trying both orientations, and panic with
@@ -203,11 +222,46 @@ pub fn run(cfg: &ExperimentConfig) -> RunStats {
 /// Execute one experiment with a caller-supplied telemetry probe, returning
 /// the stats together with the probe for inspection. `run_probed(cfg,
 /// NoopProbe)` compiles to exactly the probe-free simulation.
+///
+/// With `cfg.audit` attached the invariant auditor rides along (reports
+/// are counted into [`RunStats::anomalies`] and any trip dumps to the
+/// spec's `dump_dir`); without it the `NoopAudit` build runs.
 pub fn run_probed<P: Probe>(cfg: &ExperimentConfig, probe: P) -> (RunStats, P) {
-    let mut w = World::build(cfg.clone(), probe);
+    if let Some(spec) = &cfg.audit {
+        let auditor = InvariantAuditor::new(spec.stuck_after, spec.max_reports);
+        let (stats, probe, _auditor) = run_with(cfg, probe, auditor);
+        (stats, probe)
+    } else {
+        let (stats, probe, _noop) = run_with(cfg, probe, NoopAudit);
+        (stats, probe)
+    }
+}
+
+/// Execute one experiment with both a telemetry probe and an invariant
+/// audit attached, returning stats, probe, and audit. `run_with(cfg,
+/// NoopProbe, NoopAudit)` compiles to exactly the plain simulation.
+pub fn run_with<P: Probe, A: Audit>(
+    cfg: &ExperimentConfig,
+    probe: P,
+    audit: A,
+) -> (RunStats, P, A) {
+    let mut w = World::build(cfg.clone(), probe, audit);
     w.prime();
     w.event_loop();
     w.finalize()
+}
+
+/// Execute one experiment under the invariant auditor (using `cfg.audit`,
+/// or [`Default`] knobs when unset) and return the stats together with
+/// every anomaly report. An empty report list is the auditor's verdict
+/// that all watchdog invariants held at every boundary.
+pub fn run_audited(cfg: &ExperimentConfig) -> (RunStats, Vec<AnomalyReport>) {
+    let spec = cfg.audit.clone().unwrap_or_default();
+    let mut cfg = cfg.clone();
+    cfg.audit = Some(spec.clone());
+    let auditor = InvariantAuditor::new(spec.stuck_after, spec.max_reports);
+    let (stats, _, auditor) = run_with(&cfg, NoopProbe, auditor);
+    (stats, auditor.reports().to_vec())
 }
 
 /// The telemetry captured by a recorded run.
@@ -242,13 +296,13 @@ impl World<NoopProbe> {
     /// for stepwise execution: [`run_to`](World::run_to) →
     /// [`snapshot`](World::snapshot) → [`finish`](World::finish).
     pub fn new(cfg: &ExperimentConfig) -> World<NoopProbe> {
-        let mut w = World::build(cfg.clone(), NoopProbe);
+        let mut w = World::build(cfg.clone(), NoopProbe, NoopAudit);
         w.prime();
         w
     }
 }
 
-impl<P: Probe> World<P> {
+impl<P: Probe, A: Audit> World<P, A> {
     /// Advance the simulation until the next pending event would be at or
     /// past `t` — the state "as of `t⁻`" — honouring the run deadline and
     /// `max_events` exactly like a straight-through run.
@@ -278,6 +332,15 @@ impl<P: Probe> World<P> {
         self.finalize().0
     }
 
+    /// Run every remaining event and return the stats together with the
+    /// probe and audit — the stepwise analogue of [`run_with`], used by
+    /// rewind-replay to recover the [`FlightRecorder`] attached to a
+    /// restored world.
+    pub fn finish_parts(mut self) -> (RunStats, P, A) {
+        self.event_loop();
+        self.finalize()
+    }
+
     /// Events processed so far — stepwise progress inspection between
     /// [`run_to`](World::run_to) calls.
     pub fn events_processed(&self) -> u64 {
@@ -285,8 +348,8 @@ impl<P: Probe> World<P> {
     }
 }
 
-impl<P: Probe> World<P> {
-    fn build(cfg: ExperimentConfig, probe: P) -> World<P> {
+impl<P: Probe, A: Audit> World<P, A> {
+    fn build(cfg: ExperimentConfig, probe: P, audit: A) -> World<P, A> {
         let mut topo = cfg.topo.build();
         // Validate the failure list up front, whether failures apply now
         // or at `fail_at`: a pair that matches no switch-to-switch link is
@@ -434,6 +497,24 @@ impl<P: Probe> World<P> {
             EngineQueue::serial()
         };
         let arenas = (0..plan.num_shards).map(|_| PacketArena::new()).collect();
+        // Audit plumbing: the boundary cadence and ring exist only on
+        // audited builds (`A::ENABLED`); a `NoopAudit` world carries zero
+        // state and the boundary branch below compiles away. A world
+        // built with an explicit auditor but no spec gets the defaults.
+        let (audit_every, audit_ring) = if A::ENABLED {
+            let spec = cfg.audit.clone().unwrap_or_default();
+            // The ring is only ever observable through a trip dump, so it
+            // is armed — and the per-boundary snapshot cost paid — only
+            // when the spec names a dump_dir. Watchdog-only audit runs
+            // pay just the holder walk at each boundary.
+            let ring = spec
+                .dump_dir
+                .is_some()
+                .then(|| SnapshotRing::new(spec.ring_entries, spec.ring_bytes));
+            (spec.every_events, ring)
+        } else {
+            (0, None)
+        };
         World {
             cfg,
             topo,
@@ -476,6 +557,12 @@ impl<P: Probe> World<P> {
             blackhole_mark: 0,
             fault_windows: Vec::new(),
             probe,
+            audit,
+            audit_scratch: Vec::new(),
+            audit_ring,
+            audit_every,
+            audit_dumped: false,
+            sabotage_done: false,
         }
     }
 
@@ -574,6 +661,32 @@ impl<P: Probe> World<P> {
             if self.cfg.max_events > 0 && self.queue.events_processed() > self.cfg.max_events {
                 break;
             }
+            // Sabotage hook (audited builds only; negative tests and the
+            // tracedump demo): a one-shot LeakPacket interns a dummy
+            // packet and drops the handle the moment its time comes.
+            if A::ENABLED && !self.sabotage_done {
+                if let Some(SabotageSpec {
+                    at,
+                    kind: SabotageKind::LeakPacket,
+                }) = self.cfg.sabotage
+                {
+                    if now >= at {
+                        self.sabotage_done = true;
+                        self.pkt_ids += 1;
+                        let p = Packet::data(
+                            self.pkt_ids,
+                            drill_net::FlowId(u32::MAX),
+                            HostId(0),
+                            HostId(0),
+                            0,
+                            0,
+                            1,
+                            now,
+                        );
+                        let _leaked = self.arenas[0].insert(p);
+                    }
+                }
+            }
             self.dispatch(now, ev);
             if let Some(CheckpointSpec {
                 policy: CheckpointPolicy::EveryEvents(n),
@@ -586,6 +699,137 @@ impl<P: Probe> World<P> {
                         .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
                 }
             }
+            if A::ENABLED
+                && self.audit_every > 0
+                && self
+                    .queue
+                    .events_processed()
+                    .is_multiple_of(self.audit_every)
+            {
+                self.audit_boundary();
+            }
+        }
+    }
+
+    /// Assemble one [`BoundarySample`] — between dispatches, so every
+    /// count is consistent — and hand it to the auditor. Clean boundaries
+    /// feed the snapshot ring; the first tripped boundary dumps it.
+    fn audit_boundary(&mut self) {
+        let now = self.queue.now();
+        let events = self.queue.events_processed();
+
+        // Holder walk: every live arena handle is in exactly one of the
+        // switch queues (waiting + in-flight), NIC queues (the in-flight
+        // head stays queued until tx-done), shim reorder buffers, or
+        // packet-carrying pending events. Along the way, find the fullest
+        // waiting queue for the ceiling watchdog.
+        let mut holders: u64 = 0;
+        let mut max_wait_bytes = 0u64;
+        let mut max_wait_switch = 0u32;
+        let mut max_wait_port = 0u16;
+        for (si, sw) in self.switches.iter().enumerate() {
+            for port in 0..sw.num_ports() as u16 {
+                holders += sw.queue_pkts(port) as u64;
+                let wb = sw.waiting_bytes(port);
+                if wb > max_wait_bytes {
+                    max_wait_bytes = wb;
+                    max_wait_switch = si as u32;
+                    max_wait_port = port;
+                }
+            }
+        }
+        for nic in &self.nics {
+            holders += nic.backlog_pkts() as u64;
+        }
+        for shim in self.shims.iter().flatten() {
+            holders += shim.held() as u64;
+        }
+        let mut pending: u64 = 0;
+        self.queue.for_each_pending(|_, _, ev| {
+            if let Event::Net(NetEvent::ArriveSwitch { .. } | NetEvent::ArriveHost { .. }) = ev {
+                pending += 1;
+            }
+        });
+        holders += pending;
+
+        let arena_live: u64 = self.arenas.iter().map(|a| a.live() as u64).sum();
+        let (handoffs, handoff_hash, _) = self.queue.shard_stats();
+        let next_event_time = self.queue.peek_time();
+
+        let mut flows = std::mem::take(&mut self.audit_scratch);
+        flows.clear();
+        flows.extend(self.flows.iter().enumerate().map(|(i, f)| FlowProgress {
+            flow: i as u32,
+            bytes_acked: f.bytes_acked,
+            start: f.start,
+            done: f.done.is_some(),
+        }));
+        let before = self.audit.reports().len();
+        self.audit.on_boundary(&BoundarySample {
+            now,
+            events,
+            arena_live,
+            holders,
+            max_wait_bytes,
+            max_wait_switch,
+            max_wait_port,
+            queue_limit_bytes: self.cfg.queue_limit_bytes,
+            next_event_time,
+            handoffs,
+            handoff_hash,
+            flows: &flows,
+        });
+        self.audit_scratch = flows;
+
+        if self.audit.reports().len() > before {
+            self.audit_trip(before);
+        } else if self.audit_ring.is_some() && self.audit.reports().is_empty() {
+            // Only clean boundaries enter the ring: after a trip the ring
+            // freezes as the rewind pool ending just before the anomaly.
+            let bytes = self.snapshot().to_bytes();
+            if let Some(ring) = self.audit_ring.as_mut() {
+                ring.push(now, events, bytes);
+            }
+        }
+    }
+
+    /// Graceful degradation on a watchdog trip: no panic — dump the
+    /// snapshot ring, a `DRILLSNAP` of the faulted instant, and an
+    /// `anomaly.meta` describing the first new report into the spec's
+    /// `dump_dir` (once per run), leaving the run to complete normally.
+    fn audit_trip(&mut self, first_new: usize) {
+        if self.audit_dumped {
+            return;
+        }
+        self.audit_dumped = true;
+        let Some(dir) = self
+            .cfg
+            .audit
+            .as_ref()
+            .and_then(|spec| spec.dump_dir.clone())
+        else {
+            return;
+        };
+        let report = self.audit.reports()[first_new].clone();
+        let result = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let ring_paths = match &self.audit_ring {
+                Some(ring) => ring.dump(&dir)?,
+                None => Vec::new(),
+            };
+            self.snapshot().save(dir.join("faulted.drillsnap"))?;
+            let mut meta = report.meta_lines();
+            if let Some(rewind) = ring_paths.last().and_then(|p| p.file_name()) {
+                meta.push(format!("rewind={}", rewind.to_string_lossy()));
+            }
+            if let Some(e) = self.audit_ring.as_ref().and_then(|r| r.newest()) {
+                meta.push(format!("rewind_events={}", e.events));
+            }
+            meta.push("faulted=faulted.drillsnap".to_string());
+            std::fs::write(dir.join("anomaly.meta"), meta.join("\n") + "\n")
+        })();
+        if let Err(e) = result {
+            eprintln!("audit dump {}: {e}", dir.display());
         }
     }
 
@@ -1015,6 +1259,21 @@ impl<P: Probe> World<P> {
             let pkt = self.arenas[k].get(&pref);
             (pkt.flow.0, pkt.is_ack())
         };
+        // Sabotage hook (audited builds only): blackhole the target
+        // flow's data at the receiver — freed, not leaked, so packet
+        // conservation stays clean while the sender stalls into RTOs.
+        if A::ENABLED {
+            if let Some(SabotageSpec {
+                at,
+                kind: SabotageKind::BlackholeFlow { flow: target },
+            }) = self.cfg.sabotage
+            {
+                if flow == target && !is_ack && now >= at {
+                    self.arenas[k].free(pref);
+                    return;
+                }
+            }
+        }
         if is_ack {
             // Sender side.
             let pkt = self.arenas[k].take(pref);
@@ -1102,7 +1361,7 @@ impl<P: Probe> World<P> {
         self.lens_scratch = lens;
     }
 
-    fn finalize(mut self) -> (RunStats, P) {
+    fn finalize(mut self) -> (RunStats, P, A) {
         // A fault whose reconvergence never came due (detection window
         // past the deadline, or the run drained first) leaves its window
         // open: close it at the end of simulated time so the degradation
@@ -1193,7 +1452,8 @@ impl<P: Probe> World<P> {
         self.stats.shard_handoffs = handoffs;
         self.stats.shard_handoff_hash = hash;
         self.stats.shard_windows = windows;
-        (self.stats, self.probe)
+        self.stats.anomalies = self.audit.reports().len() as u64;
+        (self.stats, self.probe, self.audit)
     }
 }
 

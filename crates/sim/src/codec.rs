@@ -14,7 +14,85 @@
 //! the fixed-width helpers instead: a varint would inflate them to 10
 //! bytes.
 
+use std::error::Error as StdError;
+use std::fmt;
 use std::io;
+
+/// Why a decode failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecErrorKind {
+    /// The input ended before the field completed. Maps to
+    /// [`io::ErrorKind::UnexpectedEof`].
+    Truncated,
+    /// The bytes were present but malformed (overlong varint, width
+    /// overflow, bad tag, checksum mismatch, …). Maps to
+    /// [`io::ErrorKind::InvalidData`].
+    Invalid(String),
+}
+
+/// A typed decode error: what went wrong, in which container section, at
+/// which byte offset.
+///
+/// Every decode failure in the workspace — `DRILLSNAP` sections,
+/// `DRILLTRC` traces, `snapio` packet/event records — surfaces as one of
+/// these wrapped in an `io::Error` (via [`From`]), so callers keep the
+/// familiar `io::ErrorKind` semantics while diagnostics can recover the
+/// structure with [`codec_error`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// The container section tag the decoder was labeled with
+    /// ([`Decoder::in_section`]), when known.
+    pub section: Option<u8>,
+    /// Byte offset inside the decoded buffer where the failure surfaced,
+    /// when the error came from a [`Decoder`] (free-function errors have
+    /// no position).
+    pub offset: Option<usize>,
+    /// The failure itself.
+    pub kind: CodecErrorKind,
+}
+
+impl CodecError {
+    /// The `io::ErrorKind` this error maps to.
+    pub fn io_kind(&self) -> io::ErrorKind {
+        match self.kind {
+            CodecErrorKind::Truncated => io::ErrorKind::UnexpectedEof,
+            CodecErrorKind::Invalid(_) => io::ErrorKind::InvalidData,
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CodecErrorKind::Truncated => write!(f, "truncated input")?,
+            CodecErrorKind::Invalid(msg) => write!(f, "{msg}")?,
+        }
+        if let Some(tag) = self.section {
+            write!(f, " (section {tag}")?;
+            if let Some(off) = self.offset {
+                write!(f, ", offset {off}")?;
+            }
+            write!(f, ")")?;
+        } else if let Some(off) = self.offset {
+            write!(f, " (offset {off})")?;
+        }
+        Ok(())
+    }
+}
+
+impl StdError for CodecError {}
+
+impl From<CodecError> for io::Error {
+    fn from(e: CodecError) -> io::Error {
+        io::Error::new(e.io_kind(), e)
+    }
+}
+
+/// Recover the typed [`CodecError`] from an `io::Error` produced by this
+/// module, if there is one.
+pub fn codec_error(err: &io::Error) -> Option<&CodecError> {
+    err.get_ref()?.downcast_ref()
+}
 
 /// Append `v` as a LEB128 varint.
 pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
@@ -42,14 +120,26 @@ pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
     put_u64(buf, v.to_bits());
 }
 
-/// A truncation error (`UnexpectedEof`).
+/// A truncation error (`UnexpectedEof`) with no position (use a labeled
+/// [`Decoder`] to get section + offset attribution).
 pub fn truncated() -> io::Error {
-    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated input")
+    CodecError {
+        section: None,
+        offset: None,
+        kind: CodecErrorKind::Truncated,
+    }
+    .into()
 }
 
-/// A malformed-data error (`InvalidData`).
+/// A malformed-data error (`InvalidData`) with no position (use a labeled
+/// [`Decoder`] to get section + offset attribution).
 pub fn invalid(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+    CodecError {
+        section: None,
+        offset: None,
+        kind: CodecErrorKind::Invalid(msg.to_string()),
+    }
+    .into()
 }
 
 /// A slice decoder with a running position.
@@ -60,12 +150,32 @@ pub fn invalid(msg: &str) -> io::Error {
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    section: Option<u8>,
 }
 
 impl<'a> Decoder<'a> {
-    /// Decode from `buf` starting at offset 0.
+    /// Decode from `buf` starting at offset 0, with no section label.
     pub fn new(buf: &'a [u8]) -> Decoder<'a> {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            section: None,
+        }
+    }
+
+    /// Decode from `buf` starting at offset 0, labeling every error this
+    /// decoder produces with the container section tag `tag`.
+    pub fn in_section(buf: &'a [u8], tag: u8) -> Decoder<'a> {
+        Decoder {
+            buf,
+            pos: 0,
+            section: Some(tag),
+        }
+    }
+
+    /// The current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// Bytes not yet consumed.
@@ -73,9 +183,27 @@ impl<'a> Decoder<'a> {
         self.buf.len() - self.pos
     }
 
+    fn truncated(&self) -> io::Error {
+        CodecError {
+            section: self.section,
+            offset: Some(self.pos),
+            kind: CodecErrorKind::Truncated,
+        }
+        .into()
+    }
+
+    fn invalid(&self, msg: &str) -> io::Error {
+        CodecError {
+            section: self.section,
+            offset: Some(self.pos),
+            kind: CodecErrorKind::Invalid(msg.to_string()),
+        }
+        .into()
+    }
+
     /// Read one raw byte.
     pub fn u8(&mut self) -> io::Result<u8> {
-        let b = *self.buf.get(self.pos).ok_or_else(truncated)?;
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.truncated())?;
         self.pos += 1;
         Ok(b)
     }
@@ -87,7 +215,7 @@ impl<'a> Decoder<'a> {
         loop {
             let b = self.u8()?;
             if shift >= 64 || (shift == 63 && b > 1) {
-                return Err(invalid("varint overflows u64"));
+                return Err(self.invalid("varint overflows u64"));
             }
             v |= ((b & 0x7f) as u64) << shift;
             if b & 0x80 == 0 {
@@ -99,28 +227,43 @@ impl<'a> Decoder<'a> {
 
     /// Read a varint that must fit a `u32`.
     pub fn varint_u32(&mut self) -> io::Result<u32> {
-        u32::try_from(self.varint()?).map_err(|_| invalid("field exceeds u32"))
+        match u32::try_from(self.varint()?) {
+            Ok(v) => Ok(v),
+            Err(_) => Err(self.invalid("field exceeds u32")),
+        }
     }
 
     /// Read a varint that must fit a `u16`.
     pub fn varint_u16(&mut self) -> io::Result<u16> {
-        u16::try_from(self.varint()?).map_err(|_| invalid("field exceeds u16"))
+        match u16::try_from(self.varint()?) {
+            Ok(v) => Ok(v),
+            Err(_) => Err(self.invalid("field exceeds u16")),
+        }
     }
 
     /// Read a varint that must fit a `u8`.
     pub fn varint_u8(&mut self) -> io::Result<u8> {
-        u8::try_from(self.varint()?).map_err(|_| invalid("field exceeds u8"))
+        match u8::try_from(self.varint()?) {
+            Ok(v) => Ok(v),
+            Err(_) => Err(self.invalid("field exceeds u8")),
+        }
     }
 
     /// Read a varint that must fit a `usize`.
     pub fn varint_usize(&mut self) -> io::Result<usize> {
-        usize::try_from(self.varint()?).map_err(|_| invalid("field exceeds usize"))
+        match usize::try_from(self.varint()?) {
+            Ok(v) => Ok(v),
+            Err(_) => Err(self.invalid("field exceeds usize")),
+        }
     }
 
     /// Read 8 fixed little-endian bytes as a `u64`.
     pub fn u64_fixed(&mut self) -> io::Result<u64> {
-        let end = self.pos.checked_add(8).ok_or_else(truncated)?;
-        let bytes = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        let end = self.pos.checked_add(8).ok_or_else(|| self.truncated())?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.truncated())?;
         self.pos = end;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
     }
@@ -132,8 +275,11 @@ impl<'a> Decoder<'a> {
 
     /// Read exactly `n` bytes.
     pub fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
-        let bytes = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.truncated())?;
         self.pos = end;
         Ok(bytes)
     }
@@ -228,5 +374,37 @@ mod tests {
         assert_eq!(d.bytes(2).unwrap(), &[1, 2]);
         assert!(d.bytes(2).is_err());
         assert_eq!(d.bytes(1).unwrap(), &[3]);
+    }
+
+    #[test]
+    fn decoder_errors_carry_section_and_offset() {
+        let buf = [7u8, 8];
+        let mut d = Decoder::in_section(&buf, 3);
+        d.u8().unwrap();
+        let err = d.u64_fixed().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let ce = codec_error(&err).expect("typed error recoverable");
+        assert_eq!(ce.section, Some(3));
+        assert_eq!(ce.offset, Some(1));
+        assert_eq!(ce.kind, CodecErrorKind::Truncated);
+        assert!(err.to_string().contains("section 3"));
+        assert!(err.to_string().contains("offset 1"));
+    }
+
+    #[test]
+    fn invalid_data_errors_are_typed_too() {
+        let buf = [0xff; 11];
+        let mut d = Decoder::in_section(&buf, 9);
+        let err = d.varint().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let ce = codec_error(&err).unwrap();
+        assert_eq!(ce.section, Some(9));
+        assert!(matches!(ce.kind, CodecErrorKind::Invalid(_)));
+        // Free-function errors are typed as well, just unpositioned.
+        let ce = codec_error(&invalid("bad magic")).cloned().unwrap();
+        assert_eq!(ce.section, None);
+        assert_eq!(ce.offset, None);
+        let ce = codec_error(&truncated()).cloned().unwrap();
+        assert_eq!(ce.kind, CodecErrorKind::Truncated);
     }
 }

@@ -27,6 +27,18 @@ echo "== golden suite with flight recorder attached (DRILL_TELEMETRY=1) =="
 DRILL_TELEMETRY=1 cargo test -q --test determinism_golden
 DRILL_TELEMETRY=1 cargo test -q --test determinism_golden --features heap-queue
 
+echo "== golden suite with invariant auditor attached (DRILL_AUDIT=1) =="
+# The audit determinism contract: watchdogs observe, never steer — every
+# golden constant must hold unchanged with the auditor riding along,
+# across the full engine matrix (shard counts x queue builds x packet
+# layouts). These rows ARE the auditor-on vs auditor-off bit-identity
+# proof: the golden constants were captured auditor-off.
+for shards in 1 2 8; do
+    DRILL_AUDIT=1 DRILL_SHARDS=$shards cargo test -q --test determinism_golden
+    DRILL_AUDIT=1 DRILL_SHARDS=$shards cargo test -q --test determinism_golden --features heap-queue
+    DRILL_AUDIT=1 DRILL_SHARDS=$shards cargo test -q --test determinism_golden --features fat-events
+done
+
 echo "== chaos determinism goldens (both queue builds, DRILL_THREADS=1/8) =="
 # The fault pipeline's replay contract: the pinned chaos schedule (flaps +
 # degradation + switch crash) must stay bit-identical across serial vs
@@ -100,6 +112,27 @@ if [[ "$clean_ev" != "$resumed_ev" || "$clean_bytes" != "$resumed_bytes" ]]; the
     echo "resume diverged: clean [$clean_ev, $clean_bytes] vs resumed [$resumed_ev, $resumed_bytes]"
     exit 1
 fi
+
+echo "== auditor sabotage -> rewind-replay smoke =="
+# The hands-free diagnostics loop: a deliberately broken runtime (leaked
+# arena handle) must trip the conservation watchdog, dump the snapshot
+# ring + faulted instant + anomaly.meta, and the replay mode must restore
+# the newest clean ring snapshot and re-run exactly the window up to the
+# anomaly with the flight recorder attached.
+adir=$(mktemp -d)
+sab_out=$(./target/release/tracedump --sabotage leak --audit-dir "$adir")
+grep -q "packet_conservation" <<<"$sab_out" \
+    || { echo "sabotage did not trip packet_conservation"; exit 1; }
+[[ -f "$adir/anomaly.meta" && -f "$adir/faulted.drillsnap" ]] \
+    || { echo "audit dump bundle incomplete"; exit 1; }
+ls "$adir"/ring-*.drillsnap > /dev/null \
+    || { echo "no ring snapshots in audit dump"; exit 1; }
+replay_out=$(./target/release/tracedump --replay-from "$adir")
+grep -q "replayed window" <<<"$replay_out" \
+    || { echo "rewind-replay did not run the anomaly window"; exit 1; }
+grep -q "decision quality" <<<"$replay_out" \
+    || { echo "rewind-replay printed no decision-quality table"; exit 1; }
+rm -rf "$adir"
 
 echo "== snapbench --quick smoke =="
 # DRILLSNAP size/latency + warm-start speedup, CI scale; the two

@@ -2,13 +2,14 @@
 # Event-queue perf harness: in-process micro A/B (wheel vs heap), an
 # end-to-end fig2-style wall-clock A/B across the two queue builds, a
 # telemetry-overhead A/B (NoopProbe build vs flight-recorder attached),
-# a packet-layout A/B (arena handles vs --features fat-events by-value
+# an auditor-overhead A/B (NoopAudit vs the drill-audit watchdogs), a
+# packet-layout A/B (arena handles vs --features fat-events by-value
 # packets), and a shard-count A/B (DRILL_SHARDS=1/2/8 against the sharded
 # engine, equal-event-count asserted). Writes results/qbench.json.
 # Offline-safe: no external deps.
 #
 # All builds are compiled up front and their binaries copied aside, then
-# the e2e runs alternate sides (wheel/heap, noop/telemetry, arena/fat) so
+# the e2e runs alternate sides (wheel/heap, noop/telemetry, noop/auditor, arena/fat) so
 # background-load drift on the host hits both sides evenly instead of
 # biasing whichever ran last.
 set -euo pipefail
@@ -56,6 +57,14 @@ echo "== e2e telemetry overhead, interleaved noop/recording x $E2E_RUNS each =="
 for i in $(seq "$E2E_RUNS"); do
   "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-noop.jsonl"
   "$tmp/qbench-wheel" --e2e-telemetry | tee -a "$tmp/e2e-telemetry.jsonl"
+done
+
+echo "== e2e audit overhead, interleaved noop/auditor x $E2E_RUNS each =="
+: > "$tmp/e2e-auditoff.jsonl"
+: > "$tmp/e2e-audit.jsonl"
+for i in $(seq "$E2E_RUNS"); do
+  "$tmp/qbench-wheel" --e2e | tee -a "$tmp/e2e-auditoff.jsonl"
+  "$tmp/qbench-wheel" --e2e-audit | tee -a "$tmp/e2e-audit.jsonl"
 done
 
 echo "== e2e packet layout, interleaved arena/fat x $E2E_RUNS each =="
@@ -113,6 +122,18 @@ doc["telemetry_ab"] = {
     "recording_overhead": round(tel["wall_secs"] / noop["wall_secs"] - 1, 3),
 }
 
+aoff = median_run(f"{tmp}/e2e-auditoff.jsonl")
+aon = median_run(f"{tmp}/e2e-audit.jsonl")
+# Determinism contract: the invariant auditor observes but never steers.
+assert aoff["events"] == aon["events"], "auditor changed the simulation!"
+doc["audit_ab"] = {
+    "noop": aoff,
+    "audited": aon,
+    # Watchdog boundary-walk cost (no dump_dir, so the snapshot ring is
+    # disarmed and no per-boundary DRILLSNAP is taken).
+    "audit_overhead": round(aon["wall_secs"] / aoff["wall_secs"] - 1, 3),
+}
+
 arena = median_run(f"{tmp}/e2e-arena.jsonl")
 fat = median_run(f"{tmp}/e2e-fat.jsonl")
 # Determinism contract: the arena changes the memory layout, never the
@@ -157,6 +178,7 @@ json.dump(doc, open("results/qbench.json", "w"), indent=2)
 print("wrote results/qbench.json")
 print(f"e2e wall-clock improvement: {doc['e2e_fig2']['wall_clock_improvement']:.1%}")
 print(f"telemetry recording overhead: {doc['telemetry_ab']['recording_overhead']:.1%}")
+print(f"invariant auditor overhead: {doc['audit_ab']['audit_overhead']:.1%}")
 print(f"arena vs fat-events e2e improvement: {doc['arena_ab']['wall_clock_improvement']:.1%}")
 print(f"shard A/B ({cores}-core host, expect {doc['shard_ab']['expectation']}): "
       f"2-shard {doc['shard_ab']['speedup_2_over_1']:.3f}x, "

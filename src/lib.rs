@@ -29,6 +29,10 @@
 //! * [`hw`] — the hardware area model.
 //! * [`telemetry`] — zero-overhead probes, the flight recorder, queue
 //!   time series, and the `DRILLTRC` trace format (`tracedump` reads it).
+//! * [`audit`] — runtime invariant watchdogs, typed anomaly reports, and
+//!   the in-memory `DRILLSNAP` ring behind rewind-replay diagnostics.
+//! * [`snapshot`] — the `DRILLSNAP` checkpoint container (tagged
+//!   sections, FNV-1a trailer checksum).
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 //! assert!(stats.completion_rate() > 0.9);
 //! ```
 
+pub use drill_audit as audit;
 pub use drill_core as core;
 pub use drill_exec as exec;
 pub use drill_faults as faults;
@@ -57,6 +62,7 @@ pub use drill_lb as lb;
 pub use drill_net as net;
 pub use drill_runtime as runtime;
 pub use drill_sim as sim;
+pub use drill_snapshot as snapshot;
 pub use drill_stats as stats;
 pub use drill_telemetry as telemetry;
 pub use drill_transport as transport;

@@ -35,6 +35,11 @@ fn golden_cfg(scheme: Scheme) -> ExperimentConfig {
     if std::env::var("DRILL_TELEMETRY").as_deref() == Ok("1") {
         cfg.telemetry = Some(TelemetrySpec::default());
     }
+    // Same contract for the invariant auditor: DRILL_AUDIT=1 attaches the
+    // watchdogs, and every golden constant must survive unchanged.
+    if std::env::var("DRILL_AUDIT").as_deref() == Ok("1") {
+        cfg.audit = Some(drill::runtime::AuditSpec::default());
+    }
     cfg
 }
 
