@@ -1,9 +1,16 @@
 //! Cost of DRILL's control plane (§3.4.1): routing, Quiver construction
 //! and symmetric decomposition, as a function of fabric size — the paper
 //! argues these are polynomial-time and easily parallelizable.
+//!
+//! The decomposition is benched three ways on a failed (asymmetric)
+//! fabric: the legacy eager per-pair enumeration, a cold structural
+//! [`SymmetryEngine`] install, and a warm reinstall on a persistent
+//! engine (the incremental-reconvergence cost, where the class interners
+//! and decomposition templates all hit). The std-only `qbench --control`
+//! binary mirrors these cells for offline builds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use drill_core::{install_symmetric_groups, Quiver};
+use drill_core::{install_symmetric_groups_eager, Quiver, SymmetryEngine};
 use drill_net::{leaf_spine, LeafSpineSpec, RouteTable, SwitchId, DEFAULT_PROP};
 
 fn spec(n: usize) -> LeafSpineSpec {
@@ -28,15 +35,43 @@ fn bench_control_plane(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("quiver_build", n), &n, |b, _| {
             b.iter(|| Quiver::build(&topo, &routes))
         });
-        // Post-failure full reconvergence: routes + groups.
+        // Post-failure full reconvergence (routes + groups), on a fabric
+        // with one failed uplink so the decomposition has real work.
         let mut failed = topo.clone();
         failed.fail_switch_link(failed.leaves()[0], SwitchId(n as u32), 0);
-        g.bench_with_input(BenchmarkId::new("reconverge_with_groups", n), &n, |b, _| {
+        g.bench_with_input(BenchmarkId::new("reconverge_eager", n), &n, |b, _| {
             b.iter(|| {
                 let mut r = RouteTable::compute(&failed);
-                install_symmetric_groups(&failed, &mut r)
+                install_symmetric_groups_eager(&failed, &mut r)
             })
         });
+        g.bench_with_input(
+            BenchmarkId::new("reconverge_structural_cold", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut r = RouteTable::compute(&failed);
+                    SymmetryEngine::new().install(&failed, &mut r)
+                })
+            },
+        );
+        // Warm reinstall: the engine persists across iterations, as it
+        // does across reconvergences inside a live `World`.
+        let mut warm = SymmetryEngine::new();
+        {
+            let mut r = RouteTable::compute(&failed);
+            warm.install(&failed, &mut r);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("reconverge_structural_warm", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut r = RouteTable::compute(&failed);
+                    warm.install(&failed, &mut r)
+                })
+            },
+        );
     }
     g.finish();
 }

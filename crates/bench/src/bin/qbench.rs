@@ -34,12 +34,21 @@
 //! `drill-audit` invariant watchdogs evaluated at event-count boundaries,
 //! for the auditor-overhead A/B (same contract: audits observe, never
 //! steer, so the event count must again match `--e2e` exactly).
+//!
+//! `--control` is the §3.4 control-plane A/B: on mid-size fabrics with
+//! failed uplinks it times eager enumeration vs a cold structural install
+//! vs a warm (memoized) reinstall, asserting identical group tables
+//! first. `scripts/qbench.sh` lands it in `results/qbench.json` under
+//! `control_ab`.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use drill_net::{LeafSpineSpec, DEFAULT_PROP};
-use drill_runtime::{run, AuditSpec, ExperimentConfig, Scheme, TelemetrySpec, TopoSpec};
+use drill_core::{install_symmetric_groups_eager, SymmetryEngine};
+use drill_net::{ClosSpec, LeafSpineSpec, PortGroup, RouteTable, SwitchId, Topology, DEFAULT_PROP};
+use drill_runtime::{
+    random_leaf_spine_failures, run, AuditSpec, ExperimentConfig, Scheme, TelemetrySpec, TopoSpec,
+};
 use drill_sim::{EventToken, HeapQueue, SimRng, Time, WheelQueue};
 
 /// The common surface of the two queue implementations.
@@ -323,6 +332,151 @@ fn micro() {
     println!("}}");
 }
 
+/// `--control`: the §3.4 control-plane A/B. On mid-size fabrics with two
+/// failed uplinks (so the decomposition has real asymmetric work), time a
+/// full route-compute + group install three ways:
+///
+/// * **eager** — `install_symmetric_groups_eager`, the legacy per-pair
+///   path enumeration;
+/// * **structural_cold** — a fresh [`SymmetryEngine`] per run (the cost a
+///   process pays on its first install);
+/// * **structural_warm** — one engine reused across runs (the
+///   reconvergence cost: interners, canon memo and decomposition
+///   templates all hit).
+///
+/// Each cell is the median of five runs after a warmup, and the harness
+/// first asserts the eager and structural group tables are identical —
+/// the speedup is only meaningful against bit-equal output.
+fn control() {
+    const RUNS: usize = 5;
+    const FAILURES: usize = 2;
+    struct Fabric {
+        name: &'static str,
+        spec: fn() -> TopoSpec,
+    }
+    let fabrics = [
+        Fabric {
+            name: "leafspine24",
+            spec: || {
+                TopoSpec::LeafSpine(LeafSpineSpec {
+                    spines: 24,
+                    leaves: 24,
+                    hosts_per_leaf: 4,
+                    host_rate: 10_000_000_000,
+                    core_rate: 40_000_000_000,
+                    prop: DEFAULT_PROP,
+                })
+            },
+        },
+        Fabric {
+            name: "fattree8",
+            spec: || TopoSpec::FatTree {
+                k: 8,
+                rate: 10_000_000_000,
+            },
+        },
+        Fabric {
+            name: "clos512",
+            spec: || {
+                TopoSpec::Clos(ClosSpec {
+                    pods: 8,
+                    leaves_per_pod: 4,
+                    aggs_per_pod: 4,
+                    cores: 8,
+                    hosts_per_leaf: 16,
+                    host_rate: 10_000_000_000,
+                    leaf_agg_rate: 40_000_000_000,
+                    agg_core_rate: 40_000_000_000,
+                    prop: DEFAULT_PROP,
+                })
+            },
+        },
+    ];
+
+    fn table(topo: &Topology, routes: &RouteTable) -> Vec<(u32, u32, Vec<PortGroup>)> {
+        let mut out = Vec::new();
+        for si in 0..topo.num_switches() as u32 {
+            for d in 0..topo.num_leaves() as u32 {
+                let g = routes.groups(SwitchId(si), d);
+                if !g.is_empty() {
+                    out.push((si, d, g.to_vec()));
+                }
+            }
+        }
+        out
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"control_ab\",");
+    println!("  \"runs_per_cell\": {RUNS},");
+    println!("  \"failures\": {FAILURES},");
+    println!("  \"fabrics\": [");
+    for (i, f) in fabrics.iter().enumerate() {
+        let mut topo = (f.spec)().build();
+        for &(a, b) in &random_leaf_spine_failures(&topo, FAILURES, 0xC7A1) {
+            let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+                || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+            assert!(ok, "{}: pair ({a},{b}) matches no live link", f.name);
+        }
+        // Correctness gate: identical group tables, then keep the warmed
+        // engine for the reconvergence cells.
+        let mut eager_routes = RouteTable::compute(&topo);
+        let eager_report = install_symmetric_groups_eager(&topo, &mut eager_routes);
+        let mut warm = SymmetryEngine::new();
+        let mut structural_routes = RouteTable::compute(&topo);
+        let report = warm.install(&topo, &mut structural_routes);
+        assert_eq!(
+            table(&topo, &eager_routes),
+            table(&topo, &structural_routes),
+            "{}: structural and eager group tables must be identical",
+            f.name
+        );
+        let timed = |body: &mut dyn FnMut()| -> f64 {
+            median_of(
+                || {
+                    let start = Instant::now();
+                    body();
+                    (1, start.elapsed().as_secs_f64())
+                },
+                RUNS,
+            )
+            .1
+        };
+        let eager_secs = timed(&mut || {
+            let mut r = RouteTable::compute(&topo);
+            black_box(install_symmetric_groups_eager(&topo, &mut r));
+        });
+        let cold_secs = timed(&mut || {
+            let mut r = RouteTable::compute(&topo);
+            black_box(SymmetryEngine::new().install(&topo, &mut r));
+        });
+        let warm_secs = timed(&mut || {
+            let mut r = RouteTable::compute(&topo);
+            black_box(warm.install(&topo, &mut r));
+        });
+        let comma = if i + 1 < fabrics.len() { "," } else { "" };
+        println!(
+            "    {{\"fabric\": \"{}\", \"entries\": {}, \"classes\": {}, \"entries_reused\": {}, \
+\"paths_structural\": {}, \"paths_eager\": {}, \"eager_secs\": {:.6}, \
+\"structural_cold_secs\": {:.6}, \"structural_warm_secs\": {:.6}, \
+\"speedup_cold\": {:.3}, \"speedup_warm\": {:.3}}}{comma}",
+            f.name,
+            report.entries,
+            report.classes,
+            report.entries_reused,
+            report.paths_enumerated,
+            eager_report.paths_enumerated,
+            eager_secs,
+            cold_secs,
+            warm_secs,
+            eager_secs / cold_secs,
+            eager_secs / warm_secs,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
 /// Which observation layer rides along on the e2e run. Every variant is
 /// the identical simulation — the A/B harness asserts equal event counts.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -404,7 +558,9 @@ fn e2e(mode: E2eMode) {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--e2e-telemetry") {
+    if std::env::args().any(|a| a == "--control") {
+        control();
+    } else if std::env::args().any(|a| a == "--e2e-telemetry") {
         e2e(E2eMode::Telemetry);
     } else if std::env::args().any(|a| a == "--e2e-audit") {
         e2e(E2eMode::Audit);

@@ -4,7 +4,11 @@
 //! a 16k-host oversubscribed k=32 fat-tree (plus a build-only k=64 point,
 //! 65k hosts) and records, per point:
 //!
-//! * **events/sec** — wall-clock event throughput of the run;
+//! * **events/sec** — wall-clock event throughput of the run. The wall
+//!   includes the `World`'s own route-compute + structural group install
+//!   (asymmetry handling is on at every point); the separately reported
+//!   `cp_install_secs` prices that one-time cost, so subtracting it
+//!   recovers the simulation-only throughput;
 //! * **bytes/host** — payload bytes delivered per host (work actually
 //!   simulated, so throughput numbers are comparable across sizes);
 //! * **fct_retained** — samples held by the FCT distribution, which stays
@@ -33,9 +37,11 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use drill_net::{ClosSpec, LeafSpineSpec, RouteTable, DEFAULT_PROP};
+use drill_core::SymmetryEngine;
+use drill_net::{ClosSpec, LeafSpineSpec, RouteTable, SwitchId, DEFAULT_PROP};
 use drill_runtime::{
-    run, CheckpointPolicy, CheckpointSpec, ExperimentConfig, Scheme, Snapshot, TopoSpec, World,
+    random_leaf_spine_failures, run, CheckpointPolicy, CheckpointSpec, ExperimentConfig, Scheme,
+    Snapshot, TopoSpec, World,
 };
 use drill_sim::Time;
 
@@ -47,6 +53,11 @@ struct Point {
     topo: fn() -> TopoSpec,
     /// Arrival window in microseconds; 0 = build-only (no traffic).
     window_us: u64,
+    /// Leaf-uplinks to fail before the run (deterministic picks). The
+    /// `*_asym*f` points use this to put the §3.4 control plane under
+    /// genuine asymmetry at scale; the probe then fails one *more* link
+    /// to time a warm reconvergence.
+    failures: usize,
 }
 
 fn leafspine320() -> TopoSpec {
@@ -88,36 +99,80 @@ fn ft32x2() -> TopoSpec {
     }
 }
 
+/// 16384-host three-tier Clos with 8 core planes, the large asymmetric
+/// ladder point (failed uplinks make the striping genuinely uneven).
+fn clos16k() -> TopoSpec {
+    TopoSpec::Clos(ClosSpec {
+        pods: 16,
+        leaves_per_pod: 16,
+        aggs_per_pod: 8,
+        cores: 64,
+        hosts_per_leaf: 64,
+        host_rate: 10_000_000_000,
+        leaf_agg_rate: 40_000_000_000,
+        agg_core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    })
+}
+
 const FULL: &[Point] = &[
     Point {
         name: "leafspine_320h",
         topo: leafspine320,
         window_us: 2000,
+        failures: 0,
     },
     Point {
         name: "clos_512h",
         topo: clos512,
         window_us: 1000,
+        failures: 0,
     },
     Point {
         name: "fattree16_1024h",
         topo: || ft(16),
         window_us: 600,
+        failures: 0,
     },
     Point {
         name: "fattree32_8192h",
         topo: || ft(32),
         window_us: 250,
+        failures: 0,
     },
     Point {
         name: "fattree32x2_16384h",
         topo: ft32x2,
         window_us: 200,
+        failures: 0,
+    },
+    // Asymmetric ladder: the same acceptance-scale fabrics with failed
+    // uplinks, so the structural §3.4 control plane has real work (the
+    // eager enumeration needed ~9 GB and minutes at k=32; the class
+    // decomposition must stay well under 1 GB).
+    Point {
+        name: "fattree32_8192h_asym4f",
+        topo: || ft(32),
+        window_us: 250,
+        failures: 4,
+    },
+    Point {
+        name: "fattree32x2_16384h_asym4f",
+        topo: ft32x2,
+        window_us: 200,
+        failures: 4,
+    },
+    Point {
+        name: "clos16k_asym4f",
+        topo: clos16k,
+        window_us: 150,
+        failures: 4,
     },
     Point {
         name: "fattree64_65536h_build",
         topo: || ft(64),
         window_us: 0,
+        failures: 0,
     },
 ];
 
@@ -126,16 +181,27 @@ const QUICK: &[Point] = &[
         name: "leafspine_320h",
         topo: leafspine320,
         window_us: 300,
+        failures: 0,
     },
     Point {
         name: "clos_smoke_32h",
         topo: clos_smoke,
         window_us: 300,
+        failures: 0,
     },
     Point {
         name: "fattree8_128h",
         topo: || ft(8),
         window_us: 300,
+        failures: 0,
+    },
+    // CI smoke for the asymmetric control plane: small fat-tree, two
+    // failed uplinks, full probe + traffic in well under a second.
+    Point {
+        name: "fattree8_128h_asym2f",
+        topo: || ft(8),
+        window_us: 300,
+        failures: 2,
     },
 ];
 
@@ -160,7 +226,7 @@ struct RecoveryOpts {
     resume: Option<PathBuf>,
 }
 
-fn point_cfg(p: &Point) -> ExperimentConfig {
+fn point_cfg(p: &Point, failed: &[(u32, u32)]) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::new(
         (p.topo)(),
         Scheme::Drill {
@@ -170,12 +236,15 @@ fn point_cfg(p: &Point) -> ExperimentConfig {
         },
         0.25,
     );
-    // The §3.4 symmetric-component control plane enumerates every
-    // leaf-pair shortest path (O(leaves^2 * paths) — gigabytes and
-    // minutes at k=32). Every ladder fabric is symmetric, where the
-    // decomposition provably yields a single all-candidates group per
-    // entry, so skip it: scalebench measures data-plane scaling.
-    cfg.asymmetry_handling = false;
+    // The structural §3.4 control plane decomposes one symmetry-class
+    // representative per distinct routing neighbourhood instead of
+    // enumerating every leaf-pair shortest path, so it is affordable at
+    // every ladder point (the old eager enumeration was O(leaves^2 *
+    // paths) — gigabytes and minutes at k=32, and scalebench used to
+    // disable it). Leave it on: the ladder now measures control-plane
+    // scaling too, and the `*_asym*f` points rely on it.
+    cfg.asymmetry_handling = true;
+    cfg.failed_links = failed.to_vec();
     cfg.raw_packet_mode = true;
     cfg.duration = Time::from_micros(p.window_us);
     cfg.drain = Time::from_millis(5);
@@ -183,16 +252,59 @@ fn point_cfg(p: &Point) -> ExperimentConfig {
     cfg
 }
 
+/// Fail the switch-to-switch link `(a, b)`, direction-agnostic.
+fn fail_pair(topo: &mut drill_net::Topology, a: u32, b: u32) {
+    let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+        || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+    assert!(ok, "pair ({a},{b}) matches no live switch-to-switch link");
+}
+
 fn run_point(p: &Point, rec: &RecoveryOpts) -> String {
     let spec = (p.topo)();
     let build_start = Instant::now();
-    let topo = spec.build();
+    let mut topo = spec.build();
     let routes = RouteTable::compute(&topo);
     let build_secs = build_start.elapsed().as_secs_f64();
     let hosts = topo.num_hosts();
     let switches = topo.num_switches();
     let link_entries = topo.links().len();
     drop(routes);
+
+    // Control-plane probe: time a cold structural §3.4 install on the
+    // point's fabric (with its failure set applied), then — when the
+    // point has failures — fail one *extra* uplink and time the warm
+    // reconvergence (routes + incremental reinstall on the same engine).
+    let pairs = if p.failures > 0 {
+        let picked = random_leaf_spine_failures(&topo, p.failures + 1, 0xA5F);
+        assert_eq!(
+            picked.len(),
+            p.failures + 1,
+            "{}: fabric has too few leaf uplinks to fail",
+            p.name
+        );
+        picked
+    } else {
+        Vec::new()
+    };
+    for &(a, b) in pairs.iter().take(p.failures) {
+        fail_pair(&mut topo, a, b);
+    }
+    let cp_start = Instant::now();
+    let mut cp_routes = RouteTable::compute(&topo);
+    let mut engine = SymmetryEngine::new();
+    let report = engine.install(&topo, &mut cp_routes);
+    let cp_install_secs = cp_start.elapsed().as_secs_f64();
+    let cp_reconverge_secs = if let Some(&(a, b)) = pairs.get(p.failures) {
+        fail_pair(&mut topo, a, b);
+        let t = Instant::now();
+        let mut reconv_routes = RouteTable::compute(&topo);
+        engine.install(&topo, &mut reconv_routes);
+        t.elapsed().as_secs_f64()
+    } else {
+        0.0
+    };
+    drop(engine);
+    drop(cp_routes);
     drop(topo);
 
     let (wall, events, flows, bytes, fct_retained, fct_exact) = if p.window_us == 0 {
@@ -200,7 +312,7 @@ fn run_point(p: &Point, rec: &RecoveryOpts) -> String {
         // (65k hosts) where a traffic run would be CI-hostile.
         (0.0, 0, 0, 0, 0, true)
     } else {
-        let mut cfg = point_cfg(p);
+        let mut cfg = point_cfg(p, &pairs[..p.failures]);
         let start = Instant::now();
         let stats = if let Some(path) = &rec.resume {
             let snap =
@@ -245,12 +357,21 @@ fn run_point(p: &Point, rec: &RecoveryOpts) -> String {
     };
     format!(
         "{{\"point\": \"{}\", \"hosts\": {hosts}, \"switches\": {switches}, \"link_entries\": {link_entries}, \
-\"build_secs\": {build_secs:.3}, \"window_us\": {}, \"wall_secs\": {wall:.3}, \"events\": {events}, \
+\"build_secs\": {build_secs:.3}, \"window_us\": {}, \"failures\": {}, \
+\"cp_install_secs\": {cp_install_secs:.4}, \"cp_reconverge_secs\": {cp_reconverge_secs:.4}, \
+\"cp_entries\": {}, \"cp_classes\": {}, \"cp_entries_reused\": {}, \"cp_paths\": {}, \
+\"asym_entries\": {}, \"wall_secs\": {wall:.3}, \"events\": {events}, \
 \"events_per_sec\": {eps:.0}, \"flows_started\": {flows}, \"bytes_delivered\": {bytes}, \
 \"bytes_per_host\": {:.1}, \"fct_retained\": {fct_retained}, \"fct_exact\": {fct_exact}, \
 \"peak_rss_kb\": {}}}",
         p.name,
         p.window_us,
+        p.failures,
+        report.entries,
+        report.classes,
+        report.entries_reused,
+        report.paths_enumerated,
+        report.asymmetric_entries,
         bytes as f64 / hosts as f64,
         peak_rss_kb()
     )

@@ -16,8 +16,21 @@ pub struct GroupingReport {
     pub asymmetric_entries: usize,
     /// Largest number of components in any entry.
     pub max_components: usize,
-    /// Leaf-to-leaf shortest paths enumerated by the Quiver.
+    /// Shortest paths actually enumerated. The eager path walks every
+    /// leaf-to-leaf path twice (once for the Quiver, once per entry in
+    /// [`decompose_groups`]); the structural engine only enumerates inside
+    /// entries whose fingerprint is new *and* not provably one component,
+    /// so this is 0 on symmetric fabrics.
     pub paths_enumerated: u64,
+    /// Distinct structural equivalence classes among the examined entries
+    /// (eager path: every entry is its own class, `classes == entries`).
+    pub classes: usize,
+    /// Entries whose group table was replicated from an already-decomposed
+    /// class representative instead of being recomputed
+    /// (`entries - classes` for the structural engine, 0 for eager).
+    pub entries_reused: usize,
+    /// Wall-clock time of the install pass, in nanoseconds.
+    pub build_ns: u64,
 }
 
 /// Decompose the shortest paths from `switch` toward `dst_leaf` into
@@ -33,16 +46,46 @@ pub fn decompose_groups(
     switch: SwitchId,
     dst_leaf: u32,
 ) -> Vec<PortGroup> {
+    decompose_groups_counted(topo, routes, quiver, switch, dst_leaf).0
+}
+
+/// [`decompose_groups`] plus the number of paths it enumerated.
+fn decompose_groups_counted(
+    topo: &Topology,
+    routes: &RouteTable,
+    quiver: &Quiver,
+    switch: SwitchId,
+    dst_leaf: u32,
+) -> (Vec<PortGroup>, u64) {
     let paths = enumerate_shortest_paths(topo, routes, switch, dst_leaf, Quiver::DEFAULT_PATH_CAP);
+    let n = paths.len() as u64;
+    let groups = group_scored_paths(paths.into_iter().map(|links| {
+        let info = quiver.path_info(topo, links);
+        (info.first_port, info.score, info.cap_bps)
+    }));
+    (groups, n)
+}
+
+/// Core of the §3.4.1 step-2 decomposition, shared by the eager
+/// ([`decompose_groups`]) and structural ([`crate::SymmetryEngine`]) paths:
+/// group scored paths `(first_port, score, cap_bps)` into symmetric
+/// components of ports, weighted by aggregate capacity and gcd-reduced.
+///
+/// The "ports" need not be real egress ports — the structural engine calls
+/// this in candidate-index space and maps indices to ports afterwards; the
+/// output is identical because the candidate list is in ascending port
+/// order, so index order and port order agree.
+pub(crate) fn group_scored_paths(
+    scored: impl IntoIterator<Item = (u16, Vec<u64>, u64)>,
+) -> Vec<PortGroup> {
     // Group paths by score; accumulate per-group ports and capacity.
     let mut by_score: HashMap<Vec<u64>, (Vec<u16>, u128)> = HashMap::new();
-    for links in paths {
-        let info = quiver.path_info(topo, links);
-        let entry = by_score.entry(info.score).or_default();
-        if !entry.0.contains(&info.first_port) {
-            entry.0.push(info.first_port);
+    for (first_port, score, cap_bps) in scored {
+        let entry = by_score.entry(score).or_default();
+        if !entry.0.contains(&first_port) {
+            entry.0.push(first_port);
         }
-        entry.1 += info.cap_bps as u128;
+        entry.1 += cap_bps as u128;
     }
     let mut groups: Vec<(Vec<u16>, u128)> = by_score.into_values().collect();
 
@@ -92,14 +135,33 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
     a
 }
 
-/// Run DRILL's control plane over the whole fabric: build the Quiver,
-/// decompose every multi-candidate (switch, dst-leaf) entry, and install
-/// the component groups into the routing table.
+/// Run DRILL's control plane over the whole fabric and install the
+/// component groups into the routing table.
+///
+/// This is the structural (§3.4-at-scale) path: a one-shot
+/// [`crate::SymmetryEngine`] install, which produces the exact same group
+/// tables as [`install_symmetric_groups_eager`] without enumerating the
+/// whole fabric's paths. Keep the engine itself (see
+/// [`crate::SymmetryEngine::install`]) when reinstalling after faults to
+/// also reuse work across reconvergences.
 ///
 /// Entries that remain fully symmetric get their groups cleared (the data
 /// plane then micro load balances over the whole candidate set with no
 /// hashing step, exactly as in the symmetric design).
 pub fn install_symmetric_groups(topo: &Topology, routes: &mut RouteTable) -> GroupingReport {
+    crate::SymmetryEngine::new().install(topo, routes)
+}
+
+/// The original enumerative control plane: build the global [`Quiver`]
+/// (every leaf-to-leaf shortest path), then decompose every
+/// multi-candidate (switch, dst-leaf) entry independently — re-walking
+/// each entry's paths a second time.
+///
+/// O(leaves² × paths) in time and memory; kept as the differential-golden
+/// reference for the structural engine and as the
+/// `eager_control_plane` A/B path in the runtime.
+pub fn install_symmetric_groups_eager(topo: &Topology, routes: &mut RouteTable) -> GroupingReport {
+    let start = std::time::Instant::now();
     let quiver = Quiver::build(topo, routes);
     let mut report = GroupingReport {
         paths_enumerated: quiver.paths_enumerated,
@@ -112,7 +174,10 @@ pub fn install_symmetric_groups(topo: &Topology, routes: &mut RouteTable) -> Gro
                 continue;
             }
             report.entries += 1;
-            let groups = decompose_groups(topo, routes, &quiver, s, dst_leaf);
+            let (groups, walked) = decompose_groups_counted(topo, routes, &quiver, s, dst_leaf);
+            // decompose_groups re-enumerated this entry's paths on top of
+            // the Quiver's own walk: count the double work honestly.
+            report.paths_enumerated += walked;
             report.max_components = report.max_components.max(groups.len());
             if groups.len() > 1 {
                 report.asymmetric_entries += 1;
@@ -122,6 +187,8 @@ pub fn install_symmetric_groups(topo: &Topology, routes: &mut RouteTable) -> Gro
             }
         }
     }
+    report.classes = report.entries;
+    report.build_ns = start.elapsed().as_nanos() as u64;
     report
 }
 

@@ -13,6 +13,10 @@
 //! * [`decompose_groups`] / [`install_symmetric_groups`] — the symmetric
 //!   path decomposition that lets DRILL degrade gracefully to weighted
 //!   ECMP-of-DRILL under asymmetry.
+//! * [`SymmetryEngine`] — the structural control plane: symmetry-class
+//!   decomposition with lazy per-entry quivers and incremental
+//!   reconvergence, producing the exact group tables of the eager path
+//!   ([`install_symmetric_groups_eager`]) without enumerating the fabric.
 //! * [`stability`] — a discrete-time M×N queueing model reproducing the
 //!   §3.2.4 stability results (DRILL(d,0) is unstable for admissible
 //!   heterogeneous service rates; DRILL(d,m≥1) is stable).
@@ -23,7 +27,11 @@ mod decompose;
 mod drill;
 mod quiver;
 pub mod stability;
+mod symmetry;
 
-pub use decompose::{decompose_groups, install_symmetric_groups, GroupingReport};
+pub use decompose::{
+    decompose_groups, install_symmetric_groups, install_symmetric_groups_eager, GroupingReport,
+};
 pub use drill::{DrillPolicy, PerFlowDrill};
 pub use quiver::{enumerate_shortest_paths, CapFactor, Label, PathInfo, Quiver};
+pub use symmetry::SymmetryEngine;

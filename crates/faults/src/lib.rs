@@ -101,6 +101,19 @@ impl FaultKind {
         !matches!(self, FaultKind::SetLoss { .. })
     }
 
+    /// Whether applying this kind can change *path structure*: the set of
+    /// up links, and therefore distances and candidate sets.
+    ///
+    /// [`FaultKind::Degrade`] rescales a link's capacity but never removes
+    /// it, so shortest-path routing (`RouteTable::compute`, a pure
+    /// function of the up/down state) provably cannot change — the
+    /// reconvergence may skip the BFS and only rebuild the capacity-
+    /// dependent symmetric-component groups. [`FaultKind::SetLoss`]
+    /// changes neither and skips reconvergence entirely.
+    pub fn changes_reachability(&self) -> bool {
+        !matches!(self, FaultKind::SetLoss { .. } | FaultKind::Degrade { .. })
+    }
+
     /// The switches a fault physically touches: both link endpoints, or
     /// just the crashing/recovering switch. The first entry is the
     /// fault's *primary* switch — sharded runs attribute the strike to
@@ -645,6 +658,30 @@ mod tests {
             ppm: 100
         }
         .needs_reconvergence());
+    }
+
+    #[test]
+    fn reachability_change_is_kind_dependent() {
+        assert!(FaultKind::LinkDown { a: 0, b: 2 }.changes_reachability());
+        assert!(FaultKind::LinkUp { a: 0, b: 2 }.changes_reachability());
+        assert!(FaultKind::SwitchDown { switch: 1 }.changes_reachability());
+        assert!(FaultKind::SwitchUp { switch: 1 }.changes_reachability());
+        // Degrade reconverges (group weights depend on capacity) but can
+        // never change routes.
+        let degrade = FaultKind::Degrade {
+            a: 0,
+            b: 2,
+            num: 1,
+            den: 2,
+        };
+        assert!(degrade.needs_reconvergence());
+        assert!(!degrade.changes_reachability());
+        assert!(!FaultKind::SetLoss {
+            a: 0,
+            b: 2,
+            ppm: 100
+        }
+        .changes_reachability());
     }
 
     #[test]

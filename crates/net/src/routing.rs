@@ -130,6 +130,33 @@ impl RouteTable {
         (d != UNREACHABLE).then_some(d)
     }
 
+    /// Switches bucketed by hop distance toward `dst_leaf`, ascending:
+    /// `levels[0]` holds the destination leaf itself, `levels[k]` every
+    /// switch at distance `k`; unreachable switches are absent and
+    /// switches within a level appear in id order.
+    ///
+    /// This is the traversal skeleton of the structural §3.4 control plane
+    /// (`drill-core`'s `SymmetryEngine`): candidate edges only ever point
+    /// from level `k` to level `k-1`, so walking the levels descending
+    /// (sources first) or ascending (destination first) visits every edge
+    /// of the per-destination candidate DAG exactly once, in a
+    /// deterministic order.
+    pub fn dist_levels(&self, dst_leaf: u32) -> Vec<Vec<SwitchId>> {
+        let mut levels: Vec<Vec<SwitchId>> = Vec::new();
+        for (si, per_dst) in self.dist.iter().enumerate() {
+            let ds = per_dst[dst_leaf as usize];
+            if ds == UNREACHABLE {
+                continue;
+            }
+            let ds = ds as usize;
+            if levels.len() <= ds {
+                levels.resize_with(ds + 1, Vec::new);
+            }
+            levels[ds].push(SwitchId(si as u32));
+        }
+        levels
+    }
+
     /// Number of destination leaves this table covers.
     pub fn num_leaves(&self) -> usize {
         self.next_hops.first().map_or(0, |v| v.len())
@@ -269,6 +296,38 @@ mod tests {
         ];
         rt.set_groups(l0, 1, g.clone());
         assert_eq!(rt.groups(l0, 1), &g[..]);
+    }
+
+    #[test]
+    fn dist_levels_bucket_by_distance() {
+        let topo = leaf_spine(&small_spec());
+        let rt = RouteTable::compute(&topo);
+        let levels = rt.dist_levels(0);
+        // Level 0: leaf 0 itself; level 1: the 4 spines; level 2: the
+        // other 3 leaves — in id order within each level.
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![topo.leaves()[0]]);
+        assert_eq!(
+            levels[1],
+            (4..8).map(SwitchId).collect::<Vec<_>>(),
+            "all spines at distance 1"
+        );
+        assert_eq!(
+            levels[2],
+            vec![SwitchId(1), SwitchId(2), SwitchId(3)],
+            "peer leaves at distance 2"
+        );
+        // An unreachable switch is absent from every level.
+        let mut topo2 = crate::topology::Topology::new();
+        let l0 = topo2.add_switch(SwitchKind::Leaf);
+        let _l1 = topo2.add_switch(SwitchKind::Leaf);
+        let s = topo2.add_switch(SwitchKind::Spine);
+        topo2.connect_switches(l0, s, 1_000_000_000, 1_000_000_000, Time::from_nanos(10));
+        let rt2 = RouteTable::compute(&topo2);
+        let lv = rt2.dist_levels(0);
+        assert_eq!(lv.len(), 2);
+        assert_eq!(lv[0], vec![l0]);
+        assert_eq!(lv[1], vec![s]);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::io;
 
 use drill_audit::{Audit, NoopAudit};
-use drill_core::install_symmetric_groups;
+use drill_core::install_symmetric_groups_eager;
 use drill_faults::FaultKind;
 use drill_net::snapio::{get_net_event, put_net_event};
 use drill_net::{HostId, NetEvent, PacketArena, RouteTable, ShardPlan, SwitchId};
@@ -495,7 +495,14 @@ impl<P: Probe> World<P> {
             // boundary reproduces any number of intermediate passes.
             w.routes = RouteTable::compute(&w.topo);
             if w.cfg.scheme.wants_symmetric_groups() && w.cfg.asymmetry_handling {
-                install_symmetric_groups(&w.topo, &mut w.routes);
+                // The installed groups are a pure function of (topo,
+                // routes) — engine memo warmth never changes the output —
+                // so a cold engine here reproduces the live run's tables.
+                if w.cfg.eager_control_plane {
+                    install_symmetric_groups_eager(&w.topo, &mut w.routes);
+                } else {
+                    w.symmetry.install(&w.topo, &mut w.routes);
+                }
             }
             if matches!(w.cfg.scheme, Scheme::Wcmp) {
                 for i in 0..w.switches.len() {

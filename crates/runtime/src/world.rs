@@ -3,7 +3,7 @@
 use drill_audit::{
     AnomalyReport, Audit, BoundarySample, FlowProgress, InvariantAuditor, NoopAudit, SnapshotRing,
 };
-use drill_core::install_symmetric_groups;
+use drill_core::{install_symmetric_groups_eager, SymmetryEngine};
 use drill_faults::{FaultInjector, FaultKind, SabotageKind, SabotageSpec};
 use drill_net::{
     BufPool, EventSink, HopClass, HostId, HostNic, HostPolicy, NetEvent, Packet, PacketArena,
@@ -90,6 +90,10 @@ pub struct World<P: Probe = NoopProbe, A: Audit = NoopAudit> {
     cfg: ExperimentConfig,
     topo: Topology,
     routes: RouteTable,
+    /// Structural §3.4 control plane. Persists interned structure across
+    /// reconvergences so a fault only re-decomposes entries whose
+    /// fingerprint changed (unused when `cfg.eager_control_plane`).
+    symmetry: SymmetryEngine,
     switches: Vec<Switch>,
     nics: Vec<HostNic>,
     host_policies: Vec<Box<dyn HostPolicy>>,
@@ -370,8 +374,13 @@ impl<P: Probe, A: Audit> World<P, A> {
             }
         }
         let mut routes = RouteTable::compute(&topo);
+        let mut symmetry = SymmetryEngine::new();
         if cfg.scheme.wants_symmetric_groups() && cfg.asymmetry_handling {
-            install_symmetric_groups(&topo, &mut routes);
+            if cfg.eager_control_plane {
+                install_symmetric_groups_eager(&topo, &mut routes);
+            } else {
+                symmetry.install(&topo, &mut routes);
+            }
         }
 
         let sw_cfg = SwitchConfig {
@@ -519,6 +528,7 @@ impl<P: Probe, A: Audit> World<P, A> {
             cfg,
             topo,
             routes,
+            symmetry,
             switches,
             nics,
             host_policies,
@@ -1007,9 +1017,28 @@ impl<P: Probe, A: Audit> World<P, A> {
         // Snapshot before any table rebuild: Wcmp's rebuild replaces the
         // switch objects, zeroing their counters.
         let blackholed_now = self.total_blackholed();
-        self.routes = RouteTable::compute(&self.topo);
+        // The BFS is a pure function of the up/down link state, so a
+        // window of faults none of which can change reachability (e.g.
+        // pure capacity degradation) provably leaves `routes` as-is; only
+        // the capacity-dependent group decomposition must rerun. The skip
+        // is audited by a regression test pinning stats bit-identical
+        // against the always-recompute eager path.
+        let window =
+            &self.faults[self.faults_applied_at_reconv as usize..self.faults_applied as usize];
+        let routes_stale = window.is_empty()
+            || window
+                .iter()
+                .any(|&(_, kind, _)| kind.changes_reachability())
+            || self.cfg.eager_control_plane;
+        if routes_stale {
+            self.routes = RouteTable::compute(&self.topo);
+        }
         if self.cfg.scheme.wants_symmetric_groups() && self.cfg.asymmetry_handling {
-            install_symmetric_groups(&self.topo, &mut self.routes);
+            if self.cfg.eager_control_plane {
+                install_symmetric_groups_eager(&self.topo, &mut self.routes);
+            } else {
+                self.symmetry.install(&self.topo, &mut self.routes);
+            }
         }
         if matches!(self.cfg.scheme, Scheme::Wcmp) {
             for i in 0..self.switches.len() {
@@ -1843,6 +1872,63 @@ mod tests {
             "wire loss forced TCP to retransmit"
         );
         assert!(stats.completion_rate() > 0.9, "{}", stats.completion_rate());
+    }
+
+    #[test]
+    fn structural_plane_and_degrade_route_skip_match_eager_bitwise() {
+        // A pure-capacity window (the structural plane skips the routing
+        // BFS — Degrade cannot change reachability), then a reachability
+        // window (full recompute), then a restore. The legacy eager plane
+        // recomputes routes at every reconvergence; stats must still be
+        // bit-identical, pinning both the group tables and the skip.
+        let mut cfg = quick_cfg(Scheme::drill_default(), 0.3);
+        let topo = cfg.topo.build();
+        let pairs = random_leaf_spine_failures(&topo, 2, 17);
+        let mut s = FaultSchedule::new(Time::from_micros(300));
+        s.push(
+            Time::from_millis(1),
+            FaultKind::Degrade {
+                a: pairs[0].0,
+                b: pairs[0].1,
+                num: 1,
+                den: 4,
+            },
+        );
+        s.push(
+            Time::from_millis(2),
+            FaultKind::LinkDown {
+                a: pairs[1].0,
+                b: pairs[1].1,
+            },
+        );
+        s.push(
+            Time::from_millis(3),
+            FaultKind::LinkUp {
+                a: pairs[1].0,
+                b: pairs[1].1,
+            },
+        );
+        cfg.faults = Some(s);
+        let structural = run(&cfg);
+        cfg.eager_control_plane = true;
+        let eager = run(&cfg);
+        assert_eq!(structural.fault_events, 3);
+        assert_eq!(structural.reconvergences, 3, "degrade still reconverges");
+        assert_eq!(structural.events, eager.events);
+        assert_eq!(structural.flows_started, eager.flows_started);
+        assert_eq!(structural.flows_completed, eager.flows_completed);
+        assert_eq!(structural.reconvergences, eager.reconvergences);
+        assert_eq!(structural.fault_window_ns, eager.fault_window_ns);
+        assert_eq!(structural.retransmissions, eager.retransmissions);
+        assert_eq!(structural.blackholed, eager.blackholed);
+        assert_eq!(
+            structural.mean_fct_ms().to_bits(),
+            eager.mean_fct_ms().to_bits()
+        );
+        assert_eq!(
+            structural.dupacks.frac(0).to_bits(),
+            eager.dupacks.frac(0).to_bits()
+        );
     }
 
     #[test]

@@ -90,6 +90,32 @@ echo "== scalebench --quick smoke =="
 ./target/release/scalebench --quick > /dev/null
 ./target/release/scalebench --sketch --quick > /dev/null
 
+echo "== scalebench asymmetric control-plane smoke =="
+# The asymmetric quick point runs the full structural §3.4 probe (cold
+# install + warm reconvergence on a fabric with failed uplinks) and a
+# traffic run with asymmetry_handling on; demand the probe found real
+# asymmetry and shared classes across entries.
+./target/release/scalebench --quick --point fattree8_128h_asym2f | python3 -c "
+import json, sys
+d = json.load(sys.stdin)
+assert d['failures'] == 2, 'asym point lost its failures'
+assert d['asym_entries'] > 0, 'no asymmetric entries found'
+assert d['cp_classes'] < d['cp_entries'], 'no class sharing across entries'
+assert d['cp_entries_reused'] == d['cp_entries'] - d['cp_classes'], 'reuse mismatch'
+assert d['cp_install_secs'] > 0 and d['cp_reconverge_secs'] > 0, 'probe not timed'
+"
+
+echo "== structural-vs-eager differential golden (DRILL_SHARDS=1/2 x wheel/heap) =="
+# The §3.4 control-plane contract: the structural SymmetryEngine must
+# install group tables bit-identical to the eager enumeration on every
+# topology family and under random failure sets. Groups are a pure
+# function of (topology, routes), so neither the shard count nor the
+# event-queue build may perturb them.
+for shards in 1 2; do
+    DRILL_SHARDS=$shards cargo test -q --test structural_groups
+    DRILL_SHARDS=$shards cargo test -q --test structural_groups --features heap-queue
+done
+
 echo "== scalebench kill-and-resume crash-recovery smoke =="
 # Checkpoint every 50k events, die mid-run (simulated kill, exit 42),
 # resume the checkpoint in a fresh process, and demand the resumed totals

@@ -4,8 +4,10 @@
 # telemetry-overhead A/B (NoopProbe build vs flight-recorder attached),
 # an auditor-overhead A/B (NoopAudit vs the drill-audit watchdogs), a
 # packet-layout A/B (arena handles vs --features fat-events by-value
-# packets), and a shard-count A/B (DRILL_SHARDS=1/2/8 against the sharded
-# engine, equal-event-count asserted). Writes results/qbench.json.
+# packets), a shard-count A/B (DRILL_SHARDS=1/2/8 against the sharded
+# engine, equal-event-count asserted), and a §3.4 control-plane A/B
+# (eager enumeration vs structural cold/warm installs, identical group
+# tables asserted). Writes results/qbench.json.
 # Offline-safe: no external deps.
 #
 # All builds are compiled up front and their binaries copied aside, then
@@ -35,6 +37,9 @@ cp target/release/qbench "$tmp/qbench-wheel"
 
 echo "== micro: hold + churn, wheel vs heap in-process =="
 "$tmp/qbench-wheel" | tee "$tmp/micro.json"
+
+echo "== control plane: eager vs structural (cold/warm) on failed fabrics =="
+"$tmp/qbench-wheel" --control | tee "$tmp/control.json"
 
 # Keep the previous e2e result (if any) as the cross-PR reference before
 # this run overwrites results/qbench.json.
@@ -174,6 +179,10 @@ doc["shard_ab"] = {
     # deliver. Speedups < 1.0 here are the measured sharding overhead.
     "expectation": "parity-or-overhead" if cores <= 1 else "speedup-or-parity",
 }
+# §3.4 control-plane A/B: eager enumeration vs the structural
+# symmetry-class engine (cold install and warm reconvergence), identical
+# group tables asserted by the binary before timing.
+doc["control_ab"] = json.load(open(f"{tmp}/control.json"))
 json.dump(doc, open("results/qbench.json", "w"), indent=2)
 print("wrote results/qbench.json")
 print(f"e2e wall-clock improvement: {doc['e2e_fig2']['wall_clock_improvement']:.1%}")
@@ -183,6 +192,9 @@ print(f"arena vs fat-events e2e improvement: {doc['arena_ab']['wall_clock_improv
 print(f"shard A/B ({cores}-core host, expect {doc['shard_ab']['expectation']}): "
       f"2-shard {doc['shard_ab']['speedup_2_over_1']:.3f}x, "
       f"8-shard {doc['shard_ab']['speedup_8_over_1']:.3f}x vs serial")
+for f in doc["control_ab"]["fabrics"]:
+    print(f"control plane {f['fabric']}: structural cold {f['speedup_cold']:.2f}x, "
+          f"warm {f['speedup_warm']:.2f}x vs eager")
 if baseline is not None:
     drift = noop["wall_secs"] / baseline - 1
     print(f"noop e2e vs pre-run baseline: {drift:+.1%}")

@@ -7,12 +7,15 @@
 //! topologies when available.
 #![cfg(feature = "proptest")]
 
-use drill::core::{decompose_groups, DrillPolicy, Quiver};
-use drill::net::{
-    clos, fat_tree_custom, leaf_spine, vl2, ClosSpec, FlowId, HostId, LeafSpineSpec, NodeRef,
-    Packet, PacketArena, PacketRef, QueueView, RouteTable, SelectCtx, ShardPlan, SwitchId,
-    SwitchKind, SwitchPolicy, Topology, Vl2Spec, DEFAULT_PROP,
+use drill::core::{
+    decompose_groups, install_symmetric_groups_eager, DrillPolicy, Quiver, SymmetryEngine,
 };
+use drill::net::{
+    clos, fat_tree_custom, leaf_spine, leaf_spine_custom, vl2, ClosSpec, FlowId, HostId,
+    LeafSpineSpec, NodeRef, Packet, PacketArena, PacketRef, QueueView, RouteTable, SelectCtx,
+    ShardPlan, SwitchId, SwitchKind, SwitchPolicy, Topology, Vl2Spec, DEFAULT_PROP,
+};
+use drill::runtime::random_leaf_spine_failures;
 use drill::sim::{SimRng, Time};
 use drill::stats::{Distribution, Histogram, Moments};
 use drill::transport::{ShimBuffer, TcpConfig, TcpFlow};
@@ -119,6 +122,58 @@ fn assert_shard_plan_invariants(
         prop_assert!(plan.lookahead < Time::MAX, "bound is a real link latency");
     }
     plan.validate(topo);
+    Ok(())
+}
+
+/// Shared checker for the structural §3.4 control plane: the
+/// [`SymmetryEngine`] must install group tables bit-identical to the
+/// eager per-pair enumeration on the same fabric, and its
+/// `GroupingReport` must uphold the structural invariants (classes never
+/// exceed entries, reuse is exactly the difference, the lazy walk never
+/// enumerates more paths than eager). Only the fields both paths define
+/// identically are compared — `classes`/`paths_enumerated`/`build_ns`
+/// have different semantics per path by design.
+fn assert_structural_matches_eager(
+    topo: &Topology,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut eager_routes = RouteTable::compute(topo);
+    let eager = install_symmetric_groups_eager(topo, &mut eager_routes);
+    let mut structural_routes = RouteTable::compute(topo);
+    let structural = SymmetryEngine::new().install(topo, &mut structural_routes);
+    for si in 0..topo.num_switches() as u32 {
+        for d in 0..topo.num_leaves() as u32 {
+            prop_assert_eq!(
+                eager_routes.groups(SwitchId(si), d),
+                structural_routes.groups(SwitchId(si), d),
+                "group tables diverged at switch {} dst leaf {}",
+                si,
+                d
+            );
+        }
+    }
+    prop_assert_eq!(eager.entries, structural.entries);
+    prop_assert_eq!(eager.asymmetric_entries, structural.asymmetric_entries);
+    prop_assert_eq!(eager.max_components, structural.max_components);
+    prop_assert!(structural.classes <= structural.entries);
+    prop_assert_eq!(
+        structural.entries_reused,
+        structural.entries - structural.classes
+    );
+    prop_assert!(structural.paths_enumerated <= eager.paths_enumerated);
+    Ok(())
+}
+
+/// Fail `n` seeded random leaf uplinks in place (direction-agnostic).
+fn fail_random_uplinks(
+    topo: &mut Topology,
+    n: usize,
+    seed: u64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for &(a, b) in &random_leaf_spine_failures(topo, n, seed) {
+        let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+            || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+        prop_assert!(ok, "pair ({}, {}) matches no live link", a, b);
+    }
     Ok(())
 }
 
@@ -641,5 +696,73 @@ proptest! {
         // Extrema stay exact in sketch mode.
         prop_assert_eq!(merged.min().to_bits(), exact[0].to_bits());
         prop_assert_eq!(merged.max().to_bits(), exact[exact.len() - 1].to_bits());
+    }
+
+    /// Structural §3.4 control plane on random heterogeneously-striped
+    /// leaf-spine fabrics (every pair keeps at least one uplink, with
+    /// random extra parallel links at mixed rates) plus random failures:
+    /// the SymmetryEngine's group tables must match the eager
+    /// enumeration exactly.
+    #[test]
+    fn structural_matches_eager_on_random_striping(
+        spec in spec_strategy(),
+        fails in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let rates = [10_000_000_000u64, 25_000_000_000, 40_000_000_000];
+        let stripe: Vec<Vec<Vec<u64>>> = (0..spec.leaves)
+            .map(|_| {
+                (0..spec.spines)
+                    .map(|_| {
+                        let n = 1 + rng.below(3);
+                        (0..n).map(|_| rates[rng.below(rates.len())]).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut topo = leaf_spine_custom(&spec, |l, s| stripe[l][s].clone());
+        fail_random_uplinks(&mut topo, fails, seed)?;
+        assert_structural_matches_eager(&topo)?;
+    }
+
+    /// Structural == eager on random VL2 fabrics with random failure
+    /// sets, including under-connected ToRs and failures that partition
+    /// a ToR from part of the fabric.
+    #[test]
+    fn structural_matches_eager_on_random_vl2(
+        tors in 2usize..8,
+        aggs in 2usize..6,
+        ints in 1usize..5,
+        uplinks in 1usize..6,
+        fails in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut topo = vl2(&Vl2Spec {
+            tors,
+            aggs,
+            ints,
+            hosts_per_tor: 1,
+            host_rate: 1_000_000_000,
+            core_rate: 10_000_000_000,
+            tor_uplinks: uplinks.min(aggs),
+            prop: DEFAULT_PROP,
+        });
+        fail_random_uplinks(&mut topo, fails, seed)?;
+        assert_structural_matches_eager(&topo)?;
+    }
+
+    /// Structural == eager on random three-tier Clos fabrics with random
+    /// failure sets (the multi-tier case: failures below one pod must
+    /// reshape group weights at switches in every other pod).
+    #[test]
+    fn structural_matches_eager_on_random_clos(
+        spec in clos_strategy(),
+        fails in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut topo = clos(&spec);
+        fail_random_uplinks(&mut topo, fails, seed)?;
+        assert_structural_matches_eager(&topo)?;
     }
 }

@@ -1,0 +1,190 @@
+//! Differential golden for the structural §3.4 control plane: on every
+//! topology family the simulator can build — leaf-spine, heterogeneous
+//! custom leaf-spine, VL2, fat-tree, oversubscribed fat-tree, three-tier
+//! Clos — and under seeded random failure sets, the [`SymmetryEngine`]
+//! must install group tables bit-identical to the eager per-pair
+//! enumeration it replaced, while upholding the `GroupingReport`
+//! invariants (classes never exceed entries, reuse is exactly the
+//! difference, the structural walk never enumerates more paths than the
+//! eager one).
+//!
+//! `scripts/ci.sh` runs this suite under `DRILL_SHARDS=1/2` and both
+//! event-queue builds: the control plane is pure (topology, routes) →
+//! groups, so nothing downstream may perturb it.
+
+use drill::core::{install_symmetric_groups_eager, SymmetryEngine};
+use drill::net::{
+    clos, fat_tree, fat_tree_custom, leaf_spine, leaf_spine_custom, vl2, ClosSpec, LeafSpineSpec,
+    PortGroup, RouteTable, SwitchId, Topology, Vl2Spec, DEFAULT_PROP,
+};
+use drill::runtime::random_leaf_spine_failures;
+use drill::sim::Time;
+
+fn ls_spec(spines: usize, leaves: usize) -> LeafSpineSpec {
+    LeafSpineSpec {
+        spines,
+        leaves,
+        hosts_per_leaf: 2,
+        host_rate: 10_000_000_000,
+        core_rate: 40_000_000_000,
+        prop: DEFAULT_PROP,
+    }
+}
+
+/// Every installed group table as one comparable value.
+fn group_table(topo: &Topology, routes: &RouteTable) -> Vec<(u32, u32, Vec<PortGroup>)> {
+    let mut out = Vec::new();
+    for si in 0..topo.num_switches() as u32 {
+        for d in 0..topo.num_leaves() as u32 {
+            let g = routes.groups(SwitchId(si), d);
+            if !g.is_empty() {
+                out.push((si, d, g.to_vec()));
+            }
+        }
+    }
+    out
+}
+
+/// Fail `n` seeded random leaf uplinks, then assert the structural
+/// engine reproduces the eager group tables bit-for-bit and its report
+/// holds the structural invariants.
+fn check(label: &str, mut topo: Topology, n_failures: usize, seed: u64) {
+    for &(a, b) in &random_leaf_spine_failures(&topo, n_failures, seed) {
+        let ok = topo.fail_switch_link(SwitchId(a), SwitchId(b), 0)
+            || topo.fail_switch_link(SwitchId(b), SwitchId(a), 0);
+        assert!(ok, "{label}: pair ({a},{b}) matches no live link");
+    }
+    let mut eager_routes = RouteTable::compute(&topo);
+    let eager = install_symmetric_groups_eager(&topo, &mut eager_routes);
+    let mut structural_routes = RouteTable::compute(&topo);
+    let structural = SymmetryEngine::new().install(&topo, &mut structural_routes);
+    assert_eq!(
+        group_table(&topo, &eager_routes),
+        group_table(&topo, &structural_routes),
+        "{label} (failures={n_failures}, seed={seed:#x}): group tables diverged"
+    );
+    assert_eq!(eager.entries, structural.entries, "{label}: entry count");
+    assert_eq!(
+        eager.asymmetric_entries, structural.asymmetric_entries,
+        "{label}: asymmetric entries"
+    );
+    assert_eq!(
+        eager.max_components, structural.max_components,
+        "{label}: max components"
+    );
+    assert!(
+        structural.classes <= structural.entries,
+        "{label}: more classes than entries"
+    );
+    assert_eq!(
+        structural.entries_reused,
+        structural.entries - structural.classes,
+        "{label}: reuse must be exactly entries - classes"
+    );
+    assert!(
+        structural.paths_enumerated <= eager.paths_enumerated,
+        "{label}: structural walked {} paths, eager only {}",
+        structural.paths_enumerated,
+        eager.paths_enumerated
+    );
+}
+
+/// (failure count, seed) ladder shared by every family: the pristine
+/// fabric, single failures under two seeds, and denser sets.
+const FAILURE_SETS: &[(usize, u64)] = &[(0, 0x1), (1, 0xA11CE), (1, 0xB0B), (2, 0x5EED), (4, 0x7)];
+
+#[test]
+fn leaf_spine_matches_eager() {
+    for &(n, seed) in FAILURE_SETS {
+        check("leaf_spine", leaf_spine(&ls_spec(4, 6)), n, seed);
+    }
+}
+
+#[test]
+fn leaf_spine_custom_heterogeneous_matches_eager() {
+    // Figure-13-style heterogeneous striping: parallel 10G links to some
+    // spines, single 40G trunks to others — asymmetric before any fault.
+    for &(n, seed) in FAILURE_SETS {
+        let spec = ls_spec(4, 6);
+        let topo = leaf_spine_custom(&spec, |l, s| {
+            if (l + s) % 2 == 0 {
+                vec![10_000_000_000; 2]
+            } else {
+                vec![40_000_000_000]
+            }
+        });
+        check("leaf_spine_custom", topo, n, seed);
+    }
+}
+
+#[test]
+fn vl2_matches_eager() {
+    let spec = Vl2Spec {
+        tors: 8,
+        aggs: 4,
+        ints: 3,
+        hosts_per_tor: 2,
+        host_rate: 1_000_000_000,
+        core_rate: 10_000_000_000,
+        tor_uplinks: 2,
+        prop: DEFAULT_PROP,
+    };
+    for &(n, seed) in FAILURE_SETS {
+        check("vl2", vl2(&spec), n, seed);
+    }
+}
+
+#[test]
+fn fat_tree_matches_eager() {
+    for &(n, seed) in FAILURE_SETS {
+        check(
+            "fat_tree",
+            fat_tree(4, 10_000_000_000, DEFAULT_PROP),
+            n,
+            seed,
+        );
+    }
+    // k=6 once: three pods exercise the canonical-renumbering sharing
+    // across pods at a size where eager is still cheap.
+    check(
+        "fat_tree_k6",
+        fat_tree(6, 10_000_000_000, DEFAULT_PROP),
+        2,
+        0xFEED,
+    );
+}
+
+#[test]
+fn fat_tree_custom_matches_eager() {
+    // 2:1 oversubscribed edge (hosts_per_edge = k), the scalebench shape.
+    for &(n, seed) in FAILURE_SETS {
+        let topo = fat_tree_custom(4, 4, 10_000_000_000, 10_000_000_000, DEFAULT_PROP);
+        check("fat_tree_custom", topo, n, seed);
+    }
+}
+
+#[test]
+fn clos_matches_eager() {
+    for &(n, seed) in FAILURE_SETS {
+        check("clos", clos(&ClosSpec::smoke()), n, seed);
+    }
+}
+
+#[test]
+fn clos_heterogeneous_rates_match_eager() {
+    // Mixed tier rates put `CapFactor::Ratio` labels on every level.
+    let spec = ClosSpec {
+        pods: 3,
+        leaves_per_pod: 2,
+        aggs_per_pod: 2,
+        cores: 4,
+        hosts_per_leaf: 2,
+        host_rate: 10_000_000_000,
+        leaf_agg_rate: 25_000_000_000,
+        agg_core_rate: 40_000_000_000,
+        prop: Time::from_nanos(500),
+    };
+    for &(n, seed) in &[(0usize, 0x1u64), (2, 0xD00D), (3, 0x33)] {
+        check("clos_hetero", clos(&spec), n, seed);
+    }
+}
