@@ -1,0 +1,64 @@
+use drill::core::{install_symmetric_groups_eager, SymmetryEngine};
+use drill::net::{vl2, PortGroup, RouteTable, SwitchId, Topology, Vl2Spec, DEFAULT_PROP};
+use drill::sim::SimRng;
+
+fn group_table(topo: &Topology, routes: &RouteTable) -> Vec<(u32, u32, Vec<PortGroup>)> {
+    let mut out = Vec::new();
+    for si in 0..topo.num_switches() as u32 {
+        for d in 0..topo.num_leaves() as u32 {
+            let g = routes.groups(SwitchId(si), d);
+            if !g.is_empty() {
+                out.push((si, d, g.to_vec()));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn minimize_seed_21() {
+    let seed = 21u64;
+    let mut rng = SimRng::seed_from(seed);
+    let tors = 3 + rng.below(5);
+    let aggs = 2 + rng.below(4);
+    let ints = 1 + rng.below(4);
+    let spec = Vl2Spec {
+        tors,
+        aggs,
+        ints,
+        hosts_per_tor: 1,
+        host_rate: 1_000_000_000,
+        core_rate: 10_000_000_000,
+        tor_uplinks: (1 + rng.below(3)).min(aggs),
+        prop: DEFAULT_PROP,
+    };
+    eprintln!("spec: {spec:?}");
+    let mut topo = vl2(&spec);
+    let n_sw = topo.num_switches();
+    let nfail = rng.below(6);
+    let mut applied = Vec::new();
+    for _ in 0..nfail {
+        let a = rng.below(n_sw) as u32;
+        let b = rng.below(n_sw) as u32;
+        if topo.fail_switch_link(SwitchId(a), SwitchId(b), 0) {
+            applied.push((a, b));
+        }
+    }
+    eprintln!("failed links: {applied:?}");
+    let mut er = RouteTable::compute(&topo);
+    install_symmetric_groups_eager(&topo, &mut er);
+    let mut sr = RouteTable::compute(&topo);
+    SymmetryEngine::new().install(&topo, &mut sr);
+    let ge = group_table(&topo, &er);
+    let gs = group_table(&topo, &sr);
+    for si in 0..topo.num_switches() as u32 {
+        for d in 0..topo.num_leaves() as u32 {
+            let a = er.groups(SwitchId(si), d);
+            let b = sr.groups(SwitchId(si), d);
+            if a != b {
+                eprintln!("switch {si} dst {d}:\n  eager:      {a:?}\n  structural: {b:?}");
+            }
+        }
+    }
+    assert_eq!(ge, gs);
+}
